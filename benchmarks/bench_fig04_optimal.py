@@ -1,0 +1,44 @@
+"""Benchmark E3 — Fig. 4: comparison with the optimal algorithm.
+
+Measures the exact solver against Inc-Greedy on the Beijing-Small analogue
+and regenerates the utility/runtime series of Fig. 4 (printed with ``-s``).
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import IncGreedy
+from repro.core.optimal import OptimalSolver
+from repro.core.query import TOPSQuery
+from repro.experiments.figures import fig04_optimal
+from repro.experiments.reporting import print_table
+
+
+def test_optimal_solver_runtime(benchmark, beijing_small_context, default_query):
+    """Branch-and-bound exact solution on the small instance."""
+    coverage = beijing_small_context.coverage(default_query)
+
+    def run():
+        return OptimalSolver(coverage).solve(default_query)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.sites) <= default_query.k
+
+
+def test_inc_greedy_runtime_small_instance(benchmark, beijing_small_context, default_query):
+    """Inc-Greedy on the same instance — orders of magnitude faster than OPT."""
+    coverage = beijing_small_context.coverage(default_query)
+    result = benchmark(lambda: IncGreedy(coverage).solve(default_query))
+    assert len(result.sites) == default_query.k
+
+
+def test_fig04_series(benchmark, beijing_small_context):
+    """Regenerate the Fig. 4 rows (k sweep with OPT/INCG/FMG/NetClus/FM-NetClus)."""
+    rows = benchmark.pedantic(
+        lambda: fig04_optimal.run(k_values=(1, 3, 5), context=beijing_small_context),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 4 — comparison with optimal (reduced scale)")
+    for row in rows:
+        assert row["incg_utility_pct"] <= row["opt_utility_pct"] + 1e-6

@@ -1,0 +1,37 @@
+"""Benchmark E4 — Fig. 5: solution quality versus k and τ.
+
+The quality sweep itself is the artefact; the benchmark measures one full
+k-sweep over the four algorithms and prints both panels.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig05_quality
+from repro.experiments.reporting import print_table
+
+
+def test_fig05_quality_vs_k(benchmark, small_context):
+    rows = benchmark.pedantic(
+        lambda: fig05_quality.run_varying_k(small_context, k_values=(1, 5, 10), tau_km=0.8),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 5a — utility (%) vs k")
+    # NetClus stays close to Inc-Greedy (the paper reports within ~7%)
+    for row in rows:
+        assert row["netclus_utility_pct"] >= 0.7 * row["incg_utility_pct"]
+
+
+def test_fig05_quality_vs_tau(benchmark, small_context):
+    rows = benchmark.pedantic(
+        lambda: fig05_quality.run_varying_tau(
+            small_context, tau_values=(0.4, 0.8, 1.6), k=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 5b — utility (%) vs τ")
+    # utility grows with the coverage threshold
+    assert rows[-1]["incg_utility_pct"] >= rows[0]["incg_utility_pct"] - 1e-9

@@ -1,0 +1,43 @@
+"""Benchmark E5 — Fig. 6: query running time versus k and τ.
+
+Benchmarks the two core online operations the figure compares — an Inc-Greedy
+query (coverage build + greedy) and a NetClus query — at the paper's default
+parameters, and prints the runtime sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import TOPSQuery
+from repro.experiments.figures import fig06_runtime
+from repro.experiments.reporting import print_table
+
+
+def test_inc_greedy_query(benchmark, small_context, default_query):
+    """Flat-space Inc-Greedy query time (the paper's slow baseline)."""
+    result = benchmark(lambda: small_context.run_inc_greedy(default_query))
+    assert len(result.sites) == default_query.k
+
+
+def test_netclus_query(benchmark, small_context, default_query):
+    """NetClus query time — the headline speed-up of the paper."""
+    result = benchmark(lambda: small_context.run_netclus(default_query))
+    assert len(result.sites) == default_query.k
+
+
+def test_netclus_query_large_tau(benchmark, small_context):
+    """At larger τ NetClus switches to a coarser instance and stays fast."""
+    query = TOPSQuery(k=5, tau_km=2.4)
+    result = benchmark(lambda: small_context.run_netclus(query))
+    assert len(result.sites) == query.k
+
+
+def test_fig06_series(benchmark, small_context):
+    rows = benchmark.pedantic(
+        lambda: fig06_runtime.run_varying_tau(small_context, tau_values=(0.4, 0.8, 1.6), k=5),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 6b — running time vs τ")
+    for row in rows:
+        assert row["netclus_runtime_s"] > 0

@@ -1,0 +1,35 @@
+"""Benchmark E8 — Fig. 7b: the TOPS-CAPACITY extension."""
+
+from __future__ import annotations
+
+from repro.core.variants import solve_tops_capacity
+from repro.datasets.workloads import site_capacities_normal
+from repro.experiments.figures import fig07_cost_capacity
+from repro.experiments.reporting import print_table
+
+
+def test_tops_capacity_query(benchmark, small_context, default_query):
+    coverage = small_context.coverage(default_query)
+    capacities = site_capacities_normal(
+        coverage.num_sites, small_context.num_trajectories, mean_fraction=0.1, seed=13
+    )
+    result = benchmark.pedantic(
+        lambda: solve_tops_capacity(coverage, default_query, capacities),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.sites) <= default_query.k
+
+
+def test_fig07_capacity_rows(benchmark, small_context):
+    rows = benchmark.pedantic(
+        lambda: fig07_cost_capacity.run_capacity(
+            small_context, mean_fractions=(0.01, 0.1, 1.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 7b — TOPS-CAPACITY vs mean site capacity")
+    # utility grows with capacity, approaching the unconstrained TOPS value
+    assert rows[-1]["incg_utility_pct"] >= rows[0]["incg_utility_pct"] - 1e-9

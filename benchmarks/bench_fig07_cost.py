@@ -1,0 +1,39 @@
+"""Benchmark E7 — Fig. 7a / Fig. 9: the TOPS-COST extension.
+
+Benchmarks the budgeted greedy at the paper's parameters and regenerates the
+utility / #sites / runtime rows across the site-cost spread σ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.variants import solve_tops_cost
+from repro.datasets.workloads import site_costs_normal
+from repro.experiments.figures import fig07_cost_capacity
+from repro.experiments.reporting import print_table
+
+
+def test_tops_cost_query(benchmark, small_context, default_query):
+    coverage = small_context.coverage(default_query)
+    costs = site_costs_normal(coverage.num_sites, std=0.5, seed=13)
+    result = benchmark.pedantic(
+        lambda: solve_tops_cost(coverage, budget=5.0, site_costs=costs),
+        rounds=3,
+        iterations=1,
+    )
+    spent = float(np.sum(costs[coverage.columns_for_labels(result.sites)]))
+    assert spent <= 5.0 + 1e-9
+
+
+def test_fig07_cost_rows(benchmark, small_context):
+    rows = benchmark.pedantic(
+        lambda: fig07_cost_capacity.run_cost(small_context, std_values=(0.0, 0.5, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 7a / Fig. 9 — TOPS-COST vs site-cost std-dev")
+    # a wider cost spread lets the greedy afford more sites and more utility
+    assert rows[-1]["incg_num_sites"] >= rows[0]["incg_num_sites"]
+    assert rows[-1]["incg_utility_pct"] >= rows[0]["incg_utility_pct"] - 1e-9

@@ -1,0 +1,33 @@
+"""Benchmark E9 — Fig. 8: the TOPS2 variant (convex capture probability)."""
+
+from __future__ import annotations
+
+from repro.core.preference import ConvexProbabilityPreference
+from repro.core.query import TOPSQuery
+from repro.experiments.figures import fig08_tops2
+from repro.experiments.reporting import print_table
+
+
+def test_netclus_query_convex_preference(benchmark, small_context):
+    query = TOPSQuery(k=5, tau_km=0.8, preference=ConvexProbabilityPreference())
+    result = benchmark(lambda: small_context.run_netclus(query))
+    assert len(result.sites) == query.k
+
+
+def test_inc_greedy_query_convex_preference(benchmark, small_context):
+    query = TOPSQuery(k=5, tau_km=0.8, preference=ConvexProbabilityPreference())
+    result = benchmark(lambda: small_context.run_inc_greedy(query))
+    assert len(result.sites) == query.k
+
+
+def test_fig08_rows(benchmark, small_context):
+    rows = benchmark.pedantic(
+        lambda: fig08_tops2.run(tau_values=(0.4, 0.8), k_values=(5, 10), context=small_context),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 8 — TOPS2 (convex preference)")
+    for row in rows:
+        # NetClus stays within a reasonable band of Inc-Greedy's utility
+        assert row["netclus_utility_pct"] >= 0.7 * row["incg_utility_pct"]

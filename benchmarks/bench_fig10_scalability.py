@@ -1,0 +1,32 @@
+"""Benchmark E10 — Fig. 10: scalability with #candidate sites and #trajectories."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig10_scalability
+from repro.experiments.reporting import print_table
+
+
+def test_fig10_varying_sites(benchmark, tiny_bundle):
+    rows = benchmark.pedantic(
+        lambda: fig10_scalability.run_varying_sites(
+            tiny_bundle, site_fractions=(0.5, 1.0), k=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 10a — scalability vs #candidate sites")
+    assert rows[0]["num_sites"] < rows[1]["num_sites"]
+
+
+def test_fig10_varying_trajectories(benchmark, tiny_bundle):
+    rows = benchmark.pedantic(
+        lambda: fig10_scalability.run_varying_trajectories(
+            tiny_bundle, trajectory_fractions=(0.5, 1.0), k=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 10b — scalability vs #trajectories")
+    assert rows[0]["num_trajectories"] < rows[1]["num_trajectories"]

@@ -1,0 +1,21 @@
+"""Benchmark E11 — Fig. 11: effect of city geometries (star / mesh / polycentric)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig11_city_geometries
+from repro.experiments.reporting import print_table
+
+
+def test_fig11_rows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig11_city_geometries.run(k=5, tau_km=0.8, num_trajectories=150, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 11 — effect of city geometries")
+    by_city = {row["city"]: row for row in rows}
+    assert set(by_city) == {"NYK", "ATL", "BNG"}
+    # the paper's shape: the polycentric city (Bangalore) yields the highest
+    # utility, the mesh city (Atlanta) the lowest
+    assert by_city["BNG"]["incg_utility_pct"] >= by_city["ATL"]["incg_utility_pct"]

@@ -1,0 +1,25 @@
+"""Benchmark E12 — Fig. 12: effect of trajectory length."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig12_traj_length
+from repro.experiments.reporting import print_table
+
+
+def test_fig12_rows(benchmark, tiny_bundle):
+    rows = benchmark.pedantic(
+        lambda: fig12_traj_length.run(
+            length_bands_km=((1.0, 3.0), (3.0, 5.0), (5.0, 8.0)),
+            num_per_band=60,
+            bundle=tiny_bundle,
+            k=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Fig. 12 — effect of trajectory length")
+    assert len(rows) >= 2
+    # longer trajectories are easier to cover: utility is (weakly) increasing
+    utilities = [row["incg_utility_pct"] for row in rows]
+    assert utilities[-1] >= utilities[0] - 5.0

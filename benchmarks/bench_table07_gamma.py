@@ -1,0 +1,46 @@
+"""Benchmark E1 — Table 7: effect of the index-resolution parameter γ.
+
+Measures the offline NetClus construction (the cost that γ controls) and
+regenerates the build-time / index-size / error rows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table07_gamma
+from repro.experiments.reporting import print_table
+
+
+def test_netclus_build_gamma_075(benchmark, tiny_bundle):
+    """Offline index construction at the paper's chosen γ = 0.75."""
+    problem = tiny_bundle.problem()
+    problem.detour_matrix()  # pre-warm the flat oracle so only the build is timed
+
+    def build():
+        return problem.build_netclus_index(gamma=0.75, tau_min_km=0.4, tau_max_km=4.0)
+
+    index = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert index.num_instances >= 1
+
+
+def test_netclus_build_gamma_025_is_larger(benchmark, tiny_bundle):
+    """A finer ladder (γ = 0.25) builds more instances and a bigger index."""
+    problem = tiny_bundle.problem()
+
+    def build():
+        return problem.build_netclus_index(gamma=0.25, tau_min_km=0.4, tau_max_km=4.0)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    reference = problem.build_netclus_index(gamma=1.0, tau_min_km=0.4, tau_max_km=4.0)
+    assert index.num_instances > reference.num_instances
+    assert index.storage_bytes() >= reference.storage_bytes()
+
+
+def test_table07_rows(benchmark, tiny_bundle):
+    rows = benchmark.pedantic(
+        lambda: table07_gamma.run(gamma_values=(0.5, 0.75, 1.0), bundle=tiny_bundle),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Table 7 — variation across index resolution γ")
+    assert len(rows) == 3

@@ -1,0 +1,56 @@
+"""Benchmark E13 — Table 10: dynamic index update cost."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table10_updates
+from repro.experiments.reporting import print_table
+from repro.trajectory.generators import CommuterModel
+from repro.trajectory.model import Trajectory
+
+
+def test_single_trajectory_addition(benchmark, small_context):
+    """Adding one trajectory touches every instance of the index."""
+    index = small_context.netclus
+    model = CommuterModel(small_context.bundle.network, seed=777)
+    generated = model.generate(200)
+    counter = {"next": max(index._trajectory_ids) + 1}
+
+    def add_one():
+        trajectory = generated[counter["next"] % 200]
+        relabeled = Trajectory(
+            traj_id=counter["next"],
+            nodes=trajectory.nodes,
+            cumulative_km=trajectory.cumulative_km,
+        )
+        counter["next"] += 1
+        index.add_trajectory(relabeled)
+
+    benchmark.pedantic(add_one, rounds=50, iterations=1)
+
+
+def test_single_site_addition(benchmark, small_context):
+    """Adding one candidate site touches a single cluster per instance."""
+    index = small_context.netclus
+    nodes = [n for n in small_context.bundle.network.node_ids()]
+    counter = {"i": 0}
+
+    def add_one():
+        node = nodes[counter["i"] % len(nodes)]
+        counter["i"] += 1
+        index.add_site(node)
+
+    benchmark.pedantic(add_one, rounds=50, iterations=1)
+
+
+def test_table10_rows(benchmark, tiny_bundle):
+    rows = benchmark.pedantic(
+        lambda: table10_updates.run(batch_sizes=(20, 40, 80), bundle=tiny_bundle),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Table 10 — index update cost (batched additions)")
+    # trajectory additions are costlier than site additions (paper's finding)
+    totals_traj = sum(row["trajectory_add_s"] for row in rows)
+    totals_site = sum(row["site_add_s"] for row in rows)
+    assert totals_traj >= totals_site * 0.5

@@ -1,0 +1,26 @@
+"""Benchmark E15 — Table 12: the Jaccard-similarity clustering alternative."""
+
+from __future__ import annotations
+
+from repro.core.jaccard import jaccard_clustering
+from repro.experiments.figures import table12_jaccard
+from repro.experiments.reporting import print_table
+
+
+def test_jaccard_clustering_default_tau(benchmark, small_context, default_query):
+    coverage = small_context.coverage(default_query)
+    result = benchmark.pedantic(
+        lambda: jaccard_clustering(coverage, alpha=0.8), rounds=3, iterations=1
+    )
+    assert result.num_clusters >= 1
+
+
+def test_table12_rows(benchmark, small_context):
+    rows = benchmark.pedantic(
+        lambda: table12_jaccard.run(tau_values=(0.2, 0.4, 0.8), context=small_context),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(rows, title="Table 12 — Jaccard clustering vs τ (α = 0.8)")
+    assert len(rows) == 3

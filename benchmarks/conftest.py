@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) at a laptop-friendly scale and measures the
+operation that dominates that experiment.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to also see the regenerated rows printed by each module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import TOPSQuery
+from repro.datasets import beijing_like, beijing_small_like
+from repro.experiments.runner import build_context
+
+
+@pytest.fixture(scope="session")
+def tiny_context():
+    """Experiment context over the tiny Beijing-like dataset."""
+    return build_context(scale="tiny", seed=42, tau_max_km=4.0)
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    """Experiment context over the small Beijing-like dataset (default scale)."""
+    return build_context(scale="small", seed=42, tau_max_km=8.0)
+
+
+@pytest.fixture(scope="session")
+def beijing_small_context():
+    """Context over the Beijing-Small analogue used for the optimal comparison."""
+    bundle = beijing_small_like(num_trajectories=80, num_sites=20, seed=42)
+    return build_context(bundle=bundle, tau_max_km=4.0)
+
+
+@pytest.fixture(scope="session")
+def default_query():
+    """The paper's default query: k = 5, τ = 0.8 km, binary preference."""
+    return TOPSQuery(k=5, tau_km=0.8)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """The tiny Beijing-like bundle for drivers that need raw data."""
+    return beijing_like(scale="tiny", seed=42)

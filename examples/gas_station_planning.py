@@ -1,0 +1,87 @@
+"""Gas-station planning across city geometries (the paper's motivating scenario).
+
+A fuel retailer wants to open k stations that intercept as many commuter
+trips as possible.  This example:
+
+1. builds three synthetic cities with different topologies (star, mesh,
+   polycentric — the paper's New York / Atlanta / Bangalore comparison);
+2. compares trajectory-aware placement (Inc-Greedy / NetClus) against the
+   naive "put stations at the busiest intersections" heuristic from the
+   paper's introduction (Fig. 1);
+3. studies how the tolerated detour τ changes the answer.
+
+Run with::
+
+    python examples/gas_station_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import TOPSQuery
+from repro.core.baselines import random_sites, top_k_by_traffic
+from repro.core.greedy import IncGreedy
+from repro.datasets import atlanta_like, bangalore_like, new_york_like
+from repro.experiments.reporting import print_table
+
+
+def main() -> None:
+    cities = {
+        "New York (star)": new_york_like(num_trajectories=250, seed=11),
+        "Atlanta (mesh)": atlanta_like(num_trajectories=250, seed=11),
+        "Bangalore (polycentric)": bangalore_like(num_trajectories=250, seed=11),
+    }
+    query = TOPSQuery(k=5, tau_km=0.8)
+
+    rows = []
+    for name, bundle in cities.items():
+        problem = bundle.problem()
+        coverage = problem.coverage(query)
+
+        greedy = IncGreedy(coverage).solve(query)
+        busiest = top_k_by_traffic(coverage, query)
+        random_pick = random_sites(coverage, query, seed=1)
+        index = problem.build_netclus_index(tau_min_km=0.4, tau_max_km=6.0)
+        netclus = index.query(query)
+
+        rows.append(
+            {
+                "city": name,
+                "nodes": bundle.num_nodes,
+                "inc_greedy_pct": problem.utility_percent(greedy.sites, query),
+                "netclus_pct": problem.utility_percent(netclus.sites, query),
+                "busiest_nodes_pct": problem.utility_percent(busiest.sites, query),
+                "random_pct": problem.utility_percent(random_pick.sites, query),
+            }
+        )
+    print_table(
+        rows,
+        title=f"Gas-station placement, k={query.k}, tolerated detour τ={query.tau_km} km",
+        precision=1,
+    )
+    print()
+    print("Trajectory-aware placement (Inc-Greedy / NetClus) beats the busiest-")
+    print("intersection heuristic because the busiest intersections tend to serve")
+    print("the same trips; covering *distinct* trajectories is what matters.")
+
+    # effect of the tolerated detour in one city
+    bundle = cities["Bangalore (polycentric)"]
+    problem = bundle.problem()
+    index = problem.build_netclus_index(tau_min_km=0.4, tau_max_km=6.0)
+    tau_rows = []
+    for tau in (0.4, 0.8, 1.6, 3.2):
+        tau_query = TOPSQuery(k=5, tau_km=tau)
+        result = index.query(tau_query)
+        tau_rows.append(
+            {
+                "tau_km": tau,
+                "netclus_pct": problem.utility_percent(result.sites, tau_query),
+                "index_instance": result.metadata["instance_id"],
+                "clusters_used": result.metadata["num_clusters"],
+            }
+        )
+    print()
+    print_table(tau_rows, title="Bangalore: utility vs tolerated detour (NetClus)", precision=1)
+
+
+if __name__ == "__main__":
+    main()

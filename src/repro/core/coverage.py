@@ -1,0 +1,137 @@
+"""Coverage structures: TC, SC, site weights and preference-score matrices.
+
+At query time (when τ and ψ become known) Inc-Greedy needs, per Section 3.2:
+
+* ``TC(s_i)`` — the trajectories covered by site ``s_i`` (detour ≤ τ);
+* ``SC(T_j)`` — the sites covering trajectory ``T_j``;
+* the site weights ``w_i = Σ_j ψ(T_j, s_i)``.
+
+:class:`CoverageIndex` materialises these from a detour matrix.  The same
+class is reused by NetClus for the *clustered* space, where the "sites" are
+cluster representatives and the detours are the estimates ``d̂r``; this keeps
+one greedy implementation for both the flat and the clustered problem.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.preference import PreferenceFunction
+from repro.utils.validation import require
+
+__all__ = ["CoverageIndex"]
+
+
+class CoverageIndex:
+    """Preference scores, covering sets and site weights for one (τ, ψ).
+
+    Parameters
+    ----------
+    detours:
+        ``(m, n)`` matrix of (possibly estimated) round-trip detours from each
+        trajectory (row) to each site (column); ``inf`` for unreachable.
+    tau_km:
+        Coverage threshold.
+    preference:
+        Preference function ψ.
+    site_labels:
+        Length-``n`` site identifiers (node ids of candidate sites or cluster
+        representatives).  Defaults to ``0..n-1``.
+    trajectory_ids:
+        Length-``m`` trajectory identifiers.  Defaults to ``0..m-1``.
+    trajectory_weights:
+        Optional per-trajectory multiplicities (all 1 by default); NetClus
+        does not need them but they allow weighted workloads.
+    """
+
+    def __init__(
+        self,
+        detours: np.ndarray,
+        tau_km: float,
+        preference: PreferenceFunction,
+        site_labels: Sequence[int] | None = None,
+        trajectory_ids: Sequence[int] | None = None,
+        trajectory_weights: np.ndarray | None = None,
+    ) -> None:
+        detours = np.asarray(detours, dtype=np.float64)
+        require(detours.ndim == 2, "detours must be a 2-D matrix")
+        self.num_trajectories, self.num_sites = detours.shape
+        self.tau_km = float(tau_km)
+        self.preference = preference
+        self.detours = detours
+        if site_labels is None:
+            site_labels = list(range(self.num_sites))
+        if trajectory_ids is None:
+            trajectory_ids = list(range(self.num_trajectories))
+        require(len(site_labels) == self.num_sites, "site_labels length mismatch")
+        require(
+            len(trajectory_ids) == self.num_trajectories, "trajectory_ids length mismatch"
+        )
+        self.site_labels = np.asarray(site_labels, dtype=np.int64)
+        self.trajectory_ids = np.asarray(trajectory_ids, dtype=np.int64)
+        if trajectory_weights is None:
+            self.trajectory_weights = np.ones(self.num_trajectories, dtype=np.float64)
+        else:
+            require(
+                len(trajectory_weights) == self.num_trajectories,
+                "trajectory_weights length mismatch",
+            )
+            self.trajectory_weights = np.asarray(trajectory_weights, dtype=np.float64)
+
+        # ψ scores: 0 beyond τ by construction of PreferenceFunction.__call__
+        with np.errstate(invalid="ignore"):
+            finite = np.where(np.isfinite(detours), detours, np.inf)
+        self.scores = np.asarray(preference(finite, self.tau_km), dtype=np.float64)
+        self.scores = self.scores * self.trajectory_weights[:, np.newaxis]
+        self._covered_mask = (finite <= self.tau_km) & (self.scores != 0.0)
+        # the binary preference gives score 1 everywhere within τ, including
+        # exactly-zero detours; keep those in the mask
+        self._covered_mask |= finite <= self.tau_km
+
+    # ------------------------------------------------------------------ #
+    @property
+    def site_weights(self) -> np.ndarray:
+        """``w_i = Σ_j ψ(T_j, s_i)`` for every site column."""
+        return self.scores.sum(axis=0)
+
+    def trajectories_covered(self, site_column: int) -> np.ndarray:
+        """Row indices of trajectories covered by the site in *site_column* (TC)."""
+        return np.flatnonzero(self._covered_mask[:, site_column])
+
+    def sites_covering(self, trajectory_row: int) -> np.ndarray:
+        """Column indices of sites covering the trajectory in *trajectory_row* (SC)."""
+        return np.flatnonzero(self._covered_mask[trajectory_row, :])
+
+    def covered_pairs(self) -> int:
+        """Total number of (trajectory, site) covered pairs — the |TC| mass."""
+        return int(self._covered_mask.sum())
+
+    def coverage_mask(self) -> np.ndarray:
+        """Boolean ``(m, n)`` coverage mask (copy)."""
+        return self._covered_mask.copy()
+
+    # ------------------------------------------------------------------ #
+    def utility_of(self, site_columns: Sequence[int]) -> float:
+        """Utility ``U(Q)`` of the sites given by their column indices."""
+        if len(site_columns) == 0:
+            return 0.0
+        return float(np.sum(np.max(self.scores[:, list(site_columns)], axis=1)))
+
+    def per_trajectory_utility(self, site_columns: Sequence[int]) -> np.ndarray:
+        """Per-trajectory utility under the given site columns."""
+        if len(site_columns) == 0:
+            return np.zeros(self.num_trajectories)
+        return np.max(self.scores[:, list(site_columns)], axis=1)
+
+    def columns_for_labels(self, labels: Sequence[int]) -> list[int]:
+        """Map site labels (node ids) back to column indices."""
+        label_to_col = {int(label): idx for idx, label in enumerate(self.site_labels)}
+        return [label_to_col[int(label)] for label in labels]
+
+    def storage_bytes(self) -> int:
+        """Bytes held by the coverage structures (memory-footprint study)."""
+        return int(
+            self.detours.nbytes + self.scores.nbytes + self._covered_mask.nbytes
+        )

@@ -1,0 +1,135 @@
+"""FM-sketch accelerated greedy (FMG, Section 3.5).
+
+For the *binary* instance of TOPS, selecting the site with the largest
+marginal utility is equivalent to selecting the site covering the largest
+number of not-yet-covered trajectories.  FMG therefore keeps one FM sketch
+family per site summarising its trajectory cover ``TC(s_i)``; the marginal
+utility of a site given the already-selected set is estimated as
+
+``estimate(union(covered_sketch, TC_sketch(s_i))) − estimate(covered_sketch)``
+
+which needs only bitwise ORs of 32-bit words instead of set operations.
+
+Implementation note: the paper scans sites in decreasing standalone-utility
+order and stops early once the standalone utility cannot beat the best
+marginal seen so far.  In this NumPy implementation all per-site unions and
+estimates for one greedy iteration are evaluated in a single vectorised pass
+over an ``(n, f)`` ``uint32`` bit matrix, which is faster than any early
+termination in Python and preserves the same selections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coverage import CoverageIndex
+from repro.core.query import TOPSQuery, TOPSResult
+from repro.sketch.fm import FMSketchFamily
+from repro.utils.timer import Timer
+from repro.utils.validation import require
+
+__all__ = ["FMGreedy"]
+
+_PHI = 0.77351
+_WORD_BITS = 32
+
+
+def _estimate_rows(bits: np.ndarray) -> np.ndarray:
+    """Vectorised FM estimate for each row of an ``(n, f)`` uint32 bit matrix."""
+    inverted = (~bits).astype(np.uint32)
+    isolated = inverted & (-inverted.astype(np.int64)).astype(np.uint32)
+    lowest_unset = np.full(bits.shape, float(_WORD_BITS))
+    nonzero = isolated != 0
+    lowest_unset[nonzero] = np.log2(isolated[nonzero])
+    return np.power(2.0, lowest_unset.mean(axis=1)) / _PHI
+
+
+class FMGreedy:
+    """FM-sketch greedy solver for the binary TOPS instance.
+
+    Parameters
+    ----------
+    coverage:
+        Coverage index built with a binary preference (``is_binary`` must be
+        true).
+    num_sketches:
+        Number of FM sketch copies ``f`` (Table 8 studies this parameter).
+    """
+
+    algorithm_name = "fm-greedy"
+
+    def __init__(self, coverage: CoverageIndex, num_sketches: int = 30) -> None:
+        require(
+            getattr(coverage.preference, "is_binary", False),
+            "FMGreedy requires a binary preference function (TOPS1)",
+        )
+        self.coverage = coverage
+        self.num_sketches = num_sketches
+        self._bits = self._build_site_bit_matrix()
+
+    def _build_site_bit_matrix(self) -> np.ndarray:
+        """One FM sketch family per site, stacked into an ``(n, f)`` matrix."""
+        bits = np.zeros((self.coverage.num_sites, self.num_sketches), dtype=np.uint32)
+        families: dict[int, FMSketchFamily] = {}
+        # pre-hash each trajectory id once into a reusable one-item family
+        for col in range(self.coverage.num_sites):
+            covered = self.coverage.trajectories_covered(col)
+            for row in covered:
+                traj_id = int(self.coverage.trajectory_ids[row])
+                family = families.get(traj_id)
+                if family is None:
+                    family = FMSketchFamily.from_items([traj_id], self.num_sketches)
+                    families[traj_id] = family
+                bits[col] |= family.bits
+        return bits
+
+    # ------------------------------------------------------------------ #
+    def select(self, k: int) -> tuple[list[int], float, list[float]]:
+        """Select *k* site columns; returns (columns, estimated utility, gains)."""
+        require(k >= 1, "k must be >= 1")
+        covered_bits = np.zeros(self.num_sketches, dtype=np.uint32)
+        covered_estimate = 0.0
+        selected: list[int] = []
+        gains: list[float] = []
+        blocked = np.zeros(self.coverage.num_sites, dtype=bool)
+        for _ in range(min(k, self.coverage.num_sites)):
+            unions = np.bitwise_or(self._bits, covered_bits[np.newaxis, :])
+            estimates = _estimate_rows(unions)
+            marginal = estimates - covered_estimate
+            marginal[blocked] = -np.inf
+            best = int(np.argmax(marginal))
+            if not np.isfinite(marginal[best]):
+                break
+            selected.append(best)
+            blocked[best] = True
+            gains.append(float(marginal[best]))
+            covered_bits = np.bitwise_or(covered_bits, self._bits[best])
+            covered_estimate = float(
+                _estimate_rows(covered_bits[np.newaxis, :])[0]
+            )
+        return selected, covered_estimate, gains
+
+    # ------------------------------------------------------------------ #
+    def solve(self, query: TOPSQuery) -> TOPSResult:
+        """Run FM-greedy; the reported utility is the *exact* utility of the
+        selected sites (the sketch only guides the selection)."""
+        with Timer() as timer:
+            columns, estimated, gains = self.select(query.k)
+        utilities = self.coverage.per_trajectory_utility(columns)
+        sites = tuple(int(self.coverage.site_labels[c]) for c in columns)
+        return TOPSResult(
+            sites=sites,
+            utility=float(np.sum(utilities)),
+            per_trajectory_utility=tuple(float(u) for u in utilities),
+            elapsed_seconds=timer.elapsed,
+            algorithm=self.algorithm_name,
+            metadata={
+                "estimated_utility": float(estimated),
+                "num_sketches": self.num_sketches,
+                "marginal_gains": gains,
+            },
+        )
+
+    def storage_bytes(self) -> int:
+        """Bytes held by the per-site sketches (4 bytes per copy per site)."""
+        return int(self._bits.nbytes)

@@ -1,0 +1,270 @@
+"""Inc-Greedy: the (1 − 1/e) greedy heuristic for TOPS (Section 3.3).
+
+Inc-Greedy maximises the monotone submodular utility by repeatedly adding the
+site with the largest marginal gain.  Two equivalent evaluation strategies are
+provided:
+
+* ``update_strategy="incremental"`` — the paper's Algorithm 1: per-site
+  marginal utilities ``U_θ(s_i)`` and per-pair residual gains ``α_ji`` are
+  maintained and updated only for the trajectories covered by the newly
+  selected site (and the sites covering those trajectories);
+* ``update_strategy="recompute"`` — each iteration recomputes all marginal
+  gains as ``Σ_j max(0, ψ(T_j, s_i) − U_j)`` with one vectorised NumPy pass.
+
+Both are ``O(k·m·n)`` in the worst case and return identical selections
+(ties broken by site weight, then by the larger site label, per the paper).
+The class also supports an initial seed of *existing services* (Section 7.3)
+and per-site capacities (used by the TOPS-CAPACITY driver in
+``repro.core.variants``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.coverage import CoverageIndex
+from repro.core.query import TOPSQuery, TOPSResult
+from repro.utils.timer import Timer
+from repro.utils.validation import require
+
+__all__ = ["IncGreedy", "greedy_max_coverage_columns"]
+
+
+class IncGreedy:
+    """Greedy TOPS solver operating on a :class:`CoverageIndex`.
+
+    Parameters
+    ----------
+    coverage:
+        The coverage structures built for the query's (τ, ψ).
+    update_strategy:
+        ``"incremental"`` (Algorithm 1 of the paper) or ``"recompute"``.
+    """
+
+    algorithm_name = "inc-greedy"
+
+    def __init__(self, coverage: CoverageIndex, update_strategy: str = "incremental") -> None:
+        require(
+            update_strategy in ("incremental", "recompute"),
+            "update_strategy must be 'incremental' or 'recompute'",
+        )
+        self.coverage = coverage
+        self.update_strategy = update_strategy
+
+    # ------------------------------------------------------------------ #
+    def select(
+        self,
+        k: int,
+        existing_columns: Sequence[int] = (),
+        capacities: np.ndarray | None = None,
+    ) -> tuple[list[int], np.ndarray, list[float]]:
+        """Select *k* site columns greedily.
+
+        Parameters
+        ----------
+        k:
+            Number of sites to add (on top of any existing services).
+        existing_columns:
+            Columns of already-operating services (Section 7.3); they seed the
+            per-trajectory utilities but are not re-selected nor counted in k.
+        capacities:
+            Optional per-site capacities (max number of trajectories a site
+            may serve).  When provided, a site's marginal utility is the sum
+            of its largest ``cap`` per-trajectory gains (Section 7.2).
+
+        Returns
+        -------
+        (selected_columns, per_trajectory_utility, marginal_gains)
+        """
+        require(k >= 1, "k must be >= 1")
+        scores = self.coverage.scores
+        num_trajectories, num_sites = scores.shape
+        utilities = np.zeros(num_trajectories, dtype=np.float64)
+        if existing_columns:
+            utilities = np.max(scores[:, list(existing_columns)], axis=1)
+        forbidden = set(int(c) for c in existing_columns)
+
+        if self.update_strategy == "recompute" or capacities is not None:
+            return self._select_recompute(k, utilities, forbidden, capacities)
+        return self._select_incremental(k, utilities, forbidden)
+
+    # ------------------------------------------------------------------ #
+    def _select_recompute(
+        self,
+        k: int,
+        utilities: np.ndarray,
+        forbidden: set[int],
+        capacities: np.ndarray | None,
+    ) -> tuple[list[int], np.ndarray, list[float]]:
+        scores = self.coverage.scores
+        weights = self.coverage.site_weights
+        num_sites = scores.shape[1]
+        selected: list[int] = []
+        gains: list[float] = []
+        for _ in range(min(k, num_sites - len(forbidden))):
+            residual = np.maximum(scores - utilities[:, np.newaxis], 0.0)
+            if capacities is None:
+                marginal = residual.sum(axis=0)
+            else:
+                marginal = _capacity_limited_marginals(residual, capacities)
+            if forbidden:
+                marginal[list(forbidden)] = -np.inf
+            best = _argmax_with_tie_break(marginal, weights)
+            if marginal[best] <= 0.0 and selected:
+                break
+            selected.append(int(best))
+            forbidden.add(int(best))
+            gains.append(float(marginal[best]))
+            if capacities is None:
+                utilities = np.maximum(utilities, scores[:, best])
+            else:
+                utilities = _apply_capacity_assignment(
+                    utilities, scores[:, best], int(capacities[best])
+                )
+        return selected, utilities, gains
+
+    # ------------------------------------------------------------------ #
+    def _select_incremental(
+        self, k: int, utilities: np.ndarray, forbidden: set[int]
+    ) -> tuple[list[int], np.ndarray, list[float]]:
+        """Algorithm 1 of the paper with α_ji maintained implicitly.
+
+        ``alpha[j, i] = max(0, ψ(T_j, s_i) − U_j)`` is represented by the
+        current ``utilities`` vector; per-site marginal utilities are kept in
+        ``marginal`` and decremented when a covered trajectory's utility
+        improves.
+        """
+        scores = self.coverage.scores
+        weights = self.coverage.site_weights
+        num_trajectories, num_sites = scores.shape
+        # U_1(s_i) = w_i adjusted for any existing-service seed utilities
+        marginal = np.maximum(scores - utilities[:, np.newaxis], 0.0).sum(axis=0)
+        selected: list[int] = []
+        gains: list[float] = []
+        for _ in range(min(k, num_sites - len(forbidden))):
+            masked = marginal.copy()
+            if forbidden:
+                masked[list(forbidden)] = -np.inf
+            best = _argmax_with_tie_break(masked, weights)
+            best_gain = float(masked[best])
+            if best_gain <= 0.0 and selected:
+                break
+            selected.append(int(best))
+            forbidden.add(int(best))
+            gains.append(best_gain)
+            covered = self.coverage.trajectories_covered(best)
+            if len(covered) == 0:
+                continue
+            new_util = scores[covered, best]
+            improved_mask = new_util > utilities[covered]
+            improved = covered[improved_mask]
+            if len(improved) == 0:
+                continue
+            old_values = utilities[improved]
+            new_values = scores[improved, best]
+            # update marginal utility of every site covering an improved
+            # trajectory: its residual gain for T_j drops from
+            # max(0, ψ_ji − old) to max(0, ψ_ji − new)
+            affected_scores = scores[improved, :]
+            old_alpha = np.maximum(affected_scores - old_values[:, np.newaxis], 0.0)
+            new_alpha = np.maximum(affected_scores - new_values[:, np.newaxis], 0.0)
+            marginal -= (old_alpha - new_alpha).sum(axis=0)
+            utilities[improved] = new_values
+        return selected, utilities, gains
+
+    # ------------------------------------------------------------------ #
+    def solve(self, query: TOPSQuery, existing_sites: Sequence[int] = ()) -> TOPSResult:
+        """Run the greedy selection and wrap it in a :class:`TOPSResult`.
+
+        *existing_sites* are site labels (node ids) of already-operating
+        services; they must be present among the coverage index's sites.
+        """
+        with Timer() as timer:
+            existing_columns = (
+                self.coverage.columns_for_labels(existing_sites) if existing_sites else []
+            )
+            columns, utilities, gains = self.select(
+                query.k, existing_columns=existing_columns
+            )
+        sites = tuple(int(self.coverage.site_labels[c]) for c in columns)
+        return TOPSResult(
+            sites=sites,
+            utility=float(np.sum(utilities)),
+            per_trajectory_utility=tuple(float(u) for u in utilities),
+            elapsed_seconds=timer.elapsed,
+            algorithm=self.algorithm_name,
+            metadata={"marginal_gains": gains, "update_strategy": self.update_strategy},
+        )
+
+
+# ---------------------------------------------------------------------- #
+def greedy_max_coverage_columns(
+    scores: np.ndarray, k: int
+) -> tuple[list[int], np.ndarray]:
+    """Standalone greedy max-coverage used by baselines and tests.
+
+    Selects *k* columns of the ``(m, n)`` score matrix maximising
+    ``Σ_j max_{i in Q} scores[j, i]`` greedily; returns the chosen columns and
+    the final per-row utilities.
+    """
+    utilities = np.zeros(scores.shape[0])
+    chosen: list[int] = []
+    available = set(range(scores.shape[1]))
+    for _ in range(min(k, scores.shape[1])):
+        residual = np.maximum(scores - utilities[:, np.newaxis], 0.0)
+        marginal = residual.sum(axis=0)
+        marginal[[c for c in range(scores.shape[1]) if c not in available]] = -np.inf
+        best = int(np.argmax(marginal))
+        chosen.append(best)
+        available.discard(best)
+        utilities = np.maximum(utilities, scores[:, best])
+    return chosen, utilities
+
+
+def _argmax_with_tie_break(marginal: np.ndarray, weights: np.ndarray) -> int:
+    """Paper's tie-break: largest marginal, then largest weight, then largest index."""
+    best_gain = np.max(marginal)
+    candidates = np.flatnonzero(marginal == best_gain)
+    if len(candidates) == 1:
+        return int(candidates[0])
+    candidate_weights = weights[candidates]
+    best_weight = np.max(candidate_weights)
+    heaviest = candidates[candidate_weights == best_weight]
+    return int(heaviest.max())
+
+
+def _capacity_limited_marginals(residual: np.ndarray, capacities: np.ndarray) -> np.ndarray:
+    """Marginal utility when each site can serve at most ``cap`` trajectories.
+
+    For every site column, sum its largest ``cap`` residual gains
+    (Section 7.2: α_i = min(|TC|, cap) largest marginal utilities).
+    """
+    num_trajectories, num_sites = residual.shape
+    marginal = np.empty(num_sites)
+    for col in range(num_sites):
+        cap = int(capacities[col])
+        if cap <= 0:
+            marginal[col] = 0.0
+            continue
+        column = residual[:, col]
+        if cap >= num_trajectories:
+            marginal[col] = column.sum()
+        else:
+            top = np.partition(column, num_trajectories - cap)[num_trajectories - cap :]
+            marginal[col] = top.sum()
+    return marginal
+
+
+def _apply_capacity_assignment(
+    utilities: np.ndarray, site_scores: np.ndarray, capacity: int
+) -> np.ndarray:
+    """Serve the ``capacity`` trajectories with the largest gains from a new site."""
+    gains = np.maximum(site_scores - utilities, 0.0)
+    if capacity >= len(gains):
+        return np.maximum(utilities, site_scores)
+    served = np.argsort(gains)[::-1][:capacity]
+    updated = utilities.copy()
+    updated[served] = np.maximum(updated[served], site_scores[served])
+    return updated

@@ -1,0 +1,635 @@
+"""NetClus: the multi-resolution clustering index and its query algorithm.
+
+Offline phase (Section 4)
+-------------------------
+For a ladder of cluster radii ``R_p = (1+γ)^p · R_0`` with ``R_0 = τ_min/4``
+and ``t = ⌊log_{1+γ}(τ_max/τ_min)⌋ + 1`` instances, the road network is
+partitioned by Greedy-GDSP into clusters of round-trip radius at most
+``2 R_p``.  Every cluster stores
+
+1. its center ``c_i``,
+2. its representative ``r_i`` — the candidate site closest to the center,
+3. the trajectory list ``T L(g_i) = {⟨T_j, dr(T_j, c_i)⟩}`` of trajectories
+   passing through the cluster,
+4. its neighbour list ``CL(g_i)`` — clusters whose centers are within
+   round-trip distance ``4 R_p (1+γ)``,
+5. its member nodes with their round-trip distance to the center.
+
+Trajectories are thereby stored as (deduplicated) sequences of clusters — the
+compressed representation that gives NetClus its small footprint.
+
+Online phase (Section 5)
+------------------------
+Given a query (k, τ, ψ), the instance ``p = ⌊log_{1+γ}(τ/τ_min)⌋`` (clamped)
+is selected so that ``4R_p ≤ τ < 4R_p(1+γ)``.  For every cluster
+representative the detour to a trajectory is *estimated* as
+``d̂r(T_j, r_i) = dr(T_j, c_j) + dr(c_j, c_i) + dr(c_i, r_i)`` using only
+information stored offline, the approximate covers ``T̂C`` are formed, and
+Inc-Greedy (or FM-greedy for the binary instance) runs over the cluster
+representatives.
+
+Dynamic updates (Section 6) — addition/deletion of candidate sites and
+trajectories — modify the affected clusters of every instance in place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.coverage import CoverageIndex
+from repro.core.fm_greedy import FMGreedy
+from repro.core.gdsp import GDSPResult, GreedyGDSP
+from repro.core.greedy import IncGreedy
+from repro.core.query import TOPSQuery, TOPSResult
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import ShortestPathEngine
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+from repro.utils.timer import Timer
+from repro.utils.validation import require, require_positive
+
+__all__ = ["NetClusCluster", "NetClusInstance", "NetClusIndex"]
+
+
+@dataclass
+class NetClusCluster:
+    """All per-cluster information stored by a NetClus index instance."""
+
+    cluster_id: int
+    center: int
+    nodes: dict[int, float]  # node -> round-trip distance to center
+    representative: int | None = None
+    representative_round_trip_km: float = math.inf
+    trajectory_list: dict[int, float] = field(default_factory=dict)  # traj_id -> dr(T, c_i)
+    neighbors: list[tuple[int, float]] = field(default_factory=list)  # (cluster_id, dr(c_i, c_j))
+
+    @property
+    def has_representative(self) -> bool:
+        """Whether the cluster contains at least one candidate site."""
+        return self.representative is not None
+
+    @property
+    def num_trajectories(self) -> int:
+        """|T L(g_i)| — trajectories passing through the cluster."""
+        return len(self.trajectory_list)
+
+
+class NetClusInstance:
+    """One clustering resolution ``I_p`` of the NetClus index."""
+
+    def __init__(
+        self,
+        instance_id: int,
+        radius_km: float,
+        gamma: float,
+        clusters: list[NetClusCluster],
+        node_to_cluster: dict[int, int],
+        build_seconds: float = 0.0,
+        mean_dominating_set_size: float = 0.0,
+    ) -> None:
+        self.instance_id = instance_id
+        self.radius_km = radius_km
+        self.gamma = gamma
+        self.clusters = clusters
+        self.node_to_cluster = node_to_cluster
+        self.build_seconds = build_seconds
+        self.mean_dominating_set_size = mean_dominating_set_size
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_clusters(self) -> int:
+        """η_p — number of clusters in this instance."""
+        return len(self.clusters)
+
+    @property
+    def tau_range(self) -> tuple[float, float]:
+        """The half-open range of coverage thresholds this instance serves."""
+        return 4.0 * self.radius_km, 4.0 * self.radius_km * (1.0 + self.gamma)
+
+    def representatives(self) -> list[NetClusCluster]:
+        """Clusters that have a representative candidate site."""
+        return [cluster for cluster in self.clusters if cluster.has_representative]
+
+    def cluster_of_node(self, node: int) -> NetClusCluster:
+        """Return the cluster containing *node*."""
+        return self.clusters[self.node_to_cluster[node]]
+
+    def mean_trajectory_list_size(self) -> float:
+        """Average |T L| across clusters (Table 11)."""
+        if not self.clusters:
+            return 0.0
+        return float(np.mean([c.num_trajectories for c in self.clusters]))
+
+    def mean_neighbor_count(self) -> float:
+        """Average |CL| across clusters (Table 11)."""
+        if not self.clusters:
+            return 0.0
+        return float(np.mean([len(c.neighbors) for c in self.clusters]))
+
+    # ------------------------------------------------------------------ #
+    def estimated_detours(
+        self, trajectory_rows: dict[int, int], tau_km: float
+    ) -> tuple[np.ndarray, list[int], list[int]]:
+        """Build the estimated-detour matrix of the clustered space.
+
+        Parameters
+        ----------
+        trajectory_rows:
+            Mapping ``traj_id -> row`` fixing the row order of the matrix.
+        tau_km:
+            Coverage threshold; used only to skip neighbours whose centers are
+            already farther than τ (their estimates cannot qualify).
+
+        Returns
+        -------
+        (detours, representative_sites, representative_cluster_ids)
+            ``detours`` has shape ``(len(trajectory_rows), #representatives)``
+            with ``inf`` where no estimate is available.
+        """
+        reps = self.representatives()
+        rep_sites = [cluster.representative for cluster in reps]
+        rep_cluster_ids = [cluster.cluster_id for cluster in reps]
+        detours = np.full((len(trajectory_rows), len(reps)), np.inf)
+
+        # pre-extract each cluster's trajectory list as (row indices, legs)
+        # arrays once, so the per-representative work below is pure NumPy
+        cluster_rows: list[np.ndarray] = []
+        cluster_legs: list[np.ndarray] = []
+        for cluster in self.clusters:
+            rows: list[int] = []
+            legs: list[float] = []
+            for traj_id, leg in cluster.trajectory_list.items():
+                row = trajectory_rows.get(traj_id)
+                if row is not None:
+                    rows.append(row)
+                    legs.append(leg)
+            cluster_rows.append(np.asarray(rows, dtype=np.int64))
+            cluster_legs.append(np.asarray(legs, dtype=np.float64))
+
+        for col, cluster in enumerate(reps):
+            rep_leg = cluster.representative_round_trip_km
+            column = detours[:, col]
+            # the cluster itself plus its neighbours contribute trajectories
+            sources: list[tuple[int, float]] = [(cluster.cluster_id, 0.0)]
+            for neighbor_id, center_distance in cluster.neighbors:
+                if center_distance > tau_km:
+                    continue
+                sources.append((neighbor_id, center_distance))
+            for source_id, center_distance in sources:
+                rows = cluster_rows[source_id]
+                if len(rows) == 0:
+                    continue
+                estimates = cluster_legs[source_id] + center_distance + rep_leg
+                np.minimum.at(column, rows, estimates)
+        return detours, rep_sites, rep_cluster_ids
+
+    def storage_bytes(self) -> int:
+        """Approximate bytes of the per-cluster payload (Table 7 / Table 9)."""
+        total = 0
+        for cluster in self.clusters:
+            total += 16 * len(cluster.nodes)
+            total += 16 * len(cluster.trajectory_list)
+            total += 16 * len(cluster.neighbors)
+            total += 32  # center, representative, radii bookkeeping
+        return total
+
+
+class NetClusIndex:
+    """The multi-resolution NetClus index (offline structure + online query).
+
+    Build it with :meth:`build`; answer TOPS queries with :meth:`query`;
+    apply dynamic updates with :meth:`add_site`, :meth:`remove_site`,
+    :meth:`add_trajectory` and :meth:`remove_trajectory`.
+    """
+
+    algorithm_name = "netclus"
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        sites: Sequence[int],
+        instances: list[NetClusInstance],
+        tau_min_km: float,
+        tau_max_km: float,
+        gamma: float,
+        trajectory_ids: Sequence[int],
+    ) -> None:
+        self.network = network
+        self.sites = set(int(s) for s in sites)
+        self.instances = instances
+        self.tau_min_km = tau_min_km
+        self.tau_max_km = tau_max_km
+        self.gamma = gamma
+        self._trajectory_ids = list(trajectory_ids)
+
+    # ------------------------------------------------------------------ #
+    # offline construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        network: RoadNetwork,
+        dataset: TrajectoryDataset,
+        sites: Sequence[int],
+        gamma: float = 0.75,
+        tau_min_km: float = 0.4,
+        tau_max_km: float = 8.0,
+        use_fm_sketches: bool = False,
+        num_sketches: int = 30,
+        gdsp_chunk_size: int = 512,
+        max_instances: int | None = None,
+        representative_strategy: str = "closest",
+    ) -> "NetClusIndex":
+        """Construct the index (offline phase).
+
+        Parameters
+        ----------
+        network, dataset, sites:
+            The road network, map-matched trajectories, and candidate sites.
+        gamma:
+            Index resolution parameter γ (> 0): consecutive radii grow by
+            ``1 + γ``; the paper fixes 0.75 as the best space/quality balance.
+        tau_min_km, tau_max_km:
+            The supported coverage-threshold range; the paper sets these to
+            the min/max round-trip distance between candidate sites, which the
+            caller may compute and pass explicitly.
+        use_fm_sketches:
+            Run Greedy-GDSP with FM-sketch estimated coverage.
+        max_instances:
+            Optional cap on the number of index instances (testing aid).
+        representative_strategy:
+            How each cluster elects its representative site (Section 4.2):
+            ``"closest"`` — the candidate site nearest to the cluster center
+            (the paper's choice), or ``"most_frequent"`` — the candidate site
+            visited by the largest number of trajectories.
+        """
+        require_positive(gamma, "gamma")
+        require_positive(tau_min_km, "tau_min_km")
+        require(tau_max_km > tau_min_km, "tau_max_km must exceed tau_min_km")
+        require(
+            representative_strategy in ("closest", "most_frequent"),
+            "representative_strategy must be 'closest' or 'most_frequent'",
+        )
+        site_set = set(int(s) for s in sites)
+        for site in site_set:
+            require(network.has_node(site), f"site {site} is not a network node")
+
+        num_instances = int(math.floor(math.log(tau_max_km / tau_min_km, 1.0 + gamma))) + 1
+        if max_instances is not None:
+            num_instances = min(num_instances, max_instances)
+        engine = ShortestPathEngine(network)
+        gdsp = GreedyGDSP(
+            network,
+            engine=engine,
+            use_fm_sketches=use_fm_sketches,
+            num_sketches=num_sketches,
+            chunk_size=gdsp_chunk_size,
+        )
+        visit_counts = dataset.node_visit_counts(network.num_nodes)
+        instances: list[NetClusInstance] = []
+        base_radius = tau_min_km / 4.0
+        for p in range(num_instances):
+            radius = base_radius * (1.0 + gamma) ** p
+            gdsp_result = gdsp.cluster(radius)
+            instance = cls._build_instance(
+                p,
+                radius,
+                gamma,
+                gdsp_result,
+                engine,
+                site_set,
+                dataset,
+                representative_strategy=representative_strategy,
+                visit_counts=visit_counts,
+            )
+            instances.append(instance)
+        return cls(
+            network=network,
+            sites=site_set,
+            instances=instances,
+            tau_min_km=tau_min_km,
+            tau_max_km=tau_max_km,
+            gamma=gamma,
+            trajectory_ids=dataset.ids(),
+        )
+
+    @staticmethod
+    def _build_instance(
+        instance_id: int,
+        radius_km: float,
+        gamma: float,
+        gdsp_result: GDSPResult,
+        engine: ShortestPathEngine,
+        sites: set[int],
+        dataset: TrajectoryDataset,
+        representative_strategy: str = "closest",
+        visit_counts: np.ndarray | None = None,
+    ) -> NetClusInstance:
+        with Timer() as timer:
+            clusters: list[NetClusCluster] = []
+            for gdsp_cluster in gdsp_result.clusters:
+                nodes = dict(zip(gdsp_cluster.nodes, gdsp_cluster.node_round_trip_km))
+                cluster = NetClusCluster(
+                    cluster_id=gdsp_cluster.cluster_id,
+                    center=gdsp_cluster.center,
+                    nodes=nodes,
+                )
+                NetClusIndex._elect_representative(
+                    cluster, sites, representative_strategy, visit_counts
+                )
+                clusters.append(cluster)
+            node_to_cluster = dict(gdsp_result.node_to_cluster)
+
+            # trajectory lists: dr(T_j, c_i) = min round-trip from any visited
+            # node of the cluster to its center
+            for trajectory in dataset:
+                NetClusIndex._register_trajectory(trajectory, clusters, node_to_cluster)
+
+            # neighbour lists: centers within round-trip 4 R (1 + γ)
+            NetClusIndex._compute_neighbors(clusters, engine, radius_km, gamma)
+        return NetClusInstance(
+            instance_id=instance_id,
+            radius_km=radius_km,
+            gamma=gamma,
+            clusters=clusters,
+            node_to_cluster=node_to_cluster,
+            build_seconds=timer.elapsed + gdsp_result.build_seconds,
+            mean_dominating_set_size=gdsp_result.mean_dominating_set_size,
+        )
+
+    @staticmethod
+    def _elect_representative(
+        cluster: NetClusCluster,
+        sites: set[int],
+        strategy: str,
+        visit_counts: np.ndarray | None,
+    ) -> None:
+        """Choose the cluster representative among its candidate sites.
+
+        ``"closest"`` picks the site with the smallest round-trip distance to
+        the cluster center; ``"most_frequent"`` picks the site visited by the
+        largest number of trajectories (ties broken by proximity to the
+        center).  The stored ``representative_round_trip_km`` is always the
+        representative's distance to the center, as the online estimate needs
+        it regardless of how the representative was elected.
+        """
+        candidate_sites = [
+            (node, round_trip) for node, round_trip in cluster.nodes.items() if node in sites
+        ]
+        if not candidate_sites:
+            return
+        if strategy == "most_frequent" and visit_counts is not None:
+            best_node, best_round_trip = max(
+                candidate_sites,
+                key=lambda item: (visit_counts[item[0]], -item[1]),
+            )
+        else:
+            best_node, best_round_trip = min(candidate_sites, key=lambda item: item[1])
+        cluster.representative = best_node
+        cluster.representative_round_trip_km = best_round_trip
+
+    @staticmethod
+    def _register_trajectory(
+        trajectory: Trajectory,
+        clusters: list[NetClusCluster],
+        node_to_cluster: dict[int, int],
+    ) -> None:
+        for node in trajectory.nodes:
+            cluster_id = node_to_cluster.get(node)
+            if cluster_id is None:
+                continue
+            cluster = clusters[cluster_id]
+            round_trip = cluster.nodes.get(node, math.inf)
+            previous = cluster.trajectory_list.get(trajectory.traj_id, math.inf)
+            if round_trip < previous:
+                cluster.trajectory_list[trajectory.traj_id] = round_trip
+
+    @staticmethod
+    def _compute_neighbors(
+        clusters: list[NetClusCluster],
+        engine: ShortestPathEngine,
+        radius_km: float,
+        gamma: float,
+    ) -> None:
+        centers = [cluster.center for cluster in clusters]
+        threshold = 4.0 * radius_km * (1.0 + gamma)
+        forward = engine.distances_from(centers, limit=threshold)[:, centers]
+        round_trip = forward + forward.T
+        for i, cluster in enumerate(clusters):
+            neighbor_ids = np.flatnonzero(round_trip[i] <= threshold)
+            neighbors = [
+                (int(j), float(round_trip[i, j])) for j in neighbor_ids if int(j) != i
+            ]
+            neighbors.sort(key=lambda item: item[1])
+            cluster.neighbors = neighbors
+
+    # ------------------------------------------------------------------ #
+    # online query
+    # ------------------------------------------------------------------ #
+    def instance_for(self, tau_km: float) -> NetClusInstance:
+        """Select the index instance serving coverage threshold *tau_km*.
+
+        ``p = ⌊log_{1+γ}(τ/τ_min)⌋`` clamped into the available ladder; below
+        τ_min the finest instance is used (NetClus degenerates towards plain
+        Inc-Greedy), above τ_max the coarsest.
+        """
+        require_positive(tau_km, "tau_km")
+        if tau_km <= self.tau_min_km:
+            return self.instances[0]
+        p = int(math.floor(math.log(tau_km / self.tau_min_km, 1.0 + self.gamma)))
+        p = max(0, min(p, len(self.instances) - 1))
+        return self.instances[p]
+
+    def query(
+        self,
+        query: TOPSQuery,
+        use_fm_sketches: bool = False,
+        num_sketches: int = 30,
+        existing_sites: Sequence[int] = (),
+    ) -> TOPSResult:
+        """Answer a TOPS query over the clustered space.
+
+        The reported ``utility`` is the clustered-space (estimated) utility;
+        experiments additionally score the returned sites with the exact
+        :class:`repro.core.distances.DistanceOracle` for quality comparisons.
+        ``existing_sites`` seeds the greedy with already-operating services
+        (their clusters' representatives are used as proxies).
+        """
+        with Timer() as timer:
+            instance = self.instance_for(query.tau_km)
+            rows = {traj_id: row for row, traj_id in enumerate(self._trajectory_ids)}
+            detours, rep_sites, rep_clusters = instance.estimated_detours(rows, query.tau_km)
+            coverage = CoverageIndex(
+                detours,
+                query.tau_km,
+                query.preference,
+                site_labels=rep_sites,
+                trajectory_ids=self._trajectory_ids,
+            )
+            existing_columns: list[int] = []
+            if existing_sites:
+                existing_columns = self._existing_service_columns(
+                    instance, rep_clusters, existing_sites
+                )
+            if use_fm_sketches and getattr(query.preference, "is_binary", False):
+                solver = FMGreedy(coverage, num_sketches=num_sketches)
+                inner = solver.solve(query)
+                columns = coverage.columns_for_labels(inner.sites)
+                utilities = coverage.per_trajectory_utility(columns)
+                algorithm = "fm-netclus"
+            else:
+                greedy = IncGreedy(coverage)
+                columns, utilities, _ = greedy.select(
+                    query.k, existing_columns=existing_columns
+                )
+                algorithm = self.algorithm_name
+            sites = tuple(int(coverage.site_labels[c]) for c in columns)
+        return TOPSResult(
+            sites=sites,
+            utility=float(np.sum(utilities)),
+            per_trajectory_utility=tuple(float(u) for u in utilities),
+            elapsed_seconds=timer.elapsed,
+            algorithm=algorithm,
+            metadata={
+                "instance_id": instance.instance_id,
+                "instance_radius_km": instance.radius_km,
+                "num_clusters": instance.num_clusters,
+                "num_representatives": len(rep_sites),
+            },
+        )
+
+    def _existing_service_columns(
+        self,
+        instance: NetClusInstance,
+        rep_clusters: list[int],
+        existing_sites: Sequence[int],
+    ) -> list[int]:
+        """Map existing service locations to representative columns."""
+        cluster_to_column = {cid: col for col, cid in enumerate(rep_clusters)}
+        columns: list[int] = []
+        for site in existing_sites:
+            cluster_id = instance.node_to_cluster.get(int(site))
+            if cluster_id is None:
+                continue
+            column = cluster_to_column.get(cluster_id)
+            if column is not None and column not in columns:
+                columns.append(column)
+        return columns
+
+    # ------------------------------------------------------------------ #
+    # dynamic updates (Section 6)
+    # ------------------------------------------------------------------ #
+    def add_site(self, site: int) -> None:
+        """Register a new candidate site located at an existing network node."""
+        require(self.network.has_node(site), f"site {site} is not a network node")
+        if site in self.sites:
+            return
+        self.sites.add(site)
+        for instance in self.instances:
+            cluster_id = instance.node_to_cluster.get(site)
+            if cluster_id is None:
+                # node unseen by this instance (should not happen when the
+                # instance clustered every node); attach to the nearest center
+                cluster_id = self._nearest_cluster(instance, site)
+                instance.node_to_cluster[site] = cluster_id
+            cluster = instance.clusters[cluster_id]
+            round_trip = cluster.nodes.get(site)
+            if round_trip is None:
+                round_trip = self._round_trip_to_center(cluster.center, site)
+                cluster.nodes[site] = round_trip
+            if round_trip < cluster.representative_round_trip_km:
+                cluster.representative = site
+                cluster.representative_round_trip_km = round_trip
+
+    def remove_site(self, site: int) -> None:
+        """Unregister a candidate site; clusters elect a new representative."""
+        if site not in self.sites:
+            raise KeyError(f"site {site} is not a registered candidate site")
+        self.sites.discard(site)
+        for instance in self.instances:
+            cluster_id = instance.node_to_cluster.get(site)
+            if cluster_id is None:
+                continue
+            cluster = instance.clusters[cluster_id]
+            if cluster.representative != site:
+                continue
+            cluster.representative = None
+            cluster.representative_round_trip_km = math.inf
+            for node, round_trip in cluster.nodes.items():
+                if node in self.sites and round_trip < cluster.representative_round_trip_km:
+                    cluster.representative = node
+                    cluster.representative_round_trip_km = round_trip
+
+    def add_trajectory(self, trajectory: Trajectory) -> None:
+        """Add a new trajectory to every index instance."""
+        require(
+            trajectory.traj_id not in set(self._trajectory_ids),
+            f"trajectory id {trajectory.traj_id} already present",
+        )
+        self._trajectory_ids.append(trajectory.traj_id)
+        for instance in self.instances:
+            self._register_trajectory(
+                trajectory, instance.clusters, instance.node_to_cluster
+            )
+
+    def remove_trajectory(self, traj_id: int) -> None:
+        """Remove a trajectory from every index instance."""
+        if traj_id not in self._trajectory_ids:
+            raise KeyError(f"trajectory {traj_id} is not indexed")
+        self._trajectory_ids.remove(traj_id)
+        for instance in self.instances:
+            for cluster in instance.clusters:
+                cluster.trajectory_list.pop(traj_id, None)
+
+    # ------------------------------------------------------------------ #
+    def _nearest_cluster(self, instance: NetClusInstance, node: int) -> int:
+        engine = ShortestPathEngine(self.network)
+        round_trip = engine.round_trip_from(node)
+        centers = [cluster.center for cluster in instance.clusters]
+        distances = [round_trip[center] for center in centers]
+        return int(np.argmin(distances))
+
+    def _round_trip_to_center(self, center: int, node: int) -> float:
+        engine = ShortestPathEngine(self.network)
+        forward = engine.distances_from([center])[0][node]
+        backward = engine.distances_to([center])[0][node]
+        return float(forward + backward)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_instances(self) -> int:
+        """Number of index instances t."""
+        return len(self.instances)
+
+    @property
+    def num_trajectories(self) -> int:
+        """Number of indexed trajectories."""
+        return len(self._trajectory_ids)
+
+    def storage_bytes(self) -> int:
+        """Total estimated index payload bytes across all instances."""
+        return sum(instance.storage_bytes() for instance in self.instances)
+
+    def build_seconds(self) -> float:
+        """Total offline construction time across instances."""
+        return sum(instance.build_seconds for instance in self.instances)
+
+    def construction_statistics(self) -> list[dict[str, float]]:
+        """Per-instance statistics in the spirit of Table 11."""
+        stats = []
+        for instance in self.instances:
+            stats.append(
+                {
+                    "radius_km": instance.radius_km,
+                    "num_clusters": instance.num_clusters,
+                    "mean_dominating_set_size": instance.mean_dominating_set_size,
+                    "mean_trajectory_list_size": instance.mean_trajectory_list_size(),
+                    "mean_neighbor_count": instance.mean_neighbor_count(),
+                    "build_seconds": instance.build_seconds,
+                    "storage_bytes": instance.storage_bytes(),
+                }
+            )
+        return stats

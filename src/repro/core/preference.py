@@ -1,0 +1,144 @@
+"""Preference functions ψ (Definition 2 and Section 7.4 of the paper).
+
+A preference function maps the round-trip detour ``dr(T_j, s_i)`` to a score
+in ``[0, 1]`` (0 beyond the coverage threshold τ); it must be non-increasing
+in the detour.  The library ships the family used across the paper's
+experiments:
+
+* :class:`BinaryPreference` — TOPS1, Definition 3 (score 1 within τ);
+* :class:`LinearPreference` — linearly decaying score ``1 − d/τ``;
+* :class:`ExponentialPreference` — ``exp(−λ·d/τ)``;
+* :class:`ConvexProbabilityPreference` — TOPS2's convex capture probability
+  ``(1 − d/τ)²``;
+* :class:`InconveniencePreference` — TOPS3's negated detour (see Section 7.4;
+  not bounded to [0, 1], used only by the TOPS3 variant driver).
+
+All implementations are vectorised: they accept NumPy arrays of detours.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "PreferenceFunction",
+    "BinaryPreference",
+    "LinearPreference",
+    "ExponentialPreference",
+    "ConvexProbabilityPreference",
+    "InconveniencePreference",
+]
+
+
+class PreferenceFunction(ABC):
+    """Base class for preference functions ψ(d, τ).
+
+    Subclasses implement :meth:`raw_score`, the non-increasing function ``f``
+    of Definition 2 evaluated on detours already known to be within τ.
+    :meth:`__call__` applies the τ cut-off and handles infinities.
+    """
+
+    #: whether scores are {0,1} — enables the FM-sketch fast paths
+    is_binary: bool = False
+
+    @abstractmethod
+    def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
+        """Score for detours assumed to satisfy ``detour <= tau``."""
+
+    def __call__(
+        self, detour_km: np.ndarray | float, tau_km: float
+    ) -> np.ndarray | float:
+        """Apply ψ with the coverage-threshold cut-off.
+
+        Scalars in, scalar out; arrays in, array out.
+        """
+        scalar = np.isscalar(detour_km)
+        detours = np.atleast_1d(np.asarray(detour_km, dtype=float))
+        scores = np.zeros_like(detours)
+        within = detours <= tau_km
+        if np.any(within):
+            scores[within] = self.raw_score(detours[within], tau_km)
+        if scalar:
+            return float(scores[0])
+        return scores
+
+    @property
+    def name(self) -> str:
+        """Human-readable name used in experiment reports."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}()"
+
+
+class BinaryPreference(PreferenceFunction):
+    """TOPS1 / Definition 3: ψ = 1 iff the detour is within τ."""
+
+    is_binary = True
+
+    def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
+        return np.ones_like(detour_km)
+
+
+class LinearPreference(PreferenceFunction):
+    """Linearly decaying preference ``1 − d/τ`` (1 on the trajectory, 0 at τ)."""
+
+    def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
+        if tau_km <= 0:
+            return np.where(detour_km <= 0, 1.0, 0.0)
+        return np.clip(1.0 - detour_km / tau_km, 0.0, 1.0)
+
+
+class ExponentialPreference(PreferenceFunction):
+    """Exponentially decaying preference ``exp(−λ · d/τ)``."""
+
+    def __init__(self, decay: float = 2.0) -> None:
+        require_positive(decay, "decay")
+        self.decay = decay
+
+    def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
+        if tau_km <= 0:
+            return np.where(detour_km <= 0, 1.0, 0.0)
+        return np.exp(-self.decay * detour_km / tau_km)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ExponentialPreference(decay={self.decay})"
+
+
+class ConvexProbabilityPreference(PreferenceFunction):
+    """TOPS2: convex capture probability ``(1 − d/τ)^p`` with ``p >= 1``.
+
+    Berman et al. model the probability that a user deviates to a facility as
+    a convex decreasing function of the deviation; the paper's TOPS2
+    experiments use such a function.  ``power=2`` by default.
+    """
+
+    def __init__(self, power: float = 2.0) -> None:
+        require_positive(power, "power")
+        self.power = power
+
+    def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
+        if tau_km <= 0:
+            return np.where(detour_km <= 0, 1.0, 0.0)
+        return np.clip(1.0 - detour_km / tau_km, 0.0, 1.0) ** self.power
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConvexProbabilityPreference(power={self.power})"
+
+
+class InconveniencePreference(PreferenceFunction):
+    """TOPS3: ψ = −dr, with τ effectively infinite.
+
+    Maximising the sum of utilities under this preference minimises the total
+    deviation of users, assuming every user avails the service.  Scores are
+    negative and unbounded, so this preference is only meaningful with the
+    dedicated TOPS3 driver (``repro.core.variants``); the generic coverage
+    machinery still works because the function remains non-increasing.
+    """
+
+    def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
+        return -detour_km

@@ -1,0 +1,176 @@
+"""High-level facade tying network, trajectories and candidate sites together.
+
+:class:`TOPSProblem` is the entry point a downstream user works with: it owns
+the distance oracle, builds coverage structures per query, runs any of the
+solvers (Inc-Greedy, FM-Greedy, the exact solver, NetClus) and scores
+arbitrary site sets.  The examples and the experiment harness are built on
+top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.coverage import CoverageIndex
+from repro.core.distances import DistanceOracle
+from repro.core.fm_greedy import FMGreedy
+from repro.core.greedy import IncGreedy
+from repro.core.netclus import NetClusIndex
+from repro.core.optimal import OptimalSolver
+from repro.core.query import TOPSQuery, TOPSResult
+from repro.network.graph import RoadNetwork
+from repro.trajectory.model import TrajectoryDataset
+from repro.utils.timer import Timer
+from repro.utils.validation import require
+
+__all__ = ["TOPSProblem"]
+
+
+class TOPSProblem:
+    """A TOPS problem instance: one road network, one trajectory dataset, one
+    set of candidate sites.
+
+    Parameters
+    ----------
+    network:
+        The road network.
+    trajectories:
+        Map-matched trajectories over the network.
+    sites:
+        Candidate site node ids.  Defaults to *all* network nodes (the
+        paper's default assumption in Section 8.1).
+
+    Examples
+    --------
+    >>> from repro.network import grid_network
+    >>> from repro.trajectory import random_route_trajectories
+    >>> net = grid_network(6, 6, spacing_km=0.5)
+    >>> trajs = random_route_trajectories(net, 40, seed=1)
+    >>> problem = TOPSProblem(net, trajs)
+    >>> result = problem.solve(TOPSQuery(k=3, tau_km=0.8))
+    >>> len(result.sites)
+    3
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        trajectories: TrajectoryDataset,
+        sites: Sequence[int] | None = None,
+    ) -> None:
+        require(len(trajectories) > 0, "the trajectory dataset is empty")
+        self.network = network
+        self.trajectories = trajectories
+        if sites is None:
+            sites = network.node_ids()
+        self.sites = [int(s) for s in sites]
+        self._oracle: DistanceOracle | None = None
+        self._detour_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The (lazily built) distance oracle for the candidate sites."""
+        if self._oracle is None:
+            self._oracle = DistanceOracle(self.network, self.sites)
+        return self._oracle
+
+    @property
+    def num_trajectories(self) -> int:
+        """Number of trajectories m."""
+        return len(self.trajectories)
+
+    @property
+    def num_sites(self) -> int:
+        """Number of candidate sites n."""
+        return len(self.sites)
+
+    def detour_matrix(self) -> np.ndarray:
+        """The full ``(m, n)`` detour matrix (cached)."""
+        if self._detour_matrix is None:
+            self._detour_matrix = self.oracle.detour_matrix(self.trajectories)
+        return self._detour_matrix
+
+    def coverage(self, query: TOPSQuery) -> CoverageIndex:
+        """Coverage structures (TC, SC, weights) for the query's (τ, ψ)."""
+        return CoverageIndex(
+            self.detour_matrix(),
+            query.tau_km,
+            query.preference,
+            site_labels=self.sites,
+            trajectory_ids=self.trajectories.ids(),
+        )
+
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        query: TOPSQuery,
+        method: str = "inc-greedy",
+        existing_sites: Sequence[int] = (),
+        num_sketches: int = 30,
+    ) -> TOPSResult:
+        """Solve the query with the requested method.
+
+        ``method`` is one of ``"inc-greedy"``, ``"fm-greedy"``, ``"optimal"``.
+        (NetClus has its own offline phase; see :meth:`build_netclus_index`.)
+        """
+        with Timer() as timer:
+            coverage = self.coverage(query)
+        preprocess_seconds = timer.elapsed
+        if method == "inc-greedy":
+            result = IncGreedy(coverage).solve(query, existing_sites=existing_sites)
+        elif method == "fm-greedy":
+            result = FMGreedy(coverage, num_sketches=num_sketches).solve(query)
+        elif method == "optimal":
+            result = OptimalSolver(coverage).solve(query)
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        metadata = dict(result.metadata)
+        metadata["preprocess_seconds"] = preprocess_seconds
+        return TOPSResult(
+            sites=result.sites,
+            utility=result.utility,
+            per_trajectory_utility=result.per_trajectory_utility,
+            elapsed_seconds=result.elapsed_seconds + preprocess_seconds,
+            algorithm=result.algorithm,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    def build_netclus_index(
+        self,
+        gamma: float = 0.75,
+        tau_min_km: float = 0.4,
+        tau_max_km: float = 8.0,
+        use_fm_sketches: bool = False,
+        num_sketches: int = 30,
+        max_instances: int | None = None,
+        representative_strategy: str = "closest",
+    ) -> NetClusIndex:
+        """Build a NetClus index over this problem's data (offline phase)."""
+        return NetClusIndex.build(
+            self.network,
+            self.trajectories,
+            self.sites,
+            gamma=gamma,
+            tau_min_km=tau_min_km,
+            tau_max_km=tau_max_km,
+            use_fm_sketches=use_fm_sketches,
+            num_sketches=num_sketches,
+            max_instances=max_instances,
+            representative_strategy=representative_strategy,
+        )
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, sites: Sequence[int], query: TOPSQuery) -> tuple[float, np.ndarray]:
+        """Exact utility of an arbitrary site selection under *query*."""
+        return self.oracle.evaluate_utility(
+            self.trajectories, list(sites), query.tau_km, query.preference
+        )
+
+    def utility_percent(self, sites: Sequence[int], query: TOPSQuery) -> float:
+        """Exact utility as a percentage of the trajectory count."""
+        utility, _ = self.evaluate(sites, query)
+        return 100.0 * utility / self.num_trajectories

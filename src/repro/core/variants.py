@@ -1,0 +1,227 @@
+"""TOPS extensions and variants (Section 7).
+
+* :func:`solve_tops_cost` — TOPS-COST (Problem 4): budgeted selection with
+  per-site costs, using the budgeted-maximum-coverage greedy of Khuller et
+  al. (select by gain/cost ratio, compare against the best single affordable
+  site) with its ``(1 − 1/e)/2`` guarantee.
+* :func:`solve_tops_capacity` — TOPS-CAPACITY (Problem 5): each site serves at
+  most ``cap`` trajectories; greedy marginal gains are capacity-limited.
+* :func:`solve_tops_with_existing` — TOPS with existing services
+  (Section 7.3): greedy seeded with the operating sites.
+* :func:`solve_tops_market_share` — TOPS4: smallest site set covering a β
+  fraction of trajectories (greedy set-cover style).
+* :func:`solve_tops_min_inconvenience` — TOPS3: minimise total user deviation
+  (greedy on the negated-detour preference with τ = ∞).
+
+All drivers operate on a :class:`~repro.core.coverage.CoverageIndex`, so they
+work unchanged on the flat site space (Inc-Greedy) and on NetClus's clustered
+space (pass the coverage index built from estimated detours).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.coverage import CoverageIndex
+from repro.core.greedy import IncGreedy
+from repro.core.query import TOPSQuery, TOPSResult
+from repro.utils.timer import Timer
+from repro.utils.validation import require, require_positive, require_probability
+
+__all__ = [
+    "solve_tops_cost",
+    "solve_tops_capacity",
+    "solve_tops_with_existing",
+    "solve_tops_market_share",
+    "solve_tops_min_inconvenience",
+]
+
+
+def solve_tops_cost(
+    coverage: CoverageIndex,
+    budget: float,
+    site_costs: np.ndarray | Sequence[float],
+) -> TOPSResult:
+    """TOPS-COST: maximise utility subject to a total site-cost budget.
+
+    Parameters
+    ----------
+    coverage:
+        Coverage index for the query's (τ, ψ).
+    budget:
+        Total budget B.
+    site_costs:
+        Per-site costs aligned with the coverage index's site columns.
+    """
+    require_positive(budget, "budget")
+    costs = np.asarray(site_costs, dtype=float)
+    require(len(costs) == coverage.num_sites, "site_costs length mismatch")
+    require(bool(np.all(costs > 0)), "site costs must be positive")
+    scores = coverage.scores
+    with Timer() as timer:
+        utilities = np.zeros(coverage.num_trajectories)
+        selected: list[int] = []
+        spent = 0.0
+        available = set(range(coverage.num_sites))
+        while available:
+            residual = np.maximum(scores - utilities[:, np.newaxis], 0.0).sum(axis=0)
+            ratio = residual / costs
+            ratio[list(set(range(coverage.num_sites)) - available)] = -np.inf
+            best = int(np.argmax(ratio))
+            if ratio[best] <= 0.0:
+                break
+            if spent + costs[best] <= budget:
+                selected.append(best)
+                spent += float(costs[best])
+                utilities = np.maximum(utilities, scores[:, best])
+            available.discard(best)
+        # Khuller et al. safeguard: compare with the best single affordable site
+        affordable = np.flatnonzero(costs <= budget)
+        if len(affordable):
+            single_utilities = scores[:, affordable].sum(axis=0)
+            best_single = int(affordable[np.argmax(single_utilities)])
+            single_total = float(scores[:, best_single].sum())
+            if single_total > float(utilities.sum()):
+                selected = [best_single]
+                utilities = scores[:, best_single]
+                spent = float(costs[best_single])
+    return TOPSResult(
+        sites=tuple(int(coverage.site_labels[c]) for c in selected),
+        utility=float(np.sum(utilities)),
+        per_trajectory_utility=tuple(float(u) for u in utilities),
+        elapsed_seconds=timer.elapsed,
+        algorithm="tops-cost",
+        metadata={"budget": budget, "spent": spent, "num_sites": len(selected)},
+    )
+
+
+def solve_tops_capacity(
+    coverage: CoverageIndex,
+    query: TOPSQuery,
+    capacities: np.ndarray | Sequence[float],
+) -> TOPSResult:
+    """TOPS-CAPACITY: each selected site serves at most its capacity."""
+    caps = np.asarray(capacities, dtype=float)
+    require(len(caps) == coverage.num_sites, "capacities length mismatch")
+    require(bool(np.all(caps >= 0)), "capacities must be non-negative")
+    greedy = IncGreedy(coverage, update_strategy="recompute")
+    with Timer() as timer:
+        columns, utilities, gains = greedy.select(query.k, capacities=caps)
+    return TOPSResult(
+        sites=tuple(int(coverage.site_labels[c]) for c in columns),
+        utility=float(np.sum(utilities)),
+        per_trajectory_utility=tuple(float(u) for u in utilities),
+        elapsed_seconds=timer.elapsed,
+        algorithm="tops-capacity",
+        metadata={"marginal_gains": gains},
+    )
+
+
+def solve_tops_with_existing(
+    coverage: CoverageIndex,
+    query: TOPSQuery,
+    existing_sites: Sequence[int],
+) -> TOPSResult:
+    """TOPS with existing services: greedy seeded with the operating sites.
+
+    The reported per-trajectory utilities include the utility already provided
+    by the existing services; the returned ``sites`` are only the *new* k
+    sites, matching Section 7.3.
+    """
+    greedy = IncGreedy(coverage)
+    result = greedy.solve(query, existing_sites=existing_sites)
+    metadata = dict(result.metadata)
+    metadata["existing_sites"] = tuple(int(s) for s in existing_sites)
+    return TOPSResult(
+        sites=result.sites,
+        utility=result.utility,
+        per_trajectory_utility=result.per_trajectory_utility,
+        elapsed_seconds=result.elapsed_seconds,
+        algorithm="tops-existing",
+        metadata=metadata,
+    )
+
+
+def solve_tops_market_share(
+    coverage: CoverageIndex,
+    beta: float,
+    max_sites: int | None = None,
+) -> TOPSResult:
+    """TOPS4: the smallest site set covering at least a β fraction of trajectories.
+
+    Only meaningful for the binary preference (a trajectory is covered or
+    not); the greedy adds maximal-marginal-gain sites until the coverage
+    target is met, giving the classic ``1 + ln n`` set-cover bound.
+    """
+    require_probability(beta, "beta")
+    require(
+        getattr(coverage.preference, "is_binary", False),
+        "TOPS4 (market share) requires the binary preference",
+    )
+    target = beta * coverage.num_trajectories
+    limit = max_sites if max_sites is not None else coverage.num_sites
+    scores = coverage.scores
+    with Timer() as timer:
+        utilities = np.zeros(coverage.num_trajectories)
+        selected: list[int] = []
+        while float(utilities.sum()) < target and len(selected) < limit:
+            residual = np.maximum(scores - utilities[:, np.newaxis], 0.0).sum(axis=0)
+            if selected:
+                residual[selected] = -np.inf
+            best = int(np.argmax(residual))
+            if residual[best] <= 0.0:
+                break
+            selected.append(best)
+            utilities = np.maximum(utilities, scores[:, best])
+    return TOPSResult(
+        sites=tuple(int(coverage.site_labels[c]) for c in selected),
+        utility=float(np.sum(utilities)),
+        per_trajectory_utility=tuple(float(u) for u in utilities),
+        elapsed_seconds=timer.elapsed,
+        algorithm="tops-market-share",
+        metadata={
+            "beta": beta,
+            "target_coverage": target,
+            "achieved_fraction": float(utilities.sum()) / max(coverage.num_trajectories, 1),
+        },
+    )
+
+
+def solve_tops_min_inconvenience(
+    coverage: CoverageIndex,
+    query: TOPSQuery,
+) -> TOPSResult:
+    """TOPS3: choose k sites minimising the total user deviation.
+
+    The coverage index must be built with
+    :class:`~repro.core.preference.InconveniencePreference` and an effectively
+    infinite τ; utilities are then negative detours.  Because greedy marginal
+    gains assume a zero-utility empty set, the scores are shifted by the
+    largest finite detour so that they become non-negative; the shift does not
+    change which sites are selected.  The result's metadata reports the total
+    deviation in kilometres for readability.
+    """
+    from repro.core.greedy import greedy_max_coverage_columns
+
+    with Timer() as timer:
+        detours = np.where(np.isfinite(coverage.detours), coverage.detours, np.nan)
+        max_detour = float(np.nanmax(detours)) if np.isfinite(detours).any() else 0.0
+        shifted = np.where(
+            np.isfinite(coverage.detours), max_detour - coverage.detours, 0.0
+        )
+        columns, _ = greedy_max_coverage_columns(shifted, query.k)
+        # per-trajectory deviation under the selected set (true objective)
+        deviations = np.min(coverage.detours[:, columns], axis=1)
+        deviations = np.where(np.isfinite(deviations), deviations, max_detour)
+        utilities = -deviations
+    total_deviation = float(np.sum(deviations))
+    return TOPSResult(
+        sites=tuple(int(coverage.site_labels[c]) for c in columns),
+        utility=float(np.sum(utilities)),
+        per_trajectory_utility=tuple(float(u) for u in utilities),
+        elapsed_seconds=timer.elapsed,
+        algorithm="tops-min-inconvenience",
+        metadata={"total_deviation_km": total_deviation},
+    )

@@ -1,0 +1,17 @@
+"""Dataset builders mirroring Table 6 of the paper (at reduced scale)."""
+
+from repro.datasets.base import DatasetBundle
+from repro.datasets.beijing import beijing_like, beijing_small_like
+from repro.datasets.cities import new_york_like, atlanta_like, bangalore_like
+from repro.datasets.workloads import site_costs_normal, site_capacities_normal
+
+__all__ = [
+    "DatasetBundle",
+    "beijing_like",
+    "beijing_small_like",
+    "new_york_like",
+    "atlanta_like",
+    "bangalore_like",
+    "site_costs_normal",
+    "site_capacities_normal",
+]

@@ -1,0 +1,54 @@
+"""Synthetic city datasets: New York, Atlanta, Bangalore analogues.
+
+The paper generates traffic for these three cities with the MNTG generator to
+study the effect of city geometry (Fig. 11): New York has a star topology,
+Atlanta a mesh, Bangalore is polycentric.  We reproduce the topologies with
+the generators in :mod:`repro.network.generators` and MNTG-like uniform
+OD traffic from :mod:`repro.trajectory.generators`.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import DatasetBundle
+from repro.network.generators import grid_network, polycentric_network, star_network
+from repro.trajectory.generators import mntg_like_trajectories
+
+__all__ = ["new_york_like", "atlanta_like", "bangalore_like"]
+
+
+def new_york_like(num_trajectories: int = 400, seed: int = 7) -> DatasetBundle:
+    """Star-topology city (New-York-like)."""
+    network = star_network(num_arms=10, nodes_per_arm=45, spacing_km=0.35, num_rings=4)
+    trajectories = mntg_like_trajectories(network, num_trajectories, seed=seed)
+    return DatasetBundle(
+        name="New-York-like (star)",
+        network=network,
+        trajectories=trajectories,
+        sites=network.node_ids(),
+    )
+
+
+def atlanta_like(num_trajectories: int = 400, seed: int = 7) -> DatasetBundle:
+    """Mesh-topology city (Atlanta-like)."""
+    network = grid_network(22, 22, spacing_km=0.45, jitter=0.05, seed=seed)
+    trajectories = mntg_like_trajectories(network, num_trajectories, seed=seed)
+    return DatasetBundle(
+        name="Atlanta-like (mesh)",
+        network=network,
+        trajectories=trajectories,
+        sites=network.node_ids(),
+    )
+
+
+def bangalore_like(num_trajectories: int = 400, seed: int = 7) -> DatasetBundle:
+    """Polycentric city (Bangalore-like); smallest road network of the three."""
+    network = polycentric_network(
+        num_centers=5, grid_size=9, spacing_km=0.4, center_spread_km=4.5, seed=seed
+    )
+    trajectories = mntg_like_trajectories(network, num_trajectories, seed=seed)
+    return DatasetBundle(
+        name="Bangalore-like (polycentric)",
+        network=network,
+        trajectories=trajectories,
+        sites=network.node_ids(),
+    )

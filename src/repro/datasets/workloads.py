@@ -1,0 +1,49 @@
+"""Workload helpers: site costs and capacities for the TOPS extensions.
+
+Section 8.7 assigns site costs from a normal distribution with mean 1.0 and a
+swept standard deviation (floored at 0.1), and capacities from a normal
+distribution whose mean is a percentage of the total trajectory count with a
+standard deviation of 10% of the mean.  These helpers reproduce those
+assignment rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["site_costs_normal", "site_capacities_normal"]
+
+
+def site_costs_normal(
+    num_sites: int,
+    mean: float = 1.0,
+    std: float = 0.5,
+    min_cost: float = 0.1,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Per-site costs ~ N(mean, std), floored at *min_cost* (Fig. 7a / Fig. 9)."""
+    require_positive(num_sites, "num_sites")
+    require_non_negative(std, "std")
+    rng = ensure_rng(seed)
+    costs = rng.normal(mean, std, size=num_sites) if std > 0 else np.full(num_sites, mean)
+    return np.maximum(costs, min_cost)
+
+
+def site_capacities_normal(
+    num_sites: int,
+    num_trajectories: int,
+    mean_fraction: float = 0.1,
+    std_fraction_of_mean: float = 0.1,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Per-site capacities ~ N(mean, 0.1·mean) with mean a fraction of m (Fig. 7b)."""
+    require_positive(num_sites, "num_sites")
+    require_positive(num_trajectories, "num_trajectories")
+    rng = ensure_rng(seed)
+    mean = mean_fraction * num_trajectories
+    std = std_fraction_of_mean * mean
+    capacities = rng.normal(mean, std, size=num_sites)
+    return np.maximum(np.round(capacities), 1.0)

@@ -1,0 +1,21 @@
+"""Experiment harness: metrics, reporting and per-figure/table drivers."""
+
+from repro.experiments.metrics import (
+    relative_error_percent,
+    utility_percent,
+    incgreedy_memory_bytes,
+    netclus_memory_bytes,
+)
+from repro.experiments.reporting import format_table, print_table
+from repro.experiments.runner import ExperimentContext, build_context
+
+__all__ = [
+    "relative_error_percent",
+    "utility_percent",
+    "incgreedy_memory_bytes",
+    "netclus_memory_bytes",
+    "format_table",
+    "print_table",
+    "ExperimentContext",
+    "build_context",
+]

@@ -1,0 +1,46 @@
+"""Per-figure / per-table experiment drivers.
+
+Each module reproduces one artefact of the paper's evaluation (Section 8) and
+exposes
+
+* ``run(...) -> list[dict]`` — compute the rows/series of the artefact;
+* ``main()`` — run at the default scale and print the table.
+
+See DESIGN.md (experiment index) and EXPERIMENTS.md (paper vs measured).
+"""
+
+from repro.experiments.figures import (
+    ablation_design_choices,
+    fig04_optimal,
+    fig05_quality,
+    fig06_runtime,
+    fig07_cost_capacity,
+    fig08_tops2,
+    fig10_scalability,
+    fig11_city_geometries,
+    fig12_traj_length,
+    table07_gamma,
+    table08_fm_sketches,
+    table09_memory,
+    table10_updates,
+    table11_index_construction,
+    table12_jaccard,
+)
+
+__all__ = [
+    "ablation_design_choices",
+    "fig04_optimal",
+    "fig05_quality",
+    "fig06_runtime",
+    "fig07_cost_capacity",
+    "fig08_tops2",
+    "fig10_scalability",
+    "fig11_city_geometries",
+    "fig12_traj_length",
+    "table07_gamma",
+    "table08_fm_sketches",
+    "table09_memory",
+    "table10_updates",
+    "table11_index_construction",
+    "table12_jaccard",
+]

@@ -1,0 +1,62 @@
+"""Fig. 4 — comparison with the optimal algorithm on Beijing-Small.
+
+The paper compares OPT, Inc-Greedy, FMG, NetClus and FM-NetClus on the small
+sampled dataset (utility and running time as functions of k), showing that
+all heuristics stay close to OPT while being orders of magnitude faster.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimal import OptimalSolver
+from repro.core.query import TOPSQuery
+from repro.datasets import beijing_small_like
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentContext, build_context
+from repro.utils.timer import Timer
+
+__all__ = ["run", "main"]
+
+
+def run(
+    k_values: tuple[int, ...] = (1, 3, 5, 7),
+    tau_km: float = 0.8,
+    num_trajectories: int = 120,
+    num_sites: int = 25,
+    seed: int = 42,
+    include_optimal: bool = True,
+    context: ExperimentContext | None = None,
+) -> list[dict]:
+    """Utility (%) and runtime of OPT / INCG / FMG / NetClus / FM-NetClus vs k."""
+    if context is None:
+        bundle = beijing_small_like(
+            num_trajectories=num_trajectories, num_sites=num_sites, seed=seed
+        )
+        context = build_context(bundle=bundle, tau_min_km=0.4, tau_max_km=4.0)
+    rows: list[dict] = []
+    for k in k_values:
+        query = TOPSQuery(k=k, tau_km=tau_km)
+        comparison = context.compare_algorithms(query)
+        row: dict = {"k": k, "tau_km": tau_km}
+        if include_optimal:
+            coverage = context.coverage(query)
+            solver = OptimalSolver(coverage)
+            with Timer() as timer:
+                optimal = solver.solve(query)
+            row["opt_utility_pct"] = context.exact_utility_percent(optimal, query)
+            row["opt_runtime_s"] = timer.elapsed
+        for name, stats in comparison.items():
+            row[f"{name}_utility_pct"] = stats["utility_pct"]
+            row[f"{name}_runtime_s"] = stats["runtime_s"]
+        rows.append(row)
+    return rows
+
+
+def main() -> list[dict]:
+    """Run at default scale and print the Fig. 4 series."""
+    rows = run()
+    print_table(rows, title="Fig. 4 — comparison with optimal (Beijing-Small-like)")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Fig. 6 — query running time versus k and versus τ.
+
+The paper's headline efficiency result: NetClus (and FM-NetClus) answer
+queries up to ~36x faster than Inc-Greedy/FMG because they operate on cluster
+representatives of a single index instance instead of the full O(mn)
+covering structures, and the advantage grows with τ.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import TOPSQuery
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentContext, build_context
+
+__all__ = ["run_varying_k", "run_varying_tau", "run", "main"]
+
+
+def run_varying_k(
+    context: ExperimentContext,
+    k_values: tuple[int, ...] = (1, 5, 10, 15, 20, 25),
+    tau_km: float = 0.8,
+) -> list[dict]:
+    """Fig. 6a: running time vs k."""
+    rows = []
+    for k in k_values:
+        query = TOPSQuery(k=k, tau_km=tau_km)
+        comparison = context.compare_algorithms(query)
+        row = {"k": k, "tau_km": tau_km}
+        for name, stats in comparison.items():
+            row[f"{name}_runtime_s"] = stats["runtime_s"]
+        if comparison.get("netclus", {}).get("runtime_s"):
+            row["speedup_incg_over_netclus"] = (
+                comparison["incg"]["runtime_s"] / comparison["netclus"]["runtime_s"]
+            )
+        rows.append(row)
+    return rows
+
+
+def run_varying_tau(
+    context: ExperimentContext,
+    tau_values: tuple[float, ...] = (0.2, 0.4, 0.8, 1.2, 1.6, 2.4, 4.0),
+    k: int = 5,
+) -> list[dict]:
+    """Fig. 6b: running time vs τ."""
+    rows = []
+    for tau_km in tau_values:
+        query = TOPSQuery(k=k, tau_km=tau_km)
+        comparison = context.compare_algorithms(query)
+        row = {"k": k, "tau_km": tau_km}
+        for name, stats in comparison.items():
+            row[f"{name}_runtime_s"] = stats["runtime_s"]
+        if comparison.get("netclus", {}).get("runtime_s"):
+            row["speedup_incg_over_netclus"] = (
+                comparison["incg"]["runtime_s"] / comparison["netclus"]["runtime_s"]
+            )
+        rows.append(row)
+    return rows
+
+
+def run(
+    scale: str = "small",
+    seed: int = 42,
+    context: ExperimentContext | None = None,
+    k_values: tuple[int, ...] = (1, 5, 10, 15, 20, 25),
+    tau_values: tuple[float, ...] = (0.2, 0.4, 0.8, 1.2, 1.6, 2.4, 4.0),
+) -> dict[str, list[dict]]:
+    """Both panels of Fig. 6."""
+    if context is None:
+        context = build_context(scale=scale, seed=seed)
+    return {
+        "varying_k": run_varying_k(context, k_values=k_values),
+        "varying_tau": run_varying_tau(context, tau_values=tau_values),
+    }
+
+
+def main() -> dict[str, list[dict]]:
+    """Run at default scale and print both panels."""
+    panels = run()
+    print_table(panels["varying_k"], title="Fig. 6a — running time vs k (τ = 0.8 km)")
+    print()
+    print_table(panels["varying_tau"], title="Fig. 6b — running time vs τ (k = 5)")
+    return panels
+
+
+if __name__ == "__main__":
+    main()

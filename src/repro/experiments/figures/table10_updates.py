@@ -1,0 +1,96 @@
+"""Table 10 — cost of dynamic index updates.
+
+The paper reports the time to absorb batches of 10k–50k new trajectories and
+candidate sites into the NetClus index, noting that trajectory additions are
+more expensive (they touch every cluster along the path in every instance)
+than site additions (a single cluster per instance).  We reproduce the same
+two columns with batch sizes scaled to the dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.query import TOPSQuery
+from repro.datasets import beijing_like
+from repro.datasets.base import DatasetBundle
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import DEFAULT_TAU_RANGE
+from repro.trajectory.generators import CommuterModel
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+
+__all__ = ["run", "main"]
+
+
+def run(
+    batch_sizes: tuple[int, ...] = (50, 100, 200, 400),
+    scale: str = "small",
+    seed: int = 42,
+    gamma: float = 0.75,
+    bundle: DatasetBundle | None = None,
+) -> list[dict]:
+    """Per-batch update times for trajectory and site additions."""
+    if bundle is None:
+        bundle = beijing_like(scale=scale, seed=seed)
+    rng = ensure_rng(seed)
+    # build the index over a half of the trajectories so additions are new
+    base = bundle.trajectories.sample(max(1, bundle.num_trajectories // 2), seed=seed)
+    base_ids = set(base.ids())
+    problem_sites = bundle.sites[: max(10, len(bundle.sites) // 2)]
+    from repro.core.netclus import NetClusIndex
+
+    index = NetClusIndex.build(
+        bundle.network,
+        base,
+        problem_sites,
+        gamma=gamma,
+        tau_min_km=DEFAULT_TAU_RANGE[0],
+        tau_max_km=DEFAULT_TAU_RANGE[1],
+    )
+    model = CommuterModel(bundle.network, seed=seed + 1)
+    remaining_sites = [s for s in bundle.sites if s not in set(problem_sites)]
+    rows: list[dict] = []
+    next_id = max(base_ids) + 1
+    for batch in batch_sizes:
+        new_trajectories = model.generate(batch)
+        with Timer() as traj_timer:
+            for trajectory in new_trajectories:
+                relabeled = type(trajectory)(
+                    traj_id=next_id,
+                    nodes=trajectory.nodes,
+                    cumulative_km=trajectory.cumulative_km,
+                )
+                index.add_trajectory(relabeled)
+                next_id += 1
+        site_batch = list(
+            rng.choice(
+                remaining_sites if len(remaining_sites) >= batch else bundle.sites,
+                size=min(batch, len(bundle.sites)),
+                replace=False,
+            )
+        )
+        with Timer() as site_timer:
+            for site in site_batch:
+                if int(site) in index.sites:
+                    continue
+                index.add_site(int(site))
+        rows.append(
+            {
+                "batch_size": batch,
+                "trajectory_add_s": traj_timer.elapsed,
+                "site_add_s": site_timer.elapsed,
+            }
+        )
+    return rows
+
+
+def main() -> list[dict]:
+    """Run at default scale and print the Table 10 rows."""
+    rows = run()
+    print_table(rows, title="Table 10 — index update cost (batched additions)")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Table 12 — the Jaccard-similarity clustering alternative.
+
+Appendix B.1 clusters candidate sites by the Jaccard similarity of their
+trajectory covers; Table 12 shows that its cost grows steeply with τ (the
+covering sets must be built first) and eventually exhausts memory, which is
+why NetClus uses distance-based clustering instead.  We report clustering
+time, the number of clusters, and the covering-structure bytes per τ,
+alongside the cost of building the equivalent NetClus instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.jaccard import jaccard_clustering
+from repro.core.preference import BinaryPreference
+from repro.core.query import TOPSQuery
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import ExperimentContext, build_context
+
+__all__ = ["run", "main"]
+
+
+def run(
+    tau_values: tuple[float, ...] = (0.2, 0.4, 0.8, 1.2, 1.6),
+    alpha: float = 0.8,
+    scale: str = "small",
+    seed: int = 42,
+    context: ExperimentContext | None = None,
+) -> list[dict]:
+    """Jaccard-clustering cost per τ, with the NetClus instance as reference."""
+    if context is None:
+        context = build_context(scale=scale, seed=seed)
+    rows: list[dict] = []
+    for tau_km in tau_values:
+        query = TOPSQuery(k=5, tau_km=tau_km, preference=BinaryPreference())
+        coverage = context.coverage(query)
+        result = jaccard_clustering(coverage, alpha=alpha)
+        instance = context.netclus.instance_for(tau_km)
+        rows.append(
+            {
+                "tau_km": tau_km,
+                "jaccard_clusters": result.num_clusters,
+                "jaccard_time_s": result.build_seconds,
+                "jaccard_storage_mb": result.storage_bytes / 1e6,
+                "netclus_clusters": instance.num_clusters,
+                "netclus_instance_build_s": instance.build_seconds,
+                "netclus_instance_storage_mb": instance.storage_bytes() / 1e6,
+            }
+        )
+    return rows
+
+
+def main() -> list[dict]:
+    """Run at default scale and print the Table 12 rows."""
+    rows = run()
+    print_table(rows, title="Table 12 — Jaccard-similarity clustering vs τ (α = 0.8)")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

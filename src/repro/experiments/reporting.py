@@ -1,0 +1,91 @@
+"""ASCII reporting helpers for the experiment drivers.
+
+Every experiment driver returns its results as a list of dictionaries (one
+per row/series point).  These helpers render them as aligned text tables, the
+same rows/series the paper reports, so that a run of a benchmark or an
+example prints something directly comparable to the paper's tables and
+figures.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "print_table", "format_value", "save_rows_csv"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Format a list of row dictionaries as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(col, ""), precision) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(r[idx]) for r in rendered))
+        for idx, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[idx]) for idx, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 3,
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, columns=columns, title=title, precision=precision))
+
+
+def save_rows_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: str | Path,
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Write experiment rows to a CSV file (one column per row key).
+
+    Useful for post-processing or plotting the regenerated tables/figures with
+    external tooling.
+    """
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col, "") for col in columns})

@@ -1,0 +1,302 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on the Beijing road network (OpenStreetMap) and on three
+synthetic cities generated with the MNTG traffic generator — New York (star
+topology), Atlanta (mesh) and Bangalore (polycentric).  Neither OSM extracts
+nor MNTG are available offline, so this module provides topology-faithful
+generators:
+
+* :func:`grid_network` — rectangular mesh ("Atlanta-like");
+* :func:`star_network` — radial arterials with ring connectors
+  ("New-York-like" star topology as characterised in the paper);
+* :func:`polycentric_network` — several dense local grids connected by
+  arterials ("Bangalore-like");
+* :func:`ring_radial_network` — concentric ring roads with radial spokes and
+  a dense core ("Beijing-like");
+* :func:`random_planar_network` — Delaunay-ish random planar graph used by
+  property tests.
+
+All generators return a strongly-connected-by-construction bidirectional
+network with planar coordinates in kilometres, and accept a seed for
+reproducibility where randomness is involved.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "grid_network",
+    "star_network",
+    "polycentric_network",
+    "ring_radial_network",
+    "random_planar_network",
+]
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    spacing_km: float = 0.5,
+    jitter: float = 0.0,
+    seed: int | None = None,
+) -> RoadNetwork:
+    """Rectangular mesh network (Atlanta-like).
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; the network has ``rows * cols`` nodes.
+    spacing_km:
+        Distance between adjacent intersections.
+    jitter:
+        Optional relative positional jitter (fraction of spacing) to break the
+        perfect regularity; edge lengths follow the jittered coordinates.
+    seed:
+        RNG seed used only when ``jitter > 0``.
+    """
+    require(rows >= 2 and cols >= 2, "grid must be at least 2x2")
+    require_positive(spacing_km, "spacing_km")
+    rng = ensure_rng(seed)
+    net = RoadNetwork()
+    coords = {}
+    for r in range(rows):
+        for c in range(cols):
+            x = c * spacing_km
+            y = r * spacing_km
+            if jitter > 0:
+                x += rng.uniform(-jitter, jitter) * spacing_km
+                y += rng.uniform(-jitter, jitter) * spacing_km
+            node = net.add_node(x, y)
+            coords[(r, c)] = node
+    for r in range(rows):
+        for c in range(cols):
+            u = coords[(r, c)]
+            if c + 1 < cols:
+                v = coords[(r, c + 1)]
+                net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+            if r + 1 < rows:
+                v = coords[(r + 1, c)]
+                net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+    return net
+
+
+def star_network(
+    num_arms: int = 8,
+    nodes_per_arm: int = 30,
+    spacing_km: float = 0.4,
+    num_rings: int = 3,
+    seed: int | None = None,
+) -> RoadNetwork:
+    """Star / radial network (New-York-like per the paper's characterisation).
+
+    A central hub with ``num_arms`` arterial spokes; a few concentric ring
+    connectors join adjacent arms so that cross-arm travel does not always go
+    through the centre.
+    """
+    require(num_arms >= 3, "need at least 3 arms")
+    require(nodes_per_arm >= 2, "need at least 2 nodes per arm")
+    require_positive(spacing_km, "spacing_km")
+    net = RoadNetwork()
+    hub = net.add_node(0.0, 0.0)
+    arm_nodes: list[list[int]] = []
+    for arm in range(num_arms):
+        angle = 2.0 * math.pi * arm / num_arms
+        prev = hub
+        nodes: list[int] = []
+        for step in range(1, nodes_per_arm + 1):
+            radius = step * spacing_km
+            node = net.add_node(radius * math.cos(angle), radius * math.sin(angle))
+            net.add_bidirectional_edge(prev, node, net.euclidean_distance(prev, node))
+            nodes.append(node)
+            prev = node
+        arm_nodes.append(nodes)
+    # ring connectors at evenly spaced depths
+    if num_rings > 0:
+        depths = np.linspace(2, nodes_per_arm - 1, num=num_rings, dtype=int)
+        for depth in depths:
+            for arm in range(num_arms):
+                u = arm_nodes[arm][int(depth)]
+                v = arm_nodes[(arm + 1) % num_arms][int(depth)]
+                net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+    return net
+
+
+def polycentric_network(
+    num_centers: int = 4,
+    grid_size: int = 10,
+    spacing_km: float = 0.35,
+    center_spread_km: float = 6.0,
+    seed: int | None = None,
+) -> RoadNetwork:
+    """Polycentric network (Bangalore-like): several local grids + arterials.
+
+    Each centre is a ``grid_size x grid_size`` mesh; centres are placed on a
+    circle of radius *center_spread_km* and adjacent centres are connected by
+    a single arterial edge between their nearest corner nodes.
+    """
+    require(num_centers >= 2, "need at least 2 centers")
+    rng = ensure_rng(seed)
+    net = RoadNetwork()
+    center_corner_nodes: list[list[int]] = []
+    for idx in range(num_centers):
+        angle = 2.0 * math.pi * idx / num_centers
+        cx = center_spread_km * math.cos(angle)
+        cy = center_spread_km * math.sin(angle)
+        local_nodes: dict[tuple[int, int], int] = {}
+        for r in range(grid_size):
+            for c in range(grid_size):
+                x = cx + (c - grid_size / 2) * spacing_km + rng.uniform(-0.02, 0.02)
+                y = cy + (r - grid_size / 2) * spacing_km + rng.uniform(-0.02, 0.02)
+                local_nodes[(r, c)] = net.add_node(x, y)
+        for r in range(grid_size):
+            for c in range(grid_size):
+                u = local_nodes[(r, c)]
+                if c + 1 < grid_size:
+                    v = local_nodes[(r, c + 1)]
+                    net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+                if r + 1 < grid_size:
+                    v = local_nodes[(r + 1, c)]
+                    net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+        corners = [
+            local_nodes[(0, 0)],
+            local_nodes[(0, grid_size - 1)],
+            local_nodes[(grid_size - 1, 0)],
+            local_nodes[(grid_size - 1, grid_size - 1)],
+        ]
+        center_corner_nodes.append(corners)
+    # arterial links between adjacent centres (and one chord for redundancy)
+    for idx in range(num_centers):
+        nxt = (idx + 1) % num_centers
+        u = _closest_pair(net, center_corner_nodes[idx], center_corner_nodes[nxt])
+        net.add_bidirectional_edge(u[0], u[1], net.euclidean_distance(u[0], u[1]))
+    if num_centers > 3:
+        u = _closest_pair(net, center_corner_nodes[0], center_corner_nodes[num_centers // 2])
+        net.add_bidirectional_edge(u[0], u[1], net.euclidean_distance(u[0], u[1]))
+    return net
+
+
+def ring_radial_network(
+    num_rings: int = 5,
+    nodes_per_ring: int = 40,
+    ring_spacing_km: float = 1.2,
+    core_grid: int = 6,
+    core_spacing_km: float = 0.35,
+    seed: int | None = None,
+) -> RoadNetwork:
+    """Ring-radial network (Beijing-like).
+
+    Concentric ring roads with radial spokes (every other ring node carries a
+    spoke), plus a dense core grid around the centre connected to the first
+    ring.  This mirrors Beijing's ring-road structure at reduced scale.
+    """
+    require(num_rings >= 2, "need at least 2 rings")
+    require(nodes_per_ring >= 8, "need at least 8 nodes per ring")
+    net = RoadNetwork()
+    # dense core grid
+    core_nodes: dict[tuple[int, int], int] = {}
+    for r in range(core_grid):
+        for c in range(core_grid):
+            x = (c - core_grid / 2) * core_spacing_km
+            y = (r - core_grid / 2) * core_spacing_km
+            core_nodes[(r, c)] = net.add_node(x, y)
+    for r in range(core_grid):
+        for c in range(core_grid):
+            u = core_nodes[(r, c)]
+            if c + 1 < core_grid:
+                v = core_nodes[(r, c + 1)]
+                net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+            if r + 1 < core_grid:
+                v = core_nodes[(r + 1, c)]
+                net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+    # rings
+    ring_nodes: list[list[int]] = []
+    for ring in range(1, num_rings + 1):
+        radius = ring * ring_spacing_km
+        nodes: list[int] = []
+        for idx in range(nodes_per_ring):
+            angle = 2.0 * math.pi * idx / nodes_per_ring
+            nodes.append(net.add_node(radius * math.cos(angle), radius * math.sin(angle)))
+        for idx in range(nodes_per_ring):
+            u, v = nodes[idx], nodes[(idx + 1) % nodes_per_ring]
+            net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+        ring_nodes.append(nodes)
+    # radial spokes between consecutive rings
+    for ring in range(len(ring_nodes) - 1):
+        for idx in range(0, nodes_per_ring, 2):
+            u = ring_nodes[ring][idx]
+            v = ring_nodes[ring + 1][idx]
+            net.add_bidirectional_edge(u, v, net.euclidean_distance(u, v))
+    # connect core boundary to the innermost ring
+    boundary = [core_nodes[(r, c)] for r in range(core_grid) for c in range(core_grid)
+                if r in (0, core_grid - 1) or c in (0, core_grid - 1)]
+    inner = ring_nodes[0]
+    for idx in range(0, nodes_per_ring, 4):
+        ring_node = inner[idx]
+        nearest = min(boundary, key=lambda b: net.euclidean_distance(b, ring_node))
+        net.add_bidirectional_edge(nearest, ring_node, net.euclidean_distance(nearest, ring_node))
+    return net
+
+
+def random_planar_network(
+    num_nodes: int,
+    area_km: float = 10.0,
+    avg_degree: float = 3.0,
+    seed: int | None = None,
+) -> RoadNetwork:
+    """Random connected quasi-planar network used by tests and fuzzing.
+
+    Nodes are placed uniformly at random in a square of side *area_km*; each
+    node is connected to its nearest neighbours until the average degree is
+    roughly *avg_degree*; finally a spanning chain guarantees connectivity.
+    """
+    require(num_nodes >= 2, "need at least 2 nodes")
+    rng = ensure_rng(seed)
+    net = RoadNetwork()
+    points = rng.uniform(0.0, area_km, size=(num_nodes, 2))
+    for x, y in points:
+        net.add_node(float(x), float(y))
+    k_neighbors = max(1, int(round(avg_degree / 2)))
+    # connect each node to its k nearest neighbours
+    for u in range(num_nodes):
+        deltas = points - points[u]
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        order = np.argsort(dists)
+        added = 0
+        for v in order:
+            if v == u:
+                continue
+            if not net.has_edge(u, int(v)):
+                net.add_bidirectional_edge(u, int(v), max(float(dists[v]), 1e-6))
+            added += 1
+            if added >= k_neighbors:
+                break
+    # spanning chain over a random permutation guarantees strong connectivity
+    perm = rng.permutation(num_nodes)
+    for i in range(num_nodes - 1):
+        u, v = int(perm[i]), int(perm[i + 1])
+        if not net.has_edge(u, v):
+            length = max(float(np.hypot(*(points[u] - points[v]))), 1e-6)
+            net.add_bidirectional_edge(u, v, length)
+    return net
+
+
+def _closest_pair(
+    net: RoadNetwork, nodes_a: list[int], nodes_b: list[int]
+) -> tuple[int, int]:
+    """Return the (a, b) pair with the smallest Euclidean distance."""
+    best = (nodes_a[0], nodes_b[0])
+    best_dist = float("inf")
+    for a in nodes_a:
+        for b in nodes_b:
+            dist = net.euclidean_distance(a, b)
+            if dist < best_dist:
+                best_dist = dist
+                best = (a, b)
+    return best

@@ -1,0 +1,318 @@
+"""Directed road-network graph model.
+
+The paper models a road network as a directed graph ``G = (V, E)`` where nodes
+are road intersections and edges are road segments weighted by their length
+(in kilometres throughout this library).  Candidate sites live on nodes; a
+site located in the middle of a segment is spliced in as a new node
+(:meth:`RoadNetwork.insert_site_on_edge`), exactly as described in Section 2
+of the paper.
+
+The class keeps plain adjacency dictionaries for incremental construction and
+lazily materialises a SciPy CSR matrix for the bulk shortest-path computations
+used by the distance oracle and the Greedy-GDSP clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.utils.validation import require, require_positive
+
+__all__ = ["Node", "Edge", "RoadNetwork"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A road intersection.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer identifier (0..N-1 after construction).
+    x, y:
+        Planar coordinates in kilometres.  Used by generators, the GPS noise
+        simulator, and the map-matcher; the optimisation algorithms only use
+        network distances.
+    """
+
+    node_id: int
+    x: float = 0.0
+    y: float = 0.0
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed road segment from ``source`` to ``target`` of length ``length`` km."""
+
+    source: int
+    target: int
+    length: float
+
+
+class RoadNetwork:
+    """A directed, weighted road network.
+
+    Nodes are identified by dense non-negative integers.  Edge weights are
+    road-segment lengths in kilometres and must be positive.
+
+    Examples
+    --------
+    >>> net = RoadNetwork()
+    >>> a = net.add_node(0.0, 0.0)
+    >>> b = net.add_node(1.0, 0.0)
+    >>> net.add_edge(a, b, 1.0)
+    >>> net.add_edge(b, a, 1.0)
+    >>> net.num_nodes, net.num_edges
+    (2, 2)
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, Node] = {}
+        self._succ: dict[int, dict[int, float]] = {}
+        self._pred: dict[int, dict[int, float]] = {}
+        self._next_id: int = 0
+        self._csr_cache: csr_matrix | None = None
+        self._csr_rev_cache: csr_matrix | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, x: float = 0.0, y: float = 0.0, node_id: int | None = None) -> int:
+        """Add a node and return its identifier.
+
+        If *node_id* is given it must not already exist; otherwise the next
+        free dense id is assigned.
+        """
+        if node_id is None:
+            node_id = self._next_id
+        require(node_id not in self._nodes, f"node {node_id} already exists")
+        require(node_id >= 0, "node ids must be non-negative")
+        self._nodes[node_id] = Node(node_id, float(x), float(y))
+        self._succ.setdefault(node_id, {})
+        self._pred.setdefault(node_id, {})
+        self._next_id = max(self._next_id, node_id + 1)
+        self._invalidate_cache()
+        return node_id
+
+    def add_edge(self, source: int, target: int, length: float) -> None:
+        """Add (or overwrite) the directed edge ``source -> target``."""
+        require_positive(length, "edge length")
+        require(source in self._nodes, f"unknown source node {source}")
+        require(target in self._nodes, f"unknown target node {target}")
+        require(source != target, "self-loops are not allowed in a road network")
+        self._succ[source][target] = float(length)
+        self._pred[target][source] = float(length)
+        self._invalidate_cache()
+
+    def add_bidirectional_edge(self, u: int, v: int, length: float) -> None:
+        """Add both ``u -> v`` and ``v -> u`` with the same length."""
+        self.add_edge(u, v, length)
+        self.add_edge(v, u, length)
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Remove the directed edge ``source -> target`` (KeyError if absent)."""
+        del self._succ[source][target]
+        del self._pred[target][source]
+        self._invalidate_cache()
+
+    def insert_site_on_edge(
+        self, source: int, target: int, fraction: float, bidirectional: bool = True
+    ) -> int:
+        """Splice a new node onto the edge ``source -> target``.
+
+        Implements the site-augmentation described in Section 2 of the paper:
+        the original edge (and its reverse, when *bidirectional*) is replaced
+        by two segments through the new node.  ``fraction`` is the position of
+        the new node along the edge, in ``(0, 1)``.
+
+        Returns the new node's id.
+        """
+        require(0.0 < fraction < 1.0, "fraction must lie strictly between 0 and 1")
+        length = self._succ[source][target]
+        src, tgt = self._nodes[source], self._nodes[target]
+        x = src.x + fraction * (tgt.x - src.x)
+        y = src.y + fraction * (tgt.y - src.y)
+        new_id = self.add_node(x, y)
+        self.remove_edge(source, target)
+        self.add_edge(source, new_id, fraction * length)
+        self.add_edge(new_id, target, (1.0 - fraction) * length)
+        if bidirectional and source in self._succ.get(target, {}):
+            rev_length = self._succ[target][source]
+            self.remove_edge(target, source)
+            self.add_edge(target, new_id, (1.0 - fraction) * rev_length)
+            self.add_edge(new_id, source, fraction * rev_length)
+        return new_id
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the network."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the network."""
+        return sum(len(nbrs) for nbrs in self._succ.values())
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over :class:`Node` records."""
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> list[int]:
+        """Return the sorted list of node ids."""
+        return sorted(self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Return the :class:`Node` record for *node_id*."""
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: int) -> bool:
+        """Return ``True`` if *node_id* exists."""
+        return node_id in self._nodes
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return ``True`` if the directed edge exists."""
+        return target in self._succ.get(source, {})
+
+    def edge_length(self, source: int, target: int) -> float:
+        """Return the length of the directed edge ``source -> target``."""
+        return self._succ[source][target]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all directed edges."""
+        for source, nbrs in self._succ.items():
+            for target, length in nbrs.items():
+                yield Edge(source, target, length)
+
+    def successors(self, node_id: int) -> dict[int, float]:
+        """Return ``{neighbor: length}`` for outgoing edges of *node_id*."""
+        return dict(self._succ[node_id])
+
+    def predecessors(self, node_id: int) -> dict[int, float]:
+        """Return ``{neighbor: length}`` for incoming edges of *node_id*."""
+        return dict(self._pred[node_id])
+
+    def out_degree(self, node_id: int) -> int:
+        """Number of outgoing edges of *node_id*."""
+        return len(self._succ[node_id])
+
+    def in_degree(self, node_id: int) -> int:
+        """Number of incoming edges of *node_id*."""
+        return len(self._pred[node_id])
+
+    def coordinates(self) -> np.ndarray:
+        """Return an ``(N, 2)`` array of node coordinates indexed by node id.
+
+        Requires dense ids ``0..N-1`` (true for all generators in this
+        library).
+        """
+        coords = np.zeros((self.num_nodes, 2), dtype=float)
+        for node in self._nodes.values():
+            coords[node.node_id, 0] = node.x
+            coords[node.node_id, 1] = node.y
+        return coords
+
+    def euclidean_distance(self, u: int, v: int) -> float:
+        """Straight-line distance (km) between the coordinates of *u* and *v*."""
+        a, b = self._nodes[u], self._nodes[v]
+        return float(np.hypot(a.x - b.x, a.y - b.y))
+
+    def path_length(self, path: Iterable[int]) -> float:
+        """Sum of edge lengths along a node path (raises if an edge is missing)."""
+        total = 0.0
+        prev: int | None = None
+        for node_id in path:
+            if prev is not None:
+                total += self._succ[prev][node_id]
+            prev = node_id
+        return total
+
+    # ------------------------------------------------------------------ #
+    # CSR export (used by the shortest-path engine)
+    # ------------------------------------------------------------------ #
+    def to_csr(self, reverse: bool = False) -> csr_matrix:
+        """Return the adjacency as a SciPy CSR matrix of edge lengths.
+
+        Node ids must be dense ``0..N-1``.  Results are cached and invalidated
+        on mutation.  With ``reverse=True`` the transposed graph is returned
+        (used for distances *to* a site).
+        """
+        if reverse:
+            if self._csr_rev_cache is None:
+                self._csr_rev_cache = self._build_csr(self._pred)
+            return self._csr_rev_cache
+        if self._csr_cache is None:
+            self._csr_cache = self._build_csr(self._succ)
+        return self._csr_cache
+
+    def _build_csr(self, adjacency: dict[int, dict[int, float]]) -> csr_matrix:
+        n = self.num_nodes
+        require(
+            set(self._nodes) == set(range(n)),
+            "CSR export requires dense node ids 0..N-1",
+        )
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for source, nbrs in adjacency.items():
+            for target, length in nbrs.items():
+                rows.append(source)
+                cols.append(target)
+                data.append(length)
+        return csr_matrix(
+            (np.asarray(data), (np.asarray(rows, dtype=np.int32), np.asarray(cols, dtype=np.int32))),
+            shape=(n, n),
+        )
+
+    def _invalidate_cache(self) -> None:
+        self._csr_cache = None
+        self._csr_rev_cache = None
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (lengths stored as ``weight``)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self._nodes.values():
+            graph.add_node(node.node_id, x=node.x, y=node.y)
+        for edge in self.edges():
+            graph.add_edge(edge.source, edge.target, weight=edge.length)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph) -> "RoadNetwork":
+        """Build a :class:`RoadNetwork` from a ``networkx`` graph.
+
+        Node labels must be integers; ``weight`` (or ``length``) edge
+        attributes give segment lengths, defaulting to 1.0.
+        """
+        net = cls()
+        for node_id, attrs in sorted(graph.nodes(data=True)):
+            net.add_node(attrs.get("x", 0.0), attrs.get("y", 0.0), node_id=int(node_id))
+        for u, v, attrs in graph.edges(data=True):
+            length = float(attrs.get("weight", attrs.get("length", 1.0)))
+            net.add_edge(int(u), int(v), length)
+            if not graph.is_directed():
+                net.add_edge(int(v), int(u), length)
+        return net
+
+    def copy(self) -> "RoadNetwork":
+        """Return a deep copy of the network."""
+        clone = RoadNetwork()
+        for node in self._nodes.values():
+            clone.add_node(node.x, node.y, node_id=node.node_id)
+        for edge in self.edges():
+            clone.add_edge(edge.source, edge.target, edge.length)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"RoadNetwork(nodes={self.num_nodes}, edges={self.num_edges})"

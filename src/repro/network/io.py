@@ -1,0 +1,90 @@
+"""Road-network serialisation.
+
+Two interchange formats are supported:
+
+* **JSON** — nodes with coordinates plus a directed edge list; lossless and
+  self-describing, used by the examples to persist generated cities.
+* **Edge list** — a plain whitespace-separated text format
+  (``source target length`` per line, ``# node id x y`` comment header),
+  compatible with common graph tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.network.graph import RoadNetwork
+
+__all__ = [
+    "save_network_json",
+    "load_network_json",
+    "save_edge_list",
+    "load_edge_list",
+]
+
+
+def save_network_json(network: RoadNetwork, path: str | Path) -> None:
+    """Serialise *network* to a JSON file at *path*."""
+    payload = {
+        "nodes": [
+            {"id": node.node_id, "x": node.x, "y": node.y} for node in network.nodes()
+        ],
+        "edges": [
+            {"source": edge.source, "target": edge.target, "length": edge.length}
+            for edge in network.edges()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_network_json(path: str | Path) -> RoadNetwork:
+    """Load a network previously written by :func:`save_network_json`."""
+    payload = json.loads(Path(path).read_text())
+    network = RoadNetwork()
+    for node in sorted(payload["nodes"], key=lambda n: n["id"]):
+        network.add_node(node["x"], node["y"], node_id=int(node["id"]))
+    for edge in payload["edges"]:
+        network.add_edge(int(edge["source"]), int(edge["target"]), float(edge["length"]))
+    return network
+
+
+def save_edge_list(network: RoadNetwork, path: str | Path) -> None:
+    """Write a plain-text edge list with a node-coordinate comment header."""
+    lines = [
+        f"# node {node.node_id} {node.x} {node.y}" for node in network.nodes()
+    ]
+    lines += [
+        f"{edge.source} {edge.target} {edge.length}" for edge in network.edges()
+    ]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_edge_list(path: str | Path) -> RoadNetwork:
+    """Load a network from the edge-list format written by :func:`save_edge_list`.
+
+    Lines beginning with ``# node`` define node ids and coordinates; all other
+    non-comment lines are ``source target length`` triples.  Nodes referenced
+    only by edges are created with zero coordinates.
+    """
+    network = RoadNetwork()
+    edge_lines: list[tuple[int, int, float]] = []
+    for raw in Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if parts and parts[0] == "node":
+                node_id, x, y = int(parts[1]), float(parts[2]), float(parts[3])
+                network.add_node(x, y, node_id=node_id)
+            continue
+        source, target, length = line.split()
+        edge_lines.append((int(source), int(target), float(length)))
+    for source, target, length in edge_lines:
+        if not network.has_node(source):
+            network.add_node(node_id=source)
+        if not network.has_node(target):
+            network.add_node(node_id=target)
+        network.add_edge(source, target, length)
+    return network

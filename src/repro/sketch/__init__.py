@@ -1,0 +1,5 @@
+"""Probabilistic counting substrate (Flajolet-Martin sketches)."""
+
+from repro.sketch.fm import FMSketch, FMSketchFamily
+
+__all__ = ["FMSketch", "FMSketchFamily"]

@@ -1,0 +1,37 @@
+"""Trajectory substrate: model, GPS traces, map-matching, generators, and I/O."""
+
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+from repro.trajectory.gps import GPSPoint, GPSTrace, simulate_gps_trace
+from repro.trajectory.mapmatch import HMMMapMatcher, map_match_dataset
+from repro.trajectory.generators import (
+    CommuterModel,
+    random_route_trajectories,
+    commuter_trajectories,
+    mntg_like_trajectories,
+    length_class_trajectories,
+)
+from repro.trajectory.io import (
+    save_trajectories_json,
+    load_trajectories_json,
+    save_trajectories_csv,
+    load_trajectories_csv,
+)
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDataset",
+    "GPSPoint",
+    "GPSTrace",
+    "simulate_gps_trace",
+    "HMMMapMatcher",
+    "map_match_dataset",
+    "CommuterModel",
+    "random_route_trajectories",
+    "commuter_trajectories",
+    "mntg_like_trajectories",
+    "length_class_trajectories",
+    "save_trajectories_json",
+    "load_trajectories_json",
+    "save_trajectories_csv",
+    "load_trajectories_csv",
+]

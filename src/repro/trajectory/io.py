@@ -1,0 +1,84 @@
+"""Trajectory serialisation (JSON and CSV)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.network.graph import RoadNetwork
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+__all__ = [
+    "save_trajectories_json",
+    "load_trajectories_json",
+    "save_trajectories_csv",
+    "load_trajectories_csv",
+]
+
+
+def save_trajectories_json(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write a dataset to JSON (node sequences and cumulative distances)."""
+    payload = [
+        {
+            "id": trajectory.traj_id,
+            "nodes": list(trajectory.nodes),
+            "cumulative_km": list(trajectory.cumulative_km),
+        }
+        for trajectory in dataset
+    ]
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trajectories_json(path: str | Path) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_trajectories_json`."""
+    payload = json.loads(Path(path).read_text())
+    trajectories = [
+        Trajectory(
+            traj_id=int(item["id"]),
+            nodes=tuple(int(n) for n in item["nodes"]),
+            cumulative_km=tuple(float(c) for c in item["cumulative_km"]),
+        )
+        for item in payload
+    ]
+    return TrajectoryDataset(trajectories)
+
+
+def save_trajectories_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Write a dataset to CSV with one row per (trajectory, node) visit."""
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["traj_id", "seq", "node", "cumulative_km"])
+        for trajectory in dataset:
+            for seq, (node, cum) in enumerate(
+                zip(trajectory.nodes, trajectory.cumulative_km)
+            ):
+                writer.writerow([trajectory.traj_id, seq, node, f"{cum:.6f}"])
+
+
+def load_trajectories_csv(path: str | Path, network: RoadNetwork | None = None) -> TrajectoryDataset:
+    """Load a dataset written by :func:`save_trajectories_csv`.
+
+    If *network* is given, cumulative distances are recomputed from the
+    network (allowing CSVs that omit or round them); otherwise the stored
+    values are used.
+    """
+    rows: dict[int, list[tuple[int, int, float]]] = {}
+    with Path(path).open() as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            rows.setdefault(int(row["traj_id"]), []).append(
+                (int(row["seq"]), int(row["node"]), float(row["cumulative_km"]))
+            )
+    trajectories: list[Trajectory] = []
+    for traj_id in sorted(rows):
+        entries = sorted(rows[traj_id])
+        nodes = [node for _, node, _ in entries]
+        if network is not None:
+            trajectories.append(Trajectory.from_nodes(traj_id, nodes, network))
+        else:
+            cumulative = [cum for _, _, cum in entries]
+            trajectories.append(
+                Trajectory(traj_id=traj_id, nodes=tuple(nodes), cumulative_km=tuple(cumulative))
+            )
+    return TrajectoryDataset(trajectories)

@@ -1,0 +1,167 @@
+"""HMM map-matching.
+
+The paper map-matches raw GPS traces to node sequences using the method of
+Lou et al. [33].  We implement a self-contained hidden-Markov-model matcher in
+the same spirit:
+
+* **candidates** — for every GPS fix, the nearest road-network nodes within a
+  search radius are candidate states;
+* **emission probability** — Gaussian in the distance between fix and node;
+* **transition probability** — penalises the difference between network
+  distance of consecutive candidates and the straight-line distance between
+  consecutive fixes (the classic Newson–Krumm formulation);
+* **Viterbi** — the most likely candidate sequence becomes the matched path;
+  consecutive matched nodes are joined by network shortest paths so that the
+  output is a connected node sequence suitable for :class:`Trajectory`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import dijkstra_single_source, shortest_path_nodes
+from repro.trajectory.gps import GPSTrace
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+from repro.utils.validation import require_positive
+
+__all__ = ["HMMMapMatcher", "map_match_dataset"]
+
+
+class HMMMapMatcher:
+    """Hidden-Markov-model map-matcher from GPS traces to node sequences.
+
+    Parameters
+    ----------
+    network:
+        The road network to match onto.
+    candidate_radius_km:
+        Fixes consider nodes within this straight-line radius as candidate
+        states (falling back to the single nearest node when none qualify).
+    max_candidates:
+        Maximum number of candidate nodes per fix.
+    gps_std_km:
+        Emission model standard deviation (GPS error).
+    transition_beta:
+        Scale of the exponential transition penalty on the difference between
+        network and straight-line displacement.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        candidate_radius_km: float = 0.3,
+        max_candidates: int = 5,
+        gps_std_km: float = 0.05,
+        transition_beta: float = 0.5,
+    ) -> None:
+        require_positive(candidate_radius_km, "candidate_radius_km")
+        require_positive(gps_std_km, "gps_std_km")
+        require_positive(transition_beta, "transition_beta")
+        self.network = network
+        self.candidate_radius_km = candidate_radius_km
+        self.max_candidates = max_candidates
+        self.gps_std_km = gps_std_km
+        self.transition_beta = transition_beta
+        self._coords = network.coordinates()
+
+    # ------------------------------------------------------------------ #
+    def candidates(self, x: float, y: float) -> list[tuple[int, float]]:
+        """Return ``[(node, distance_km)]`` candidates for a fix at (x, y)."""
+        deltas = self._coords - np.asarray([x, y])
+        dists = np.hypot(deltas[:, 0], deltas[:, 1])
+        order = np.argsort(dists)
+        selected: list[tuple[int, float]] = []
+        for idx in order[: self.max_candidates]:
+            if dists[idx] <= self.candidate_radius_km or not selected:
+                selected.append((int(idx), float(dists[idx])))
+        return selected
+
+    def _emission_logprob(self, distance_km: float) -> float:
+        return -0.5 * (distance_km / self.gps_std_km) ** 2
+
+    def _transition_logprob(self, network_km: float, straight_km: float) -> float:
+        if math.isinf(network_km):
+            return -1e9
+        return -abs(network_km - straight_km) / self.transition_beta
+
+    # ------------------------------------------------------------------ #
+    def match(self, trace: GPSTrace, traj_id: int | None = None) -> Trajectory:
+        """Map-match *trace* and return the resulting :class:`Trajectory`."""
+        fixes = trace.coordinates()
+        candidate_sets = [self.candidates(float(x), float(y)) for x, y in fixes]
+
+        # Viterbi over candidate nodes
+        prev_scores: dict[int, float] = {}
+        prev_back: list[dict[int, int | None]] = []
+        for node, dist in candidate_sets[0]:
+            prev_scores[node] = self._emission_logprob(dist)
+        prev_back.append({node: None for node, _ in candidate_sets[0]})
+
+        # cache of single-source distances from candidate nodes, bounded
+        cutoff = 10.0 * self.candidate_radius_km + 5.0
+        sssp_cache: dict[int, dict[int, float]] = {}
+
+        for step in range(1, len(candidate_sets)):
+            straight = float(np.hypot(*(fixes[step] - fixes[step - 1])))
+            scores: dict[int, float] = {}
+            back: dict[int, int | None] = {}
+            for node, dist in candidate_sets[step]:
+                emission = self._emission_logprob(dist)
+                best_score = -float("inf")
+                best_prev: int | None = None
+                for prev_node, prev_score in prev_scores.items():
+                    if prev_node not in sssp_cache:
+                        sssp_cache[prev_node] = dijkstra_single_source(
+                            self.network, prev_node, cutoff=cutoff
+                        )
+                    network_km = sssp_cache[prev_node].get(node, float("inf"))
+                    score = prev_score + self._transition_logprob(network_km, straight) + emission
+                    if score > best_score:
+                        best_score = score
+                        best_prev = prev_node
+                scores[node] = best_score
+                back[node] = best_prev
+            prev_scores = scores
+            prev_back.append(back)
+
+        # backtrack
+        last_node = max(prev_scores, key=prev_scores.get)
+        matched = [last_node]
+        for step in range(len(candidate_sets) - 1, 0, -1):
+            prev = prev_back[step][matched[-1]]
+            if prev is None:
+                break
+            matched.append(prev)
+        matched.reverse()
+
+        # stitch with shortest paths to obtain a connected node sequence
+        full_path: list[int] = [matched[0]]
+        for prev, nxt in zip(matched, matched[1:]):
+            if prev == nxt:
+                continue
+            try:
+                segment = shortest_path_nodes(self.network, prev, nxt)
+            except ValueError:
+                segment = [prev, nxt] if self.network.has_edge(prev, nxt) else [nxt]
+            full_path.extend(segment[1:])
+        if traj_id is None:
+            traj_id = trace.trace_id
+        return Trajectory.from_nodes(traj_id, full_path, self.network)
+
+
+def map_match_dataset(
+    network: RoadNetwork,
+    traces: Sequence[GPSTrace],
+    matcher: HMMMapMatcher | None = None,
+) -> TrajectoryDataset:
+    """Map-match a collection of GPS traces into a :class:`TrajectoryDataset`."""
+    if matcher is None:
+        matcher = HMMMapMatcher(network)
+    trajectories = [
+        matcher.match(trace, traj_id=idx) for idx, trace in enumerate(traces)
+    ]
+    return TrajectoryDataset(trajectories)

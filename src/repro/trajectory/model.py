@@ -1,0 +1,238 @@
+"""Trajectory model.
+
+A trajectory is a map-matched sequence of road-network nodes (Section 2 of
+the paper).  :class:`Trajectory` also carries the cumulative along-path
+distance of each node, which the distance oracle uses to evaluate the detour
+``dr(T_j, s)`` in O(l) per trajectory.
+
+:class:`TrajectoryDataset` is an ordered container of trajectories with
+convenience constructors, filtering, sampling, and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.network.graph import RoadNetwork
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+__all__ = ["Trajectory", "TrajectoryDataset"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A map-matched user trajectory.
+
+    Attributes
+    ----------
+    traj_id:
+        Identifier unique within a dataset.
+    nodes:
+        Sequence of visited road-network node ids, in travel order.
+    cumulative_km:
+        ``cumulative_km[i]`` is the along-path network distance (km) from the
+        first node to ``nodes[i]``; ``cumulative_km[0] == 0``.
+    timestamps:
+        Optional per-node timestamps in seconds (same length as ``nodes``).
+    """
+
+    traj_id: int
+    nodes: tuple[int, ...]
+    cumulative_km: tuple[float, ...]
+    timestamps: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        require(len(self.nodes) >= 1, "a trajectory needs at least one node")
+        require(
+            len(self.cumulative_km) == len(self.nodes),
+            "cumulative_km must align with nodes",
+        )
+        if self.timestamps is not None:
+            require(
+                len(self.timestamps) == len(self.nodes),
+                "timestamps must align with nodes",
+            )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_nodes(
+        cls,
+        traj_id: int,
+        nodes: Sequence[int],
+        network: RoadNetwork,
+        timestamps: Sequence[float] | None = None,
+    ) -> "Trajectory":
+        """Build a trajectory from a node sequence, computing path distances.
+
+        Consecutive nodes must be joined by an edge in *network* (the output
+        of map-matching or of the trajectory generators always satisfies
+        this).  Consecutive duplicate nodes are collapsed.
+        """
+        cleaned: list[int] = []
+        for node in nodes:
+            if not cleaned or cleaned[-1] != node:
+                cleaned.append(int(node))
+        cumulative = [0.0]
+        for prev, nxt in zip(cleaned, cleaned[1:]):
+            cumulative.append(cumulative[-1] + network.edge_length(prev, nxt))
+        ts = tuple(float(t) for t in timestamps) if timestamps is not None else None
+        if ts is not None and len(ts) != len(cleaned):
+            ts = None
+        return cls(
+            traj_id=traj_id,
+            nodes=tuple(cleaned),
+            cumulative_km=tuple(cumulative),
+            timestamps=ts,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def length_km(self) -> float:
+        """Total along-path length of the trajectory in kilometres."""
+        return self.cumulative_km[-1]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of (map-matched) nodes."""
+        return len(self.nodes)
+
+    @property
+    def origin(self) -> int:
+        """First node of the trajectory."""
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> int:
+        """Last node of the trajectory."""
+        return self.nodes[-1]
+
+    def nodes_array(self) -> np.ndarray:
+        """Node ids as an ``int64`` array."""
+        return np.asarray(self.nodes, dtype=np.int64)
+
+    def cumulative_array(self) -> np.ndarray:
+        """Cumulative along-path distances as a ``float64`` array."""
+        return np.asarray(self.cumulative_km, dtype=np.float64)
+
+    def visits(self, node_id: int) -> bool:
+        """Return ``True`` if the trajectory passes through *node_id*."""
+        return node_id in self.nodes
+
+
+class TrajectoryDataset:
+    """An ordered collection of trajectories over one road network."""
+
+    def __init__(self, trajectories: Iterable[Trajectory] = ()) -> None:
+        self._trajectories: list[Trajectory] = list(trajectories)
+        ids = [t.traj_id for t in self._trajectories]
+        require(len(ids) == len(set(ids)), "trajectory ids must be unique")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_node_sequences(
+        cls, sequences: Iterable[Sequence[int]], network: RoadNetwork
+    ) -> "TrajectoryDataset":
+        """Build a dataset from raw node sequences (ids assigned 0..m-1)."""
+        trajectories = [
+            Trajectory.from_nodes(idx, seq, network) for idx, seq in enumerate(sequences)
+        ]
+        return cls(trajectories)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._trajectories)
+
+    def __getitem__(self, index: int) -> Trajectory:
+        return self._trajectories[index]
+
+    def by_id(self, traj_id: int) -> Trajectory:
+        """Return the trajectory with identifier *traj_id*."""
+        for trajectory in self._trajectories:
+            if trajectory.traj_id == traj_id:
+                return trajectory
+        raise KeyError(f"no trajectory with id {traj_id}")
+
+    def ids(self) -> list[int]:
+        """List of trajectory ids in dataset order."""
+        return [t.traj_id for t in self._trajectories]
+
+    def add(self, trajectory: Trajectory) -> None:
+        """Append a trajectory (its id must be new)."""
+        require(
+            trajectory.traj_id not in set(self.ids()),
+            f"trajectory id {trajectory.traj_id} already present",
+        )
+        self._trajectories.append(trajectory)
+
+    def remove(self, traj_id: int) -> Trajectory:
+        """Remove and return the trajectory with identifier *traj_id*."""
+        for idx, trajectory in enumerate(self._trajectories):
+            if trajectory.traj_id == traj_id:
+                return self._trajectories.pop(idx)
+        raise KeyError(f"no trajectory with id {traj_id}")
+
+    def next_id(self) -> int:
+        """Return the smallest id strictly greater than any existing id."""
+        if not self._trajectories:
+            return 0
+        return max(t.traj_id for t in self._trajectories) + 1
+
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[Trajectory], bool]) -> "TrajectoryDataset":
+        """Return a new dataset with trajectories satisfying *predicate*."""
+        return TrajectoryDataset([t for t in self._trajectories if predicate(t)])
+
+    def sample(self, size: int, seed: int | None = None) -> "TrajectoryDataset":
+        """Return a uniformly sampled (without replacement) sub-dataset."""
+        require(size <= len(self), "sample size exceeds dataset size")
+        rng = ensure_rng(seed)
+        indices = rng.choice(len(self._trajectories), size=size, replace=False)
+        return TrajectoryDataset([self._trajectories[int(i)] for i in sorted(indices)])
+
+    def length_classes(
+        self, boundaries_km: Sequence[float]
+    ) -> dict[tuple[float, float], "TrajectoryDataset"]:
+        """Partition trajectories into length bands.
+
+        ``boundaries_km = [a, b, c]`` yields bands ``[a, b)``, ``[b, c)``.
+        Used to reproduce Fig. 12 (effect of trajectory length).
+        """
+        bands: dict[tuple[float, float], list[Trajectory]] = {}
+        for low, high in zip(boundaries_km, boundaries_km[1:]):
+            bands[(low, high)] = []
+        for trajectory in self._trajectories:
+            for (low, high), bucket in bands.items():
+                if low <= trajectory.length_km < high:
+                    bucket.append(trajectory)
+                    break
+        return {band: TrajectoryDataset(items) for band, items in bands.items()}
+
+    # ------------------------------------------------------------------ #
+    def mean_length_km(self) -> float:
+        """Mean trajectory length."""
+        if not self._trajectories:
+            return 0.0
+        return float(np.mean([t.length_km for t in self._trajectories]))
+
+    def mean_num_nodes(self) -> float:
+        """Mean number of nodes per trajectory."""
+        if not self._trajectories:
+            return 0.0
+        return float(np.mean([t.num_nodes for t in self._trajectories]))
+
+    def node_visit_counts(self, num_nodes: int) -> np.ndarray:
+        """Return, per network node, the number of distinct trajectories visiting it."""
+        counts = np.zeros(num_nodes, dtype=np.int64)
+        for trajectory in self._trajectories:
+            counts[np.unique(trajectory.nodes_array())] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"TrajectoryDataset(m={len(self)}, mean_len={self.mean_length_km():.2f} km)"

@@ -1,0 +1,21 @@
+"""Small shared utilities: RNG handling, timing, validation, size estimates."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+from repro.utils.sizeof import deep_getsizeof
+
+__all__ = [
+    "ensure_rng",
+    "Timer",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+    "deep_getsizeof",
+]

@@ -1,0 +1,32 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  ``ensure_rng`` normalises all
+three into a ``Generator`` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing generator
+        (returned unchanged).
+
+    Examples
+    --------
+    >>> rng = ensure_rng(42)
+    >>> ensure_rng(rng) is rng
+    True
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,48 @@
+"""Argument-validation helpers.
+
+These raise ``ValueError`` with uniform, descriptive messages so that public
+API functions can validate inputs in one line each.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Validate that *value* is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Validate that *value* is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def require_type(value: Any, expected: type, name: str) -> None:
+    """Validate that *value* is an instance of *expected*."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be a {expected.__name__}, got {type(value).__name__}"
+        )

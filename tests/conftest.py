@@ -1,0 +1,125 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are session-scoped where the underlying objects are immutable and
+expensive (networks, datasets, oracles, NetClus indexes) so that the several
+hundred tests stay fast; tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageIndex
+from repro.core.distances import DistanceOracle
+from repro.core.preference import BinaryPreference, LinearPreference
+from repro.core.problem import TOPSProblem
+from repro.core.query import TOPSQuery
+from repro.datasets import beijing_like, beijing_small_like
+from repro.network.generators import grid_network, random_planar_network
+from repro.trajectory.generators import commuter_trajectories, random_route_trajectories
+from repro.trajectory.model import TrajectoryDataset
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """A 6x6 grid network with 0.5 km spacing (36 nodes)."""
+    return grid_network(6, 6, spacing_km=0.5)
+
+
+@pytest.fixture(scope="session")
+def medium_grid():
+    """A 10x10 grid network with 0.5 km spacing (100 nodes)."""
+    return grid_network(10, 10, spacing_km=0.5)
+
+
+@pytest.fixture(scope="session")
+def planar_network():
+    """A random quasi-planar network used by property-style tests."""
+    return random_planar_network(60, area_km=6.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def grid_trajectories(medium_grid):
+    """80 commuter trajectories on the 10x10 grid."""
+    return commuter_trajectories(medium_grid, 80, seed=5)
+
+
+@pytest.fixture(scope="session")
+def grid_problem(medium_grid, grid_trajectories):
+    """A TOPSProblem over the 10x10 grid with all nodes as candidate sites."""
+    return TOPSProblem(medium_grid, grid_trajectories)
+
+
+@pytest.fixture(scope="session")
+def grid_oracle(grid_problem):
+    """The distance oracle of the grid problem."""
+    return grid_problem.oracle
+
+
+@pytest.fixture(scope="session")
+def binary_query():
+    """Default TOPS query: k=5, τ=1.0 km, binary preference."""
+    return TOPSQuery(k=5, tau_km=1.0, preference=BinaryPreference())
+
+
+@pytest.fixture(scope="session")
+def linear_query():
+    """A TOPS query with the linear preference."""
+    return TOPSQuery(k=5, tau_km=1.0, preference=LinearPreference())
+
+
+@pytest.fixture(scope="session")
+def grid_coverage(grid_problem, binary_query):
+    """Coverage index of the grid problem at the default binary query."""
+    return grid_problem.coverage(binary_query)
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle():
+    """The tiny Beijing-like dataset bundle."""
+    return beijing_like(scale="tiny", seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_problem(tiny_bundle):
+    """TOPSProblem over the tiny Beijing-like bundle."""
+    return tiny_bundle.problem()
+
+
+@pytest.fixture(scope="session")
+def tiny_netclus(tiny_problem):
+    """A NetClus index over the tiny Beijing-like bundle."""
+    return tiny_problem.build_netclus_index(
+        gamma=0.75, tau_min_km=0.4, tau_max_km=4.0
+    )
+
+
+@pytest.fixture(scope="session")
+def small_instance():
+    """A hand-sized instance (Beijing-Small analogue) for exact-solver tests."""
+    return beijing_small_like(num_trajectories=60, num_sites=15, seed=9)
+
+
+@pytest.fixture
+def rng():
+    """A seeded NumPy generator for per-test randomness."""
+    return np.random.default_rng(1234)
+
+
+def make_line_network(num_nodes: int = 5, spacing_km: float = 1.0):
+    """A simple bidirectional path network 0 - 1 - ... - (n-1)."""
+    from repro.network.graph import RoadNetwork
+
+    net = RoadNetwork()
+    for idx in range(num_nodes):
+        net.add_node(idx * spacing_km, 0.0)
+    for idx in range(num_nodes - 1):
+        net.add_bidirectional_edge(idx, idx + 1, spacing_km)
+    return net
+
+
+@pytest.fixture
+def line_network():
+    """A 5-node path network with 1 km edges."""
+    return make_line_network()

@@ -1,0 +1,66 @@
+"""Unit tests for the naive placement baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import random_sites, static_demand_greedy, top_k_by_traffic
+from repro.core.greedy import IncGreedy
+from repro.core.query import TOPSQuery
+
+
+class TestTopKByTraffic:
+    def test_selects_heaviest_sites(self, grid_coverage, binary_query):
+        result = top_k_by_traffic(grid_coverage, binary_query)
+        weights = grid_coverage.site_weights
+        chosen_columns = grid_coverage.columns_for_labels(result.sites)
+        threshold = np.sort(weights)[::-1][binary_query.k - 1]
+        assert all(weights[c] >= threshold for c in chosen_columns)
+
+    def test_never_beats_greedy(self, grid_coverage, binary_query):
+        """Frequency-based selection ignores overlap, so greedy is at least as good."""
+        baseline = top_k_by_traffic(grid_coverage, binary_query)
+        greedy = IncGreedy(grid_coverage).solve(binary_query)
+        assert greedy.utility >= baseline.utility - 1e-9
+
+    def test_k_sites_selected(self, grid_coverage, binary_query):
+        assert len(top_k_by_traffic(grid_coverage, binary_query).sites) == binary_query.k
+
+
+class TestRandomSites:
+    def test_deterministic_with_seed(self, grid_coverage, binary_query):
+        a = random_sites(grid_coverage, binary_query, seed=5)
+        b = random_sites(grid_coverage, binary_query, seed=5)
+        assert a.sites == b.sites
+
+    def test_never_beats_greedy(self, grid_coverage, binary_query):
+        baseline = random_sites(grid_coverage, binary_query, seed=5)
+        greedy = IncGreedy(grid_coverage).solve(binary_query)
+        assert greedy.utility >= baseline.utility - 1e-9
+
+    def test_k_distinct_sites(self, grid_coverage, binary_query):
+        result = random_sites(grid_coverage, binary_query, seed=1)
+        assert len(set(result.sites)) == binary_query.k
+
+
+class TestStaticDemandGreedy:
+    def test_reported_utility_is_trajectory_aware(self, grid_problem, binary_query):
+        """The baseline optimises endpoint coverage but is *scored* with the
+        trajectory-aware utility, so it can never exceed Inc-Greedy."""
+        coverage = grid_problem.coverage(binary_query)
+        oracle = grid_problem.oracle
+        endpoint_detours = np.empty((len(grid_problem.trajectories), coverage.num_sites))
+        for row, trajectory in enumerate(grid_problem.trajectories):
+            origin_rt = (
+                oracle._to_site[:, trajectory.origin] + oracle._from_site[:, trajectory.origin]
+            )
+            dest_rt = (
+                oracle._to_site[:, trajectory.destination]
+                + oracle._from_site[:, trajectory.destination]
+            )
+            endpoint_detours[row] = np.minimum(origin_rt, dest_rt)
+        baseline = static_demand_greedy(coverage, binary_query, endpoint_detours)
+        greedy = IncGreedy(coverage).solve(binary_query)
+        assert baseline.utility <= greedy.utility + 1e-9
+        assert len(baseline.sites) == binary_query.k

@@ -1,0 +1,119 @@
+"""Unit tests for the coverage structures (TC, SC, site weights)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageIndex
+from repro.core.preference import BinaryPreference, LinearPreference
+
+
+@pytest.fixture
+def detours():
+    """3 trajectories x 4 sites with a mix of covered/uncovered pairs."""
+    return np.asarray(
+        [
+            [0.0, 0.5, 2.0, np.inf],
+            [1.5, 0.2, 0.9, 3.0],
+            [np.inf, np.inf, 0.1, 0.4],
+        ]
+    )
+
+
+@pytest.fixture
+def binary_cov(detours):
+    return CoverageIndex(detours, tau_km=1.0, preference=BinaryPreference())
+
+
+@pytest.fixture
+def linear_cov(detours):
+    return CoverageIndex(detours, tau_km=1.0, preference=LinearPreference())
+
+
+class TestConstruction:
+    def test_shape_attributes(self, binary_cov):
+        assert binary_cov.num_trajectories == 3
+        assert binary_cov.num_sites == 4
+
+    def test_default_labels(self, binary_cov):
+        assert list(binary_cov.site_labels) == [0, 1, 2, 3]
+        assert list(binary_cov.trajectory_ids) == [0, 1, 2]
+
+    def test_rejects_bad_label_lengths(self, detours):
+        with pytest.raises(ValueError):
+            CoverageIndex(detours, 1.0, BinaryPreference(), site_labels=[1, 2])
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(ValueError):
+            CoverageIndex(np.zeros(4), 1.0, BinaryPreference())
+
+
+class TestScoresAndWeights:
+    def test_binary_scores(self, binary_cov):
+        expected = np.asarray(
+            [[1, 1, 0, 0], [0, 1, 1, 0], [0, 0, 1, 1]], dtype=float
+        )
+        assert np.array_equal(binary_cov.scores, expected)
+
+    def test_linear_scores_decrease_with_detour(self, linear_cov):
+        assert linear_cov.scores[0, 0] > linear_cov.scores[0, 1]
+
+    def test_site_weights_binary(self, binary_cov):
+        assert np.array_equal(binary_cov.site_weights, [1, 2, 2, 1])
+
+    def test_trajectory_weights_scale_scores(self, detours):
+        weighted = CoverageIndex(
+            detours,
+            1.0,
+            BinaryPreference(),
+            trajectory_weights=np.asarray([2.0, 1.0, 1.0]),
+        )
+        assert weighted.scores[0, 0] == 2.0
+
+
+class TestCoveringSets:
+    def test_trajectories_covered(self, binary_cov):
+        assert list(binary_cov.trajectories_covered(1)) == [0, 1]
+        assert list(binary_cov.trajectories_covered(3)) == [2]
+
+    def test_sites_covering(self, binary_cov):
+        assert list(binary_cov.sites_covering(0)) == [0, 1]
+        assert list(binary_cov.sites_covering(2)) == [2, 3]
+
+    def test_covered_pairs(self, binary_cov):
+        assert binary_cov.covered_pairs() == 6
+
+    def test_mask_matches_tau(self, detours, binary_cov):
+        mask = binary_cov.coverage_mask()
+        assert np.array_equal(mask, detours <= 1.0)
+
+    def test_exact_tau_boundary_included(self):
+        detours = np.asarray([[1.0]])
+        cov = CoverageIndex(detours, tau_km=1.0, preference=BinaryPreference())
+        assert cov.covered_pairs() == 1
+
+
+class TestUtility:
+    def test_utility_of_empty(self, binary_cov):
+        assert binary_cov.utility_of([]) == 0.0
+
+    def test_utility_of_single_site(self, binary_cov):
+        assert binary_cov.utility_of([1]) == 2.0
+
+    def test_utility_max_semantics(self, binary_cov):
+        # sites 1 and 2 overlap on trajectory 1: utility is 3, not 4
+        assert binary_cov.utility_of([1, 2]) == 3.0
+
+    def test_per_trajectory_utility(self, binary_cov):
+        per_traj = binary_cov.per_trajectory_utility([0, 3])
+        assert list(per_traj) == [1.0, 0.0, 1.0]
+
+    def test_columns_for_labels(self, detours):
+        cov = CoverageIndex(
+            detours, 1.0, BinaryPreference(), site_labels=[10, 20, 30, 40]
+        )
+        assert cov.columns_for_labels([30, 10]) == [2, 0]
+
+    def test_storage_bytes_positive(self, binary_cov):
+        assert binary_cov.storage_bytes() > 0

@@ -1,0 +1,132 @@
+"""Unit tests for the dataset builders (Table 6 analogues)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    atlanta_like,
+    bangalore_like,
+    beijing_like,
+    beijing_small_like,
+    new_york_like,
+    site_capacities_normal,
+    site_costs_normal,
+)
+from repro.datasets.base import DatasetBundle
+
+
+def assert_valid_bundle(bundle: DatasetBundle):
+    assert bundle.num_nodes > 0
+    assert bundle.num_trajectories > 0
+    assert bundle.num_sites > 0
+    node_set = set(bundle.network.node_ids())
+    assert set(bundle.sites) <= node_set
+    for trajectory in bundle.trajectories:
+        for prev, nxt in zip(trajectory.nodes, trajectory.nodes[1:]):
+            assert bundle.network.has_edge(prev, nxt)
+
+
+class TestBeijingLike:
+    def test_tiny_valid(self, tiny_bundle):
+        assert_valid_bundle(tiny_bundle)
+
+    def test_scales_ordered(self):
+        tiny = beijing_like("tiny", seed=1)
+        small = beijing_like("small", seed=1)
+        assert small.num_nodes > tiny.num_nodes
+        assert small.num_trajectories > tiny.num_trajectories
+
+    def test_all_nodes_are_sites_by_default(self, tiny_bundle):
+        assert tiny_bundle.num_sites == tiny_bundle.num_nodes
+
+    def test_half_sites_option(self):
+        bundle = beijing_like("tiny", seed=1, sites="half")
+        assert bundle.num_sites == bundle.num_nodes // 2
+
+    def test_deterministic(self):
+        a = beijing_like("tiny", seed=5)
+        b = beijing_like("tiny", seed=5)
+        assert [t.nodes for t in a.trajectories] == [t.nodes for t in b.trajectories]
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            beijing_like("gigantic")
+
+    def test_invalid_sites_option(self):
+        with pytest.raises(ValueError):
+            beijing_like("tiny", sites="most")
+
+    def test_summary_and_problem(self, tiny_bundle):
+        summary = tiny_bundle.summary()
+        assert summary["nodes"] == tiny_bundle.num_nodes
+        problem = tiny_bundle.problem()
+        assert problem.num_trajectories == tiny_bundle.num_trajectories
+
+
+class TestBeijingSmallLike:
+    def test_valid(self, small_instance):
+        assert_valid_bundle(small_instance)
+
+    def test_site_count_respected(self, small_instance):
+        assert small_instance.num_sites == 15
+
+    def test_trajectory_count_respected(self, small_instance):
+        assert small_instance.num_trajectories == 60
+
+    def test_sites_are_mostly_visited(self, small_instance):
+        """The small instance samples candidate sites from visited nodes."""
+        counts = small_instance.trajectories.node_visit_counts(
+            small_instance.network.num_nodes
+        )
+        visited_sites = sum(1 for s in small_instance.sites if counts[s] > 0)
+        assert visited_sites >= 0.8 * small_instance.num_sites
+
+
+class TestCityBundles:
+    @pytest.mark.parametrize(
+        "builder", [new_york_like, atlanta_like, bangalore_like], ids=["nyk", "atl", "bng"]
+    )
+    def test_valid(self, builder):
+        bundle = builder(num_trajectories=40, seed=2)
+        assert_valid_bundle(bundle)
+        assert bundle.num_trajectories == 40
+
+    def test_topologies_differ(self):
+        nyk = new_york_like(num_trajectories=20, seed=2)
+        atl = atlanta_like(num_trajectories=20, seed=2)
+        bng = bangalore_like(num_trajectories=20, seed=2)
+        sizes = {nyk.num_nodes, atl.num_nodes, bng.num_nodes}
+        assert len(sizes) == 3
+
+
+class TestWorkloads:
+    def test_costs_floored(self):
+        costs = site_costs_normal(500, mean=1.0, std=1.0, min_cost=0.1, seed=1)
+        assert np.all(costs >= 0.1)
+        assert len(costs) == 500
+
+    def test_zero_std_constant(self):
+        costs = site_costs_normal(10, mean=1.0, std=0.0)
+        assert np.allclose(costs, 1.0)
+
+    def test_costs_deterministic(self):
+        assert np.allclose(
+            site_costs_normal(50, std=0.5, seed=3), site_costs_normal(50, std=0.5, seed=3)
+        )
+
+    def test_capacities_at_least_one(self):
+        caps = site_capacities_normal(100, 1000, mean_fraction=0.001, seed=2)
+        assert np.all(caps >= 1.0)
+
+    def test_capacities_mean_scales(self):
+        small = site_capacities_normal(200, 1000, mean_fraction=0.01, seed=2).mean()
+        large = site_capacities_normal(200, 1000, mean_fraction=0.5, seed=2).mean()
+        assert large > small
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            site_costs_normal(0)
+        with pytest.raises(ValueError):
+            site_capacities_normal(10, 0)

@@ -1,0 +1,128 @@
+"""Unit tests for the distance oracle and detour computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distances import DistanceOracle
+from repro.core.preference import BinaryPreference
+from repro.network.generators import grid_network, random_planar_network
+from repro.trajectory.generators import random_route_trajectories
+from repro.trajectory.model import Trajectory
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(6, 6, spacing_km=1.0)
+
+
+@pytest.fixture(scope="module")
+def oracle(network):
+    return DistanceOracle(network, network.node_ids())
+
+
+class TestConstruction:
+    def test_rejects_empty_sites(self, network):
+        with pytest.raises(ValueError):
+            DistanceOracle(network, [])
+
+    def test_rejects_duplicate_sites(self, network):
+        with pytest.raises(ValueError):
+            DistanceOracle(network, [0, 0, 1])
+
+    def test_rejects_unknown_site(self, network):
+        with pytest.raises(ValueError):
+            DistanceOracle(network, [0, 999])
+
+    def test_num_sites(self, network, oracle):
+        assert oracle.num_sites == network.num_nodes
+
+
+class TestDistanceTables:
+    def test_distance_from_site(self, oracle):
+        # grid with 1 km spacing: node 0 -> node 2 is two edges to the right
+        assert oracle.distance_from_site(0, 2) == pytest.approx(2.0)
+
+    def test_distance_to_site(self, oracle):
+        assert oracle.distance_to_site(2, 0) == pytest.approx(2.0)
+
+    def test_round_trip_site_distance_symmetric(self, oracle):
+        assert oracle.round_trip_site_distance(0, 7) == pytest.approx(
+            oracle.round_trip_site_distance(7, 0)
+        )
+
+    def test_storage_bytes_positive(self, oracle):
+        assert oracle.storage_bytes() > 0
+
+
+class TestDetour:
+    def test_zero_for_site_on_trajectory(self, network, oracle):
+        trajectory = Trajectory.from_nodes(0, [0, 1, 2, 3], network)
+        detours = oracle.detour_vector(trajectory)
+        for node in trajectory.nodes:
+            assert detours[oracle.site_index[node]] == pytest.approx(0.0)
+
+    def test_known_off_path_detour(self, network, oracle):
+        # trajectory along the bottom row of the grid: nodes 0,1,2,3
+        trajectory = Trajectory.from_nodes(0, [0, 1, 2, 3], network)
+        # node 6+1=7 is directly above node 1 (1 km away); round-trip detour 2 km
+        assert oracle.detour(trajectory, 7) == pytest.approx(2.0)
+
+    def test_prefix_min_matches_bruteforce(self):
+        network = random_planar_network(40, area_km=5.0, seed=8)
+        oracle = DistanceOracle(network, network.node_ids())
+        dataset = random_route_trajectories(network, 10, seed=8)
+        for trajectory in dataset:
+            fast = oracle.detour_vector(trajectory)
+            for site in [0, 5, 13, 27, 39]:
+                assert fast[oracle.site_index[site]] == pytest.approx(
+                    oracle.detour_bruteforce(trajectory, site), abs=1e-9
+                )
+
+    def test_detour_non_negative(self, network, oracle):
+        dataset = random_route_trajectories(network, 8, seed=2)
+        for trajectory in dataset:
+            assert np.all(oracle.detour_vector(trajectory) >= 0.0)
+
+    def test_single_node_trajectory(self, network, oracle):
+        trajectory = Trajectory(traj_id=0, nodes=(14,), cumulative_km=(0.0,))
+        detours = oracle.detour_vector(trajectory)
+        # for a static user the detour to a site is its round-trip distance
+        assert detours[oracle.site_index[14]] == pytest.approx(0.0)
+        assert detours[oracle.site_index[15]] == pytest.approx(2.0)
+
+    def test_detour_matrix_shape(self, network, oracle):
+        dataset = random_route_trajectories(network, 6, seed=3)
+        matrix = oracle.detour_matrix(dataset)
+        assert matrix.shape == (6, oracle.num_sites)
+
+    def test_detour_decreases_with_longer_trajectory(self, network, oracle):
+        """Extending a trajectory can only reduce (or keep) the detour to any site."""
+        short = Trajectory.from_nodes(0, [0, 1, 2], network)
+        longer = Trajectory.from_nodes(1, [0, 1, 2, 3, 4, 5], network)
+        assert np.all(
+            oracle.detour_vector(longer) <= oracle.detour_vector(short) + 1e-9
+        )
+
+
+class TestEvaluateUtility:
+    def test_empty_selection(self, network, oracle):
+        dataset = random_route_trajectories(network, 5, seed=4)
+        total, per_traj = oracle.evaluate_utility(dataset, [], 1.0, BinaryPreference())
+        assert total == 0.0
+        assert np.all(per_traj == 0.0)
+
+    def test_all_sites_cover_everything_with_huge_tau(self, network, oracle):
+        dataset = random_route_trajectories(network, 5, seed=4)
+        total, per_traj = oracle.evaluate_utility(
+            dataset, network.node_ids(), 1e6, BinaryPreference()
+        )
+        assert total == pytest.approx(len(dataset))
+        assert np.all(per_traj == 1.0)
+
+    def test_monotone_in_site_set(self, network, oracle):
+        dataset = random_route_trajectories(network, 10, seed=5)
+        small, _ = oracle.evaluate_utility(dataset, [0, 1], 1.0, BinaryPreference())
+        large, _ = oracle.evaluate_utility(dataset, [0, 1, 20, 30], 1.0, BinaryPreference())
+        assert large >= small

@@ -1,0 +1,189 @@
+"""Integration tests for the experiment harness (every figure/table driver).
+
+These run each driver at a deliberately tiny scale and assert that the output
+rows are well-formed and that the qualitative shapes the paper reports hold
+(e.g. utility grows with k, NetClus memory below Inc-Greedy memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import beijing_like, beijing_small_like
+from repro.experiments.figures import (
+    fig04_optimal,
+    fig05_quality,
+    fig06_runtime,
+    fig07_cost_capacity,
+    fig08_tops2,
+    fig10_scalability,
+    fig11_city_geometries,
+    fig12_traj_length,
+    table07_gamma,
+    table08_fm_sketches,
+    table09_memory,
+    table10_updates,
+    table11_index_construction,
+    table12_jaccard,
+)
+from repro.experiments.metrics import relative_error_percent, utility_percent
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import build_context
+
+
+@pytest.fixture(scope="module")
+def context():
+    """One shared tiny experiment context for all driver tests."""
+    return build_context(scale="tiny", seed=7, tau_max_km=4.0)
+
+
+class TestMetricsAndReporting:
+    def test_utility_percent(self):
+        assert utility_percent(25, 100) == 25.0
+
+    def test_relative_error(self):
+        assert relative_error_percent(100, 95) == pytest.approx(5.0)
+        assert relative_error_percent(0, 10) == 0.0
+
+    def test_format_table_contains_columns(self):
+        text = format_table([{"a": 1, "b": 2.5}], title="T")
+        assert "T" in text and "a" in text and "2.500" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_save_rows_csv(self, tmp_path):
+        from repro.experiments.reporting import save_rows_csv
+
+        path = tmp_path / "rows.csv"
+        save_rows_csv([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}], path)
+        text = path.read_text().splitlines()
+        assert text[0] == "a,b"
+        assert text[1] == "1,2.5"
+
+    def test_save_rows_csv_empty(self, tmp_path):
+        from repro.experiments.reporting import save_rows_csv
+
+        path = tmp_path / "empty.csv"
+        save_rows_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestComparisonDrivers:
+    def test_fig05_quality(self, context):
+        rows = fig05_quality.run_varying_k(context, k_values=(1, 3), tau_km=0.8)
+        assert len(rows) == 2
+        # utility grows (weakly) with k for every algorithm
+        for name in ("incg", "netclus"):
+            assert rows[1][f"{name}_utility_pct"] >= rows[0][f"{name}_utility_pct"] - 1e-9
+
+    def test_fig05_tau_sweep(self, context):
+        rows = fig05_quality.run_varying_tau(context, tau_values=(0.4, 1.6), k=3)
+        assert rows[1]["incg_utility_pct"] >= rows[0]["incg_utility_pct"] - 1e-9
+
+    def test_fig06_runtime(self, context):
+        rows = fig06_runtime.run_varying_k(context, k_values=(1, 3), tau_km=0.8)
+        for row in rows:
+            assert row["incg_runtime_s"] > 0
+            assert row["netclus_runtime_s"] > 0
+            assert row["speedup_incg_over_netclus"] > 0
+
+    def test_fig04_optimal(self):
+        bundle = beijing_small_like(num_trajectories=40, num_sites=10, seed=5)
+        ctx = build_context(bundle=bundle, tau_max_km=2.0)
+        rows = fig04_optimal.run(k_values=(1, 2), context=ctx)
+        for row in rows:
+            # no heuristic may beat the optimum
+            for name in ("incg", "fmg", "netclus", "fmnetclus"):
+                assert row[f"{name}_utility_pct"] <= row["opt_utility_pct"] + 1e-6
+            # greedy respects its (1 - 1/e) guarantee
+            assert row["incg_utility_pct"] >= (1 - 1 / np.e) * row["opt_utility_pct"] - 1e-6
+
+
+class TestParameterStudies:
+    def test_table07_gamma(self):
+        bundle = beijing_like("tiny", seed=7)
+        rows = table07_gamma.run(gamma_values=(0.5, 1.0), bundle=bundle)
+        assert len(rows) == 2
+        # finer resolution (smaller gamma) -> more instances and a bigger index
+        assert rows[0]["num_instances"] >= rows[1]["num_instances"]
+        assert rows[0]["index_bytes"] >= rows[1]["index_bytes"]
+
+    def test_table08_fm(self, context):
+        rows = table08_fm_sketches.run(f_values=(2, 30), context=context)
+        assert len(rows) == 2
+        assert all(row["fm_netclus_time_s"] > 0 for row in rows)
+
+    def test_table09_memory(self, context):
+        rows = table09_memory.run(tau_values=(0.2, 0.8), context=context)
+        for row in rows:
+            # NetClus must use (estimated) less memory than Inc-Greedy
+            assert row["netclus_mb"] < row["incg_mb"]
+            assert row["fmg_mb"] >= row["incg_mb"]
+
+    def test_table11_index_construction(self, context):
+        rows = table11_index_construction.run(context=context)
+        assert len(rows) == context.netclus.num_instances
+        clusters = [row["num_clusters"] for row in rows]
+        assert clusters == sorted(clusters, reverse=True)
+
+    def test_table12_jaccard(self, context):
+        rows = table12_jaccard.run(tau_values=(0.4, 0.8), context=context)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["jaccard_clusters"] >= 1
+
+
+class TestExtensionsAndVariants:
+    def test_fig07_cost(self, context):
+        rows = fig07_cost_capacity.run_cost(context, std_values=(0.0, 0.8), budget=3.0)
+        assert len(rows) == 2
+        # larger cost spread lets the greedy pick more, cheaper sites
+        assert rows[1]["incg_num_sites"] >= rows[0]["incg_num_sites"]
+
+    def test_fig07_capacity(self, context):
+        rows = fig07_cost_capacity.run_capacity(context, mean_fractions=(0.01, 1.0))
+        assert rows[1]["incg_utility_pct"] >= rows[0]["incg_utility_pct"] - 1e-9
+
+    def test_fig08_tops2(self, context):
+        rows = fig08_tops2.run(tau_values=(0.8,), k_values=(3,), context=context)
+        assert len(rows) == 1
+        assert rows[0]["netclus_utility_pct"] >= 0.5 * rows[0]["incg_utility_pct"]
+
+
+class TestRobustnessStudies:
+    def test_fig10_scalability(self):
+        bundle = beijing_like("tiny", seed=7)
+        rows = fig10_scalability.run_varying_sites(bundle, site_fractions=(0.5, 1.0), k=3)
+        assert rows[0]["num_sites"] < rows[1]["num_sites"]
+        rows_t = fig10_scalability.run_varying_trajectories(
+            bundle, trajectory_fractions=(0.5, 1.0), k=3
+        )
+        assert rows_t[0]["num_trajectories"] < rows_t[1]["num_trajectories"]
+
+    def test_fig11_city_geometries(self):
+        rows = fig11_city_geometries.run(k=3, tau_km=0.8, num_trajectories=60, seed=3)
+        assert {row["city"] for row in rows} == {"NYK", "ATL", "BNG"}
+        for row in rows:
+            assert 0 < row["incg_utility_pct"] <= 100
+
+    def test_fig12_traj_length(self):
+        bundle = beijing_like("tiny", seed=7)
+        rows = fig12_traj_length.run(
+            length_bands_km=((1.0, 3.0), (3.0, 6.0)),
+            num_per_band=20,
+            bundle=bundle,
+            k=3,
+        )
+        assert len(rows) >= 1
+        for row in rows:
+            assert row["num_trajectories"] > 0
+
+    def test_table10_updates(self):
+        bundle = beijing_like("tiny", seed=7)
+        rows = table10_updates.run(batch_sizes=(10, 20), bundle=bundle)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["trajectory_add_s"] >= 0.0
+            assert row["site_add_s"] >= 0.0

@@ -1,0 +1,129 @@
+"""Unit tests for the Flajolet-Martin sketch substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch.fm import FMSketch, FMSketchFamily
+
+
+class TestFMSketch:
+    def test_empty_estimate_small(self):
+        assert FMSketch().estimate() < 2.0
+
+    def test_add_sets_bits(self):
+        sketch = FMSketch()
+        sketch.add(12345)
+        assert sketch.bits != 0
+
+    def test_idempotent_insertion(self):
+        sketch = FMSketch()
+        sketch.add(1)
+        bits = sketch.bits
+        sketch.add(1)
+        assert sketch.bits == bits
+
+    def test_union_is_or(self):
+        a, b = FMSketch(), FMSketch()
+        a.add(1)
+        b.add(2)
+        union = a.union(b)
+        assert union.bits == a.bits | b.bits
+
+    def test_union_requires_same_seed(self):
+        with pytest.raises(ValueError):
+            FMSketch(seed=0).union(FMSketch(seed=1))
+
+    def test_union_in_place(self):
+        a, b = FMSketch(), FMSketch()
+        a.add(1)
+        b.add(2)
+        expected = a.bits | b.bits
+        a.union_in_place(b)
+        assert a.bits == expected
+
+    def test_copy_and_eq(self):
+        a = FMSketch()
+        a.add(7)
+        b = a.copy()
+        assert a == b
+        b.add(9)
+        assert a != b or a.bits == b.bits  # adding may or may not change bits
+
+    def test_lowest_unset_bit(self):
+        sketch = FMSketch(bits=0b0111)
+        assert sketch.lowest_unset_bit() == 3
+
+
+class TestFMSketchFamily:
+    def test_empty_family(self):
+        family = FMSketchFamily(10)
+        assert family.is_empty()
+        assert family.estimate() < 2.0
+
+    def test_estimate_scales_with_cardinality(self):
+        small = FMSketchFamily.from_items(range(20), num_copies=30)
+        large = FMSketchFamily.from_items(range(2000), num_copies=30)
+        assert large.estimate() > small.estimate()
+
+    def test_estimate_accuracy_moderate(self):
+        """With 30 copies the estimate should be within a factor ~2 of truth."""
+        true_count = 500
+        family = FMSketchFamily.from_items(range(true_count), num_copies=30)
+        estimate = family.estimate()
+        assert true_count / 2.5 <= estimate <= true_count * 2.5
+
+    def test_union_estimate_at_least_parts(self):
+        a = FMSketchFamily.from_items(range(0, 300), num_copies=20)
+        b = FMSketchFamily.from_items(range(300, 600), num_copies=20)
+        union = a.union(b)
+        assert union.estimate() >= max(a.estimate(), b.estimate()) * 0.99
+
+    def test_union_of_identical_sets_unchanged(self):
+        a = FMSketchFamily.from_items(range(100), num_copies=16)
+        b = FMSketchFamily.from_items(range(100), num_copies=16)
+        assert a.union(b) == a
+
+    def test_union_in_place(self):
+        a = FMSketchFamily.from_items(range(50), num_copies=8)
+        b = FMSketchFamily.from_items(range(50, 100), num_copies=8)
+        expected = a.union(b)
+        a.union_in_place(b)
+        assert a == expected
+
+    def test_union_requires_same_copies(self):
+        with pytest.raises(ValueError):
+            FMSketchFamily(8).union(FMSketchFamily(16))
+
+    def test_copy_independent(self):
+        a = FMSketchFamily.from_items(range(10), num_copies=8)
+        b = a.copy()
+        b.add(123456)
+        assert a.bits is not b.bits
+
+    def test_insertion_order_invariance(self):
+        a = FMSketchFamily.from_items([1, 2, 3, 4, 5], num_copies=12)
+        b = FMSketchFamily.from_items([5, 4, 3, 2, 1], num_copies=12)
+        assert a == b
+
+    def test_estimate_from_bits_matches_instance(self):
+        family = FMSketchFamily.from_items(range(64), num_copies=12)
+        assert FMSketchFamily.estimate_from_bits(family.bits) == pytest.approx(
+            family.estimate()
+        )
+
+    def test_more_copies_reduce_error_on_average(self):
+        """Across several disjoint sets, f=40 should estimate no worse than f=2."""
+        true_count = 400
+        errors = {2: [], 40: []}
+        for offset in range(5):
+            items = range(offset * 1000, offset * 1000 + true_count)
+            for copies in errors:
+                estimate = FMSketchFamily.from_items(items, num_copies=copies).estimate()
+                errors[copies].append(abs(estimate - true_count) / true_count)
+        assert np.mean(errors[40]) <= np.mean(errors[2]) + 0.05
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            FMSketchFamily(0)

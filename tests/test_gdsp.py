@@ -1,0 +1,136 @@
+"""Unit tests for Greedy-GDSP distance-based clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gdsp import GreedyGDSP
+from repro.network.generators import grid_network, random_planar_network
+from repro.network.shortest_path import ShortestPathEngine
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(8, 8, spacing_km=0.5)
+
+
+@pytest.fixture(scope="module")
+def engine(network):
+    return ShortestPathEngine(network)
+
+
+@pytest.fixture(scope="module")
+def gdsp(network, engine):
+    return GreedyGDSP(network, engine=engine)
+
+
+class TestClusteringInvariants:
+    @pytest.mark.parametrize("radius", [0.3, 0.6, 1.2])
+    def test_partition_covers_all_nodes(self, network, gdsp, radius):
+        result = gdsp.cluster(radius)
+        clustered = set()
+        for cluster in result.clusters:
+            clustered.update(cluster.nodes)
+        assert clustered == set(network.node_ids())
+
+    @pytest.mark.parametrize("radius", [0.3, 0.6, 1.2])
+    def test_clusters_are_disjoint(self, gdsp, radius):
+        result = gdsp.cluster(radius)
+        seen = set()
+        for cluster in result.clusters:
+            for node in cluster.nodes:
+                assert node not in seen
+                seen.add(node)
+
+    @pytest.mark.parametrize("radius", [0.3, 0.6, 1.2])
+    def test_radius_invariant(self, gdsp, radius):
+        """Every member's round-trip distance to its center is at most 2R."""
+        result = gdsp.cluster(radius)
+        for cluster in result.clusters:
+            for round_trip in cluster.node_round_trip_km:
+                assert round_trip <= 2.0 * radius + 1e-9
+
+    @pytest.mark.parametrize("radius", [0.3, 0.6, 1.2])
+    def test_node_to_cluster_consistent(self, gdsp, radius):
+        result = gdsp.cluster(radius)
+        for cluster in result.clusters:
+            for node in cluster.nodes:
+                assert result.node_to_cluster[node] == cluster.cluster_id
+
+    def test_center_belongs_to_its_cluster(self, gdsp):
+        result = gdsp.cluster(0.6)
+        for cluster in result.clusters:
+            assert cluster.center in cluster.nodes
+            assert cluster.round_trip_to_center(cluster.center) == pytest.approx(0.0)
+
+    def test_larger_radius_fewer_clusters(self, gdsp):
+        fine = gdsp.cluster(0.3)
+        coarse = gdsp.cluster(1.2)
+        assert coarse.num_clusters < fine.num_clusters
+
+    def test_tiny_radius_singleton_clusters(self, network, gdsp):
+        result = gdsp.cluster(0.05)
+        assert result.num_clusters == network.num_nodes
+
+    def test_build_time_recorded(self, gdsp):
+        result = gdsp.cluster(0.6)
+        assert result.build_seconds > 0.0
+        assert result.mean_dominating_set_size >= 1.0
+
+    def test_invalid_radius(self, gdsp):
+        with pytest.raises(ValueError):
+            gdsp.cluster(0.0)
+
+
+class TestGreedyQuality:
+    def test_greedy_is_reasonably_small(self, network, gdsp, engine):
+        """Greedy-GDSP should not produce more clusters than a naive sweep."""
+        radius = 0.6
+        result = gdsp.cluster(radius)
+        # naive baseline: scan nodes in id order, open a cluster whenever the
+        # node is not yet dominated by an existing center
+        dominating = engine.bounded_round_trip_neighbors(radius)
+        covered: set[int] = set()
+        naive_centers = 0
+        for node in network.node_ids():
+            if node not in covered:
+                naive_centers += 1
+                covered.update(int(v) for v in dominating[node])
+        assert result.num_clusters <= naive_centers * 1.5
+
+
+class TestFMVariant:
+    def test_fm_clustering_valid_partition(self, network, engine):
+        gdsp_fm = GreedyGDSP(network, engine=engine, use_fm_sketches=True, num_sketches=20)
+        result = gdsp_fm.cluster(0.6)
+        clustered = set()
+        for cluster in result.clusters:
+            clustered.update(cluster.nodes)
+        assert clustered == set(network.node_ids())
+
+    def test_fm_radius_invariant(self, network, engine):
+        gdsp_fm = GreedyGDSP(network, engine=engine, use_fm_sketches=True, num_sketches=20)
+        result = gdsp_fm.cluster(0.6)
+        for cluster in result.clusters:
+            for round_trip in cluster.node_round_trip_km:
+                assert round_trip <= 1.2 + 1e-9
+
+    def test_fm_cluster_count_close_to_exact(self, network, engine, gdsp):
+        exact = gdsp.cluster(0.6).num_clusters
+        fm = GreedyGDSP(network, engine=engine, use_fm_sketches=True, num_sketches=30)
+        approx = fm.cluster(0.6).num_clusters
+        assert approx <= exact * 2
+
+
+class TestDirectedNetwork:
+    def test_asymmetric_round_trips_respected(self):
+        network = random_planar_network(50, area_km=4.0, seed=21)
+        gdsp = GreedyGDSP(network)
+        result = gdsp.cluster(0.5)
+        engine = ShortestPathEngine(network)
+        for cluster in result.clusters[:5]:
+            forward = engine.distances_from([cluster.center])[0]
+            backward = engine.distances_to([cluster.center])[0]
+            for node, stored in zip(cluster.nodes, cluster.node_round_trip_km):
+                assert stored == pytest.approx(forward[node] + backward[node], abs=1e-9)

@@ -1,0 +1,103 @@
+"""Unit tests for GPS trace simulation and the HMM map-matcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.generators import grid_network
+from repro.network.shortest_path import shortest_path_nodes
+from repro.trajectory.gps import GPSTrace, simulate_gps_trace
+from repro.trajectory.mapmatch import HMMMapMatcher, map_match_dataset
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(6, 6, spacing_km=0.5)
+
+
+@pytest.fixture(scope="module")
+def ground_truth_path(network):
+    return shortest_path_nodes(network, 0, 35)
+
+
+class TestSimulateGpsTrace:
+    def test_trace_has_points(self, network, ground_truth_path):
+        trace = simulate_gps_trace(network, ground_truth_path, seed=1)
+        assert len(trace) >= 2
+
+    def test_timestamps_monotone(self, network, ground_truth_path):
+        trace = simulate_gps_trace(network, ground_truth_path, seed=1)
+        times = [p.timestamp for p in trace.points]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_zero_noise_points_on_path(self, network, ground_truth_path):
+        trace = simulate_gps_trace(network, ground_truth_path, noise_std_km=0.0, seed=1)
+        coords = network.coordinates()
+        path_coords = coords[ground_truth_path]
+        for point in trace.points:
+            distances = np.hypot(path_coords[:, 0] - point.x, path_coords[:, 1] - point.y)
+            # every fix lies within half an edge length of some path node
+            assert distances.min() <= 0.3
+
+    def test_denser_sampling_more_points(self, network, ground_truth_path):
+        sparse = simulate_gps_trace(network, ground_truth_path, sample_every_km=0.5, seed=1)
+        dense = simulate_gps_trace(network, ground_truth_path, sample_every_km=0.1, seed=1)
+        assert len(dense) > len(sparse)
+
+    def test_short_path_rejected(self, network):
+        with pytest.raises(ValueError):
+            simulate_gps_trace(network, [0], seed=1)
+
+    def test_coordinates_shape(self, network, ground_truth_path):
+        trace = simulate_gps_trace(network, ground_truth_path, seed=1)
+        assert trace.coordinates().shape == (len(trace), 2)
+
+
+class TestHMMMapMatcher:
+    def test_candidates_nearest_first(self, network):
+        matcher = HMMMapMatcher(network)
+        node = network.node(14)
+        candidates = matcher.candidates(node.x + 0.01, node.y - 0.01)
+        assert candidates[0][0] == 14
+
+    def test_exact_trace_recovers_path(self, network, ground_truth_path):
+        trace = simulate_gps_trace(
+            network, ground_truth_path, noise_std_km=0.0, sample_every_km=0.2, seed=1
+        )
+        matcher = HMMMapMatcher(network, gps_std_km=0.05)
+        matched = matcher.match(trace)
+        # the matched trajectory must start and end at the true endpoints
+        assert matched.nodes[0] == ground_truth_path[0]
+        assert matched.nodes[-1] == ground_truth_path[-1]
+
+    def test_noisy_trace_stays_close(self, network, ground_truth_path):
+        trace = simulate_gps_trace(
+            network, ground_truth_path, noise_std_km=0.05, sample_every_km=0.2, seed=2
+        )
+        matcher = HMMMapMatcher(network)
+        matched = matcher.match(trace)
+        truth = set(ground_truth_path)
+        overlap = sum(1 for node in matched.nodes if node in truth) / len(matched.nodes)
+        assert overlap >= 0.6
+
+    def test_matched_trajectory_is_connected(self, network, ground_truth_path):
+        trace = simulate_gps_trace(network, ground_truth_path, noise_std_km=0.08, seed=3)
+        matched = HMMMapMatcher(network).match(trace)
+        for prev, nxt in zip(matched.nodes, matched.nodes[1:]):
+            assert network.has_edge(prev, nxt)
+
+    def test_map_match_dataset(self, network):
+        paths = [shortest_path_nodes(network, 0, 35), shortest_path_nodes(network, 5, 30)]
+        traces = [
+            simulate_gps_trace(network, path, trace_id=i, seed=i) for i, path in enumerate(paths)
+        ]
+        dataset = map_match_dataset(network, traces)
+        assert len(dataset) == 2
+        assert dataset.ids() == [0, 1]
+
+    def test_invalid_parameters(self, network):
+        with pytest.raises(ValueError):
+            HMMMapMatcher(network, candidate_radius_km=0.0)
+        with pytest.raises(ValueError):
+            HMMMapMatcher(network, gps_std_km=-1.0)

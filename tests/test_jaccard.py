@@ -1,0 +1,77 @@
+"""Unit tests for the Jaccard-similarity clustering baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageIndex
+from repro.core.jaccard import jaccard_clustering, jaccard_similarity
+from repro.core.preference import BinaryPreference
+
+
+class TestJaccardSimilarity:
+    def test_identical_sets(self):
+        cover = np.asarray([True, False, True])
+        assert jaccard_similarity(cover, cover) == 1.0
+
+    def test_disjoint_sets(self):
+        a = np.asarray([True, False, False])
+        b = np.asarray([False, True, False])
+        assert jaccard_similarity(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = np.asarray([True, True, False])
+        b = np.asarray([True, False, True])
+        assert jaccard_similarity(a, b) == pytest.approx(1 / 3)
+
+    def test_empty_sets_similar(self):
+        empty = np.asarray([False, False])
+        assert jaccard_similarity(empty, empty) == 1.0
+
+
+class TestJaccardClustering:
+    @pytest.fixture
+    def coverage(self):
+        detours = np.asarray(
+            [
+                [0.1, 0.2, np.inf, np.inf],
+                [0.3, 0.1, np.inf, np.inf],
+                [np.inf, np.inf, 0.2, 0.3],
+                [np.inf, np.inf, 0.1, 0.2],
+            ]
+        )
+        return CoverageIndex(detours, tau_km=1.0, preference=BinaryPreference())
+
+    def test_alpha_zero_groups_identical_covers(self, coverage):
+        result = jaccard_clustering(coverage, alpha=0.0)
+        assert result.num_clusters == 2
+        groups = [sorted(c.member_columns) for c in result.clusters]
+        assert sorted(groups) == [[0, 1], [2, 3]]
+
+    def test_alpha_one_single_cluster(self, coverage):
+        result = jaccard_clustering(coverage, alpha=1.0)
+        assert result.num_clusters == 1
+
+    def test_every_site_clustered_exactly_once(self, coverage):
+        result = jaccard_clustering(coverage, alpha=0.5)
+        members = [col for cluster in result.clusters for col in cluster.member_columns]
+        assert sorted(members) == [0, 1, 2, 3]
+
+    def test_center_is_member(self, coverage):
+        result = jaccard_clustering(coverage, alpha=0.5)
+        for cluster in result.clusters:
+            assert cluster.center_column in cluster.member_columns
+
+    def test_invalid_alpha(self, coverage):
+        with pytest.raises(ValueError):
+            jaccard_clustering(coverage, alpha=1.5)
+
+    def test_time_and_storage_recorded(self, coverage):
+        result = jaccard_clustering(coverage, alpha=0.8)
+        assert result.build_seconds >= 0.0
+        assert result.storage_bytes > 0
+
+    def test_on_real_coverage(self, grid_coverage):
+        result = jaccard_clustering(grid_coverage, alpha=0.8)
+        assert 1 <= result.num_clusters <= grid_coverage.num_sites

@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic road-network generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import connected_components
+
+from repro.network.generators import (
+    grid_network,
+    polycentric_network,
+    random_planar_network,
+    ring_radial_network,
+    star_network,
+)
+
+
+def assert_strongly_connected(network):
+    n_components, _ = connected_components(network.to_csr(), directed=True, connection="strong")
+    assert n_components == 1
+
+
+class TestGridNetwork:
+    def test_node_count(self):
+        assert grid_network(5, 7).num_nodes == 35
+
+    def test_edge_count_matches_mesh(self):
+        net = grid_network(4, 4, spacing_km=1.0)
+        # 2 * (rows*(cols-1) + cols*(rows-1)) directed edges
+        assert net.num_edges == 2 * (4 * 3 + 4 * 3)
+
+    def test_strongly_connected(self):
+        assert_strongly_connected(grid_network(6, 6))
+
+    def test_spacing_respected(self):
+        net = grid_network(3, 3, spacing_km=2.0)
+        assert net.edge_length(0, 1) == pytest.approx(2.0)
+
+    def test_jitter_changes_lengths(self):
+        jittered = grid_network(4, 4, spacing_km=1.0, jitter=0.2, seed=1)
+        lengths = [e.length for e in jittered.edges()]
+        assert np.std(lengths) > 0.0
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            grid_network(1, 5)
+
+
+class TestStarNetwork:
+    def test_node_count(self):
+        net = star_network(num_arms=6, nodes_per_arm=10)
+        assert net.num_nodes == 1 + 6 * 10
+
+    def test_strongly_connected(self):
+        assert_strongly_connected(star_network(num_arms=5, nodes_per_arm=8))
+
+    def test_hub_degree_at_least_arms(self):
+        net = star_network(num_arms=7, nodes_per_arm=5)
+        assert net.out_degree(0) >= 7
+
+    def test_minimum_arms(self):
+        with pytest.raises(ValueError):
+            star_network(num_arms=2)
+
+
+class TestPolycentricNetwork:
+    def test_node_count(self):
+        net = polycentric_network(num_centers=3, grid_size=5, seed=1)
+        assert net.num_nodes == 3 * 25
+
+    def test_strongly_connected(self):
+        assert_strongly_connected(polycentric_network(num_centers=4, grid_size=6, seed=2))
+
+    def test_minimum_centers(self):
+        with pytest.raises(ValueError):
+            polycentric_network(num_centers=1)
+
+
+class TestRingRadialNetwork:
+    def test_node_count(self):
+        net = ring_radial_network(num_rings=3, nodes_per_ring=12, core_grid=4)
+        assert net.num_nodes == 16 + 3 * 12
+
+    def test_strongly_connected(self):
+        assert_strongly_connected(
+            ring_radial_network(num_rings=4, nodes_per_ring=16, core_grid=5)
+        )
+
+    def test_rings_increase_radius(self):
+        net = ring_radial_network(num_rings=3, nodes_per_ring=12, ring_spacing_km=1.0, core_grid=4)
+        coords = net.coordinates()
+        radii = np.hypot(coords[:, 0], coords[:, 1])
+        assert radii.max() == pytest.approx(3.0, rel=0.05)
+
+
+class TestRandomPlanarNetwork:
+    def test_node_count(self):
+        assert random_planar_network(50, seed=0).num_nodes == 50
+
+    def test_strongly_connected(self):
+        assert_strongly_connected(random_planar_network(80, seed=4))
+
+    def test_deterministic_for_seed(self):
+        a = random_planar_network(30, seed=9)
+        b = random_planar_network(30, seed=9)
+        assert {(e.source, e.target) for e in a.edges()} == {
+            (e.source, e.target) for e in b.edges()
+        }
+
+    def test_positive_edge_lengths(self):
+        net = random_planar_network(40, seed=2)
+        assert all(e.length > 0 for e in net.edges())

@@ -1,0 +1,166 @@
+"""Unit tests for the road-network graph model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.graph import RoadNetwork
+
+
+@pytest.fixture
+def triangle():
+    """A 3-node directed triangle with asymmetric weights."""
+    net = RoadNetwork()
+    for idx in range(3):
+        net.add_node(float(idx), 0.0)
+    net.add_edge(0, 1, 1.0)
+    net.add_edge(1, 2, 2.0)
+    net.add_edge(2, 0, 3.0)
+    return net
+
+
+class TestConstruction:
+    def test_add_node_assigns_dense_ids(self):
+        net = RoadNetwork()
+        assert net.add_node() == 0
+        assert net.add_node() == 1
+        assert net.num_nodes == 2
+
+    def test_add_node_explicit_id(self):
+        net = RoadNetwork()
+        assert net.add_node(node_id=5) == 5
+        assert net.add_node() == 6
+
+    def test_duplicate_node_rejected(self):
+        net = RoadNetwork()
+        net.add_node(node_id=0)
+        with pytest.raises(ValueError):
+            net.add_node(node_id=0)
+
+    def test_add_edge_requires_nodes(self):
+        net = RoadNetwork()
+        net.add_node()
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, 1.0)
+
+    def test_add_edge_rejects_non_positive_length(self):
+        net = RoadNetwork()
+        net.add_node()
+        net.add_node()
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, 0.0)
+
+    def test_self_loop_rejected(self):
+        net = RoadNetwork()
+        net.add_node()
+        with pytest.raises(ValueError):
+            net.add_edge(0, 0, 1.0)
+
+    def test_bidirectional_edge(self):
+        net = RoadNetwork()
+        net.add_node()
+        net.add_node()
+        net.add_bidirectional_edge(0, 1, 2.5)
+        assert net.edge_length(0, 1) == 2.5
+        assert net.edge_length(1, 0) == 2.5
+        assert net.num_edges == 2
+
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert triangle.num_edges == 2
+
+
+class TestInspection:
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+
+    def test_successors_predecessors(self, triangle):
+        assert triangle.successors(0) == {1: 1.0}
+        assert triangle.predecessors(0) == {2: 3.0}
+
+    def test_edges_iteration(self, triangle):
+        edges = {(e.source, e.target): e.length for e in triangle.edges()}
+        assert edges == {(0, 1): 1.0, (1, 2): 2.0, (2, 0): 3.0}
+
+    def test_coordinates_shape(self, triangle):
+        coords = triangle.coordinates()
+        assert coords.shape == (3, 2)
+        assert coords[2, 0] == 2.0
+
+    def test_euclidean_distance(self, triangle):
+        assert triangle.euclidean_distance(0, 2) == pytest.approx(2.0)
+
+    def test_path_length(self, triangle):
+        assert triangle.path_length([0, 1, 2]) == pytest.approx(3.0)
+
+    def test_path_length_missing_edge_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.path_length([0, 2])
+
+
+class TestSiteAugmentation:
+    def test_insert_site_on_edge_splits_lengths(self):
+        net = RoadNetwork()
+        net.add_node(0.0, 0.0)
+        net.add_node(4.0, 0.0)
+        net.add_bidirectional_edge(0, 1, 4.0)
+        new_node = net.insert_site_on_edge(0, 1, fraction=0.25)
+        assert net.edge_length(0, new_node) == pytest.approx(1.0)
+        assert net.edge_length(new_node, 1) == pytest.approx(3.0)
+        assert not net.has_edge(0, 1)
+        # the reverse direction is split as well
+        assert net.edge_length(1, new_node) == pytest.approx(3.0)
+        assert net.edge_length(new_node, 0) == pytest.approx(1.0)
+
+    def test_insert_site_fraction_validation(self):
+        net = RoadNetwork()
+        net.add_node()
+        net.add_node()
+        net.add_edge(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            net.insert_site_on_edge(0, 1, fraction=0.0)
+
+    def test_insert_site_coordinates_interpolated(self):
+        net = RoadNetwork()
+        net.add_node(0.0, 0.0)
+        net.add_node(2.0, 2.0)
+        net.add_edge(0, 1, 2.83)
+        new_node = net.insert_site_on_edge(0, 1, fraction=0.5, bidirectional=False)
+        node = net.node(new_node)
+        assert node.x == pytest.approx(1.0)
+        assert node.y == pytest.approx(1.0)
+
+
+class TestCSRAndConversions:
+    def test_to_csr_matches_edges(self, triangle):
+        csr = triangle.to_csr()
+        assert csr.shape == (3, 3)
+        assert csr[0, 1] == 1.0
+        assert csr[2, 0] == 3.0
+
+    def test_to_csr_reverse_is_transpose(self, triangle):
+        forward = triangle.to_csr().toarray()
+        backward = triangle.to_csr(reverse=True).toarray()
+        assert np.array_equal(forward.T, backward)
+
+    def test_csr_cache_invalidated_on_mutation(self, triangle):
+        before = triangle.to_csr()
+        triangle.add_edge(0, 2, 9.0)
+        after = triangle.to_csr()
+        assert after[0, 2] == 9.0
+        assert before is not after
+
+    def test_networkx_round_trip(self, triangle):
+        graph = triangle.to_networkx()
+        rebuilt = RoadNetwork.from_networkx(graph)
+        assert rebuilt.num_nodes == triangle.num_nodes
+        assert rebuilt.num_edges == triangle.num_edges
+        assert rebuilt.edge_length(1, 2) == pytest.approx(2.0)
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.add_node()
+        assert clone.num_nodes == triangle.num_nodes + 1

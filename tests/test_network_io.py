@@ -1,0 +1,71 @@
+"""Unit tests for road-network serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.generators import grid_network
+from repro.network.io import (
+    load_edge_list,
+    load_network_json,
+    save_edge_list,
+    save_network_json,
+)
+
+
+@pytest.fixture
+def network():
+    return grid_network(4, 5, spacing_km=0.7)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self, network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network_json(network, path)
+        loaded = load_network_json(path)
+        assert loaded.num_nodes == network.num_nodes
+        assert loaded.num_edges == network.num_edges
+
+    def test_round_trip_preserves_lengths(self, network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network_json(network, path)
+        loaded = load_network_json(path)
+        for edge in network.edges():
+            assert loaded.edge_length(edge.source, edge.target) == pytest.approx(edge.length)
+
+    def test_round_trip_preserves_coordinates(self, network, tmp_path):
+        path = tmp_path / "net.json"
+        save_network_json(network, path)
+        loaded = load_network_json(path)
+        for node in network.nodes():
+            assert loaded.node(node.node_id).x == pytest.approx(node.x)
+            assert loaded.node(node.node_id).y == pytest.approx(node.y)
+
+
+class TestEdgeListRoundTrip:
+    def test_round_trip_preserves_structure(self, network, tmp_path):
+        path = tmp_path / "net.txt"
+        save_edge_list(network, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == network.num_nodes
+        assert loaded.num_edges == network.num_edges
+
+    def test_round_trip_preserves_lengths(self, network, tmp_path):
+        path = tmp_path / "net.txt"
+        save_edge_list(network, path)
+        loaded = load_edge_list(path)
+        for edge in network.edges():
+            assert loaded.edge_length(edge.source, edge.target) == pytest.approx(edge.length)
+
+    def test_edge_list_without_header_creates_nodes(self, tmp_path):
+        path = tmp_path / "bare.txt"
+        path.write_text("0 1 2.5\n1 0 2.5\n")
+        loaded = load_edge_list(path)
+        assert loaded.num_nodes == 2
+        assert loaded.edge_length(0, 1) == pytest.approx(2.5)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "blank.txt"
+        path.write_text("# node 0 0 0\n\n# node 1 1 0\n0 1 1.0\n\n")
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == 1

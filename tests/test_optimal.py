@@ -1,0 +1,123 @@
+"""Unit tests for the exact (optimal) TOPS solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageIndex
+from repro.core.greedy import IncGreedy
+from repro.core.optimal import OptimalSolver
+from repro.core.preference import BinaryPreference, LinearPreference
+from repro.core.query import TOPSQuery
+from repro.utils.rng import ensure_rng
+
+
+def random_coverage(num_trajectories, num_sites, seed, binary=True):
+    rng = ensure_rng(seed)
+    detours = rng.uniform(0.0, 2.0, size=(num_trajectories, num_sites))
+    # sparsify: most pairs uncovered
+    detours[rng.uniform(size=detours.shape) < 0.5] = np.inf
+    preference = BinaryPreference() if binary else LinearPreference()
+    return CoverageIndex(detours, tau_km=1.0, preference=preference)
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_exhaustive_binary(self, seed):
+        coverage = random_coverage(12, 8, seed)
+        query = TOPSQuery(k=3, tau_km=1.0)
+        bb = OptimalSolver(coverage).solve(query)
+        brute = OptimalSolver(coverage).solve_exhaustive(query)
+        assert bb.utility == pytest.approx(brute.utility, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_matches_exhaustive_graded(self, seed):
+        coverage = random_coverage(10, 7, seed, binary=False)
+        query = TOPSQuery(k=2, tau_km=1.0, preference=LinearPreference())
+        bb = OptimalSolver(coverage).solve(query)
+        brute = OptimalSolver(coverage).solve_exhaustive(query)
+        assert bb.utility == pytest.approx(brute.utility, abs=1e-9)
+
+    def test_at_least_greedy(self):
+        coverage = random_coverage(20, 10, seed=7)
+        query = TOPSQuery(k=3, tau_km=1.0)
+        optimal = OptimalSolver(coverage).solve(query)
+        greedy = IncGreedy(coverage).solve(query)
+        assert optimal.utility >= greedy.utility - 1e-9
+
+    def test_paper_example_optimum(self):
+        """The optimal solution of Example 1 is {s1, s3} with utility 1.0."""
+        scores = np.asarray([[0.4, 0.11, 0.0], [0.0, 0.5, 0.6]])
+        detours = 1.0 - scores
+        detours[scores == 0.0] = np.inf
+        coverage = CoverageIndex(detours, 1.0, LinearPreference())
+        result = OptimalSolver(coverage).solve(TOPSQuery(k=2, tau_km=1.0))
+        assert set(result.sites) == {0, 2}
+        assert result.utility == pytest.approx(1.0, abs=1e-9)
+
+    def test_k_exceeding_sites(self):
+        coverage = random_coverage(5, 3, seed=8)
+        result = OptimalSolver(coverage).solve(TOPSQuery(k=10, tau_km=1.0))
+        assert len(result.sites) <= 3
+
+    def test_refuses_large_instances(self):
+        coverage = random_coverage(5, 80, seed=9)
+        with pytest.raises(ValueError):
+            OptimalSolver(coverage, max_sites=64)
+
+    def test_greedy_within_bound_of_optimal(self):
+        """Greedy must achieve at least (1 − 1/e) of the optimum."""
+        for seed in range(5):
+            coverage = random_coverage(15, 9, seed=seed)
+            query = TOPSQuery(k=3, tau_km=1.0)
+            optimal = OptimalSolver(coverage).solve(query)
+            greedy = IncGreedy(coverage).solve(query)
+            assert greedy.utility >= (1 - 1 / np.e) * optimal.utility - 1e-9
+
+    def test_result_metadata(self):
+        coverage = random_coverage(6, 5, seed=10)
+        result = OptimalSolver(coverage).solve(TOPSQuery(k=2, tau_km=1.0))
+        assert result.algorithm == "optimal"
+        assert result.metadata["method"] == "branch-and-bound"
+
+
+class TestILP:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_ilp_matches_branch_and_bound_binary(self, seed):
+        coverage = random_coverage(12, 8, seed)
+        query = TOPSQuery(k=3, tau_km=1.0)
+        ilp = OptimalSolver(coverage).solve_ilp(query)
+        bb = OptimalSolver(coverage).solve(query)
+        assert ilp.utility == pytest.approx(bb.utility, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_ilp_matches_branch_and_bound_graded(self, seed):
+        coverage = random_coverage(10, 7, seed, binary=False)
+        query = TOPSQuery(k=2, tau_km=1.0, preference=LinearPreference())
+        ilp = OptimalSolver(coverage).solve_ilp(query)
+        bb = OptimalSolver(coverage).solve(query)
+        assert ilp.utility == pytest.approx(bb.utility, abs=1e-6)
+
+    def test_ilp_respects_cardinality(self):
+        coverage = random_coverage(15, 9, seed=7)
+        result = OptimalSolver(coverage).solve_ilp(TOPSQuery(k=3, tau_km=1.0))
+        assert len(result.sites) <= 3
+        assert result.metadata["method"] == "ilp"
+
+    def test_ilp_paper_example(self):
+        """The ILP finds the true optimum {s1, s3} of Example 1."""
+        scores = np.asarray([[0.4, 0.11, 0.0], [0.0, 0.5, 0.6]])
+        detours = 1.0 - scores
+        detours[scores == 0.0] = np.inf
+        coverage = CoverageIndex(detours, 1.0, LinearPreference())
+        result = OptimalSolver(coverage).solve_ilp(TOPSQuery(k=2, tau_km=1.0))
+        assert set(result.sites) == {0, 2}
+        assert result.utility == pytest.approx(1.0, abs=1e-6)
+
+    def test_ilp_empty_coverage(self):
+        detours = np.full((4, 3), np.inf)
+        coverage = CoverageIndex(detours, 1.0, BinaryPreference())
+        result = OptimalSolver(coverage).solve_ilp(TOPSQuery(k=2, tau_km=1.0))
+        assert result.utility == 0.0
+        assert result.sites == ()

@@ -1,0 +1,118 @@
+"""Unit tests for the preference-function family ψ."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preference import (
+    BinaryPreference,
+    ConvexProbabilityPreference,
+    ExponentialPreference,
+    InconveniencePreference,
+    LinearPreference,
+)
+
+BOUNDED_PREFERENCES = [
+    BinaryPreference(),
+    LinearPreference(),
+    ExponentialPreference(),
+    ConvexProbabilityPreference(),
+]
+
+
+class TestCutoff:
+    @pytest.mark.parametrize("pref", BOUNDED_PREFERENCES, ids=lambda p: p.name)
+    def test_zero_beyond_tau(self, pref):
+        assert pref(1.5, tau_km=1.0) == 0.0
+
+    @pytest.mark.parametrize("pref", BOUNDED_PREFERENCES, ids=lambda p: p.name)
+    def test_positive_at_zero_detour(self, pref):
+        assert pref(0.0, tau_km=1.0) > 0.0
+
+    @pytest.mark.parametrize("pref", BOUNDED_PREFERENCES, ids=lambda p: p.name)
+    def test_scores_in_unit_interval(self, pref):
+        detours = np.linspace(0, 2.0, 21)
+        scores = pref(detours, tau_km=1.0)
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0)
+
+    @pytest.mark.parametrize("pref", BOUNDED_PREFERENCES, ids=lambda p: p.name)
+    def test_non_increasing(self, pref):
+        detours = np.linspace(0, 1.0, 50)
+        scores = pref(detours, tau_km=1.0)
+        assert np.all(np.diff(scores) <= 1e-12)
+
+    @pytest.mark.parametrize("pref", BOUNDED_PREFERENCES, ids=lambda p: p.name)
+    def test_infinite_detour_zero(self, pref):
+        assert pref(np.inf, tau_km=1.0) == 0.0
+
+    @pytest.mark.parametrize("pref", BOUNDED_PREFERENCES, ids=lambda p: p.name)
+    def test_scalar_in_scalar_out(self, pref):
+        assert isinstance(pref(0.5, tau_km=1.0), float)
+
+    @pytest.mark.parametrize("pref", BOUNDED_PREFERENCES, ids=lambda p: p.name)
+    def test_array_in_array_out(self, pref):
+        result = pref(np.asarray([0.1, 0.2]), tau_km=1.0)
+        assert isinstance(result, np.ndarray)
+        assert result.shape == (2,)
+
+
+class TestBinary:
+    def test_one_within_tau(self):
+        pref = BinaryPreference()
+        assert pref(0.99, tau_km=1.0) == 1.0
+        assert pref(1.0, tau_km=1.0) == 1.0
+
+    def test_is_binary_flag(self):
+        assert BinaryPreference().is_binary
+        assert not LinearPreference().is_binary
+
+
+class TestLinear:
+    def test_midpoint(self):
+        assert LinearPreference()(0.5, tau_km=1.0) == pytest.approx(0.5)
+
+    def test_zero_tau(self):
+        pref = LinearPreference()
+        assert pref(0.0, tau_km=0.0) == 1.0
+        assert pref(0.5, tau_km=0.0) == 0.0
+
+
+class TestExponential:
+    def test_decay_rate(self):
+        fast = ExponentialPreference(decay=4.0)
+        slow = ExponentialPreference(decay=1.0)
+        assert fast(0.5, tau_km=1.0) < slow(0.5, tau_km=1.0)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            ExponentialPreference(decay=0.0)
+
+
+class TestConvexProbability:
+    def test_convexity_below_linear(self):
+        convex = ConvexProbabilityPreference(power=2.0)
+        linear = LinearPreference()
+        assert convex(0.5, tau_km=1.0) < linear(0.5, tau_km=1.0)
+
+    def test_power_one_equals_linear(self):
+        convex = ConvexProbabilityPreference(power=1.0)
+        linear = LinearPreference()
+        detours = np.linspace(0, 1, 11)
+        assert np.allclose(convex(detours, 1.0), linear(detours, 1.0))
+
+    def test_invalid_power(self):
+        with pytest.raises(ValueError):
+            ConvexProbabilityPreference(power=0.0)
+
+
+class TestInconvenience:
+    def test_negated_detour(self):
+        pref = InconveniencePreference()
+        assert pref(2.5, tau_km=1e12) == pytest.approx(-2.5)
+
+    def test_non_increasing(self):
+        pref = InconveniencePreference()
+        scores = pref(np.asarray([0.0, 1.0, 2.0]), tau_km=1e12)
+        assert np.all(np.diff(scores) <= 0)

@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the mathematical properties the paper's guarantees rest on:
+monotonicity and submodularity of the utility, the greedy approximation bound
+against the exact optimum, the FM-sketch union/monotonicity laws, the detour
+prefix-minimum equivalence, and the NetClus estimate/cover containment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.coverage import CoverageIndex
+from repro.core.greedy import IncGreedy, greedy_max_coverage_columns
+from repro.core.optimal import OptimalSolver
+from repro.core.preference import BinaryPreference, ExponentialPreference, LinearPreference
+from repro.core.query import TOPSQuery
+from repro.sketch.fm import FMSketchFamily
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+SMALL_DETOURS = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 10), st.integers(2, 8)),
+    elements=st.one_of(
+        st.floats(min_value=0.0, max_value=3.0),
+        st.just(np.inf),
+    ),
+)
+
+PREFERENCES = st.sampled_from(
+    [BinaryPreference(), LinearPreference(), ExponentialPreference()]
+)
+
+
+def make_coverage(detours, preference, tau=1.0):
+    return CoverageIndex(np.asarray(detours), tau_km=tau, preference=preference)
+
+
+# ---------------------------------------------------------------------- #
+# utility function properties
+# ---------------------------------------------------------------------- #
+
+
+class TestUtilityProperties:
+    @given(detours=SMALL_DETOURS, preference=PREFERENCES, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_monotonicity(self, detours, preference, data):
+        """U(Q) ≤ U(R) whenever Q ⊆ R (Theorem 2, non-decreasing)."""
+        coverage = make_coverage(detours, preference)
+        n = coverage.num_sites
+        subset_size = data.draw(st.integers(0, n - 1))
+        subset = list(range(subset_size))
+        superset = subset + [data.draw(st.integers(subset_size, n - 1))]
+        assert coverage.utility_of(superset) >= coverage.utility_of(subset) - 1e-12
+
+    @given(detours=SMALL_DETOURS, preference=PREFERENCES, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_submodularity(self, detours, preference, data):
+        """U(Q∪{s}) − U(Q) ≥ U(R∪{s}) − U(R) for Q ⊆ R, s ∉ R (Theorem 2)."""
+        coverage = make_coverage(detours, preference)
+        n = coverage.num_sites
+        if n < 3:
+            return
+        columns = list(range(n))
+        data_rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+        data_rng.shuffle(columns)
+        split_q = data.draw(st.integers(0, n - 2))
+        split_r = data.draw(st.integers(split_q, n - 2))
+        q_set = columns[:split_q]
+        r_set = columns[:split_r]
+        extra = columns[-1]
+        gain_q = coverage.utility_of(q_set + [extra]) - coverage.utility_of(q_set)
+        gain_r = coverage.utility_of(r_set + [extra]) - coverage.utility_of(r_set)
+        assert gain_q >= gain_r - 1e-9
+
+    @given(detours=SMALL_DETOURS, preference=PREFERENCES)
+    @settings(max_examples=40, deadline=None)
+    def test_utility_bounded_by_trajectory_count(self, detours, preference):
+        coverage = make_coverage(detours, preference)
+        full = coverage.utility_of(list(range(coverage.num_sites)))
+        assert 0.0 <= full <= coverage.num_trajectories + 1e-9
+
+
+class TestGreedyProperties:
+    @given(detours=SMALL_DETOURS, k=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_bound_vs_optimal(self, detours, k):
+        """Greedy achieves at least (1 − 1/e)·OPT (Lemma 1)."""
+        coverage = make_coverage(detours, BinaryPreference())
+        k = min(k, coverage.num_sites)
+        greedy = IncGreedy(coverage).solve(TOPSQuery(k=k, tau_km=1.0))
+        optimal = OptimalSolver(coverage).solve(TOPSQuery(k=k, tau_km=1.0))
+        assert greedy.utility >= (1 - 1 / np.e) * optimal.utility - 1e-9
+
+    @given(detours=SMALL_DETOURS, k=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_k_over_n_bound(self, detours, k):
+        """Greedy achieves at least (k/n)·U(S) (Lemma 2/3)."""
+        coverage = make_coverage(detours, LinearPreference())
+        n = coverage.num_sites
+        k = min(k, n)
+        greedy = IncGreedy(coverage).solve(TOPSQuery(k=k, tau_km=1.0))
+        full = coverage.utility_of(list(range(n)))
+        assert greedy.utility >= (k / n) * full - 1e-9
+
+    @given(detours=SMALL_DETOURS, preference=PREFERENCES, k=st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_matches_recompute(self, detours, preference, k):
+        coverage = make_coverage(detours, preference)
+        util_a = IncGreedy(coverage, "incremental").select(k)[1].sum()
+        util_b = IncGreedy(coverage, "recompute").select(k)[1].sum()
+        assert util_a == pytest.approx(util_b, abs=1e-9)
+
+    @given(detours=SMALL_DETOURS, k=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_marginal_gains_non_increasing(self, detours, k):
+        coverage = make_coverage(detours, LinearPreference())
+        _, _, gains = IncGreedy(coverage).select(min(k, coverage.num_sites))
+        assert all(b <= a + 1e-9 for a, b in zip(gains, gains[1:]))
+
+
+class TestFMSketchProperties:
+    @given(
+        items=st.lists(st.integers(0, 10_000), min_size=0, max_size=200, unique=True),
+        copies=st.integers(4, 32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_union_with_self_is_identity(self, items, copies):
+        family = FMSketchFamily.from_items(items, num_copies=copies)
+        assert family.union(family) == family
+
+    @given(
+        items_a=st.lists(st.integers(0, 10_000), max_size=100, unique=True),
+        items_b=st.lists(st.integers(0, 10_000), max_size=100, unique=True),
+        copies=st.integers(4, 32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_union_commutative(self, items_a, items_b, copies):
+        a = FMSketchFamily.from_items(items_a, num_copies=copies)
+        b = FMSketchFamily.from_items(items_b, num_copies=copies)
+        assert a.union(b) == b.union(a)
+
+    @given(
+        items_a=st.lists(st.integers(0, 10_000), max_size=100, unique=True),
+        items_b=st.lists(st.integers(0, 10_000), max_size=100, unique=True),
+        copies=st.integers(4, 32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_union_estimate_monotone(self, items_a, items_b, copies):
+        """The union's estimate is at least each part's estimate (bits only grow)."""
+        a = FMSketchFamily.from_items(items_a, num_copies=copies)
+        b = FMSketchFamily.from_items(items_b, num_copies=copies)
+        union = a.union(b)
+        assert union.estimate() >= a.estimate() - 1e-9
+        assert union.estimate() >= b.estimate() - 1e-9
+
+    @given(
+        items=st.lists(st.integers(0, 10_000), max_size=150, unique=True),
+        copies=st.integers(4, 32),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_order_invariance(self, items, copies):
+        forward = FMSketchFamily.from_items(items, num_copies=copies)
+        backward = FMSketchFamily.from_items(list(reversed(items)), num_copies=copies)
+        assert forward == backward
+
+
+class TestDetourProperties:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 1_000))
+    def test_prefix_min_equals_bruteforce(self, seed):
+        """The O(l) detour evaluation equals the O(l²) reference definition."""
+        from repro.core.distances import DistanceOracle
+        from repro.network.generators import random_planar_network
+        from repro.trajectory.generators import random_route_trajectories
+
+        network = random_planar_network(25, area_km=4.0, seed=seed % 17)
+        oracle = DistanceOracle(network, network.node_ids()[:10])
+        dataset = random_route_trajectories(network, 3, seed=seed)
+        for trajectory in dataset:
+            fast = oracle.detour_vector(trajectory)
+            for site in oracle.sites[:5]:
+                assert fast[oracle.site_index[int(site)]] == pytest.approx(
+                    oracle.detour_bruteforce(trajectory, int(site)), abs=1e-9
+                )
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 1_000))
+    def test_netclus_estimate_never_undershoots(self, seed):
+        """d̂r ≥ dr and therefore T̂C ⊆ TC, on random small instances."""
+        from repro.core.netclus import NetClusIndex
+        from repro.core.distances import DistanceOracle
+        from repro.network.generators import random_planar_network
+        from repro.trajectory.generators import random_route_trajectories
+
+        network = random_planar_network(30, area_km=4.0, seed=seed % 13)
+        dataset = random_route_trajectories(network, 5, seed=seed)
+        sites = network.node_ids()
+        index = NetClusIndex.build(
+            network, dataset, sites, gamma=0.75, tau_min_km=0.4, tau_max_km=2.0
+        )
+        oracle = DistanceOracle(network, sites)
+        tau = 0.9
+        instance = index.instance_for(tau)
+        rows = {tid: i for i, tid in enumerate(dataset.ids())}
+        estimates, rep_sites, _ = instance.estimated_detours(rows, tau)
+        exact = np.stack(
+            [
+                oracle.detour_vector(t)[[oracle.site_index[s] for s in rep_sites]]
+                for t in dataset
+            ]
+        )
+        finite = np.isfinite(estimates)
+        assert np.all(estimates[finite] >= exact[finite] - 1e-6)

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic trajectory generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.generators import grid_network, ring_radial_network
+from repro.trajectory.generators import (
+    CommuterModel,
+    commuter_trajectories,
+    length_class_trajectories,
+    mntg_like_trajectories,
+    perturbed_shortest_path,
+    random_route_trajectories,
+)
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(8, 8, spacing_km=0.5)
+
+
+def assert_valid_dataset(dataset, network):
+    for trajectory in dataset:
+        for prev, nxt in zip(trajectory.nodes, trajectory.nodes[1:]):
+            assert network.has_edge(prev, nxt)
+
+
+class TestPerturbedShortestPath:
+    def test_endpoints(self, network):
+        rng = ensure_rng(0)
+        path = perturbed_shortest_path(network, 0, 63, rng)
+        assert path[0] == 0 and path[-1] == 63
+
+    def test_path_is_connected(self, network):
+        rng = ensure_rng(0)
+        path = perturbed_shortest_path(network, 0, 63, rng)
+        for prev, nxt in zip(path, path[1:]):
+            assert network.has_edge(prev, nxt)
+
+    def test_zero_perturbation_is_shortest(self, network):
+        from repro.network.shortest_path import dijkstra_single_source
+
+        rng = ensure_rng(0)
+        path = perturbed_shortest_path(network, 0, 63, rng, perturbation=0.0)
+        assert network.path_length(path) == pytest.approx(
+            dijkstra_single_source(network, 0)[63]
+        )
+
+    def test_perturbation_bounded_stretch(self, network):
+        from repro.network.shortest_path import dijkstra_single_source
+
+        rng = ensure_rng(3)
+        shortest = dijkstra_single_source(network, 0)[63]
+        path = perturbed_shortest_path(network, 0, 63, rng, perturbation=0.3)
+        assert network.path_length(path) <= 1.3 * shortest + 1e-9
+
+    def test_unreachable_returns_none(self):
+        from repro.network.graph import RoadNetwork
+
+        net = RoadNetwork()
+        net.add_node()
+        net.add_node()
+        net.add_edge(0, 1, 1.0)
+        assert perturbed_shortest_path(net, 1, 0, ensure_rng(0)) is None
+
+
+class TestRandomRouteTrajectories:
+    def test_count_and_validity(self, network):
+        dataset = random_route_trajectories(network, 25, seed=1)
+        assert len(dataset) == 25
+        assert_valid_dataset(dataset, network)
+
+    def test_min_length_respected(self, network):
+        dataset = random_route_trajectories(network, 20, min_length_km=1.5, seed=1)
+        assert all(t.length_km >= 1.5 for t in dataset)
+
+    def test_deterministic(self, network):
+        a = random_route_trajectories(network, 10, seed=7)
+        b = random_route_trajectories(network, 10, seed=7)
+        assert [t.nodes for t in a] == [t.nodes for t in b]
+
+    def test_invalid_count(self, network):
+        with pytest.raises(ValueError):
+            random_route_trajectories(network, 0)
+
+
+class TestCommuterModel:
+    def test_generates_requested_count(self, network):
+        dataset = commuter_trajectories(network, 30, seed=2)
+        assert len(dataset) == 30
+        assert_valid_dataset(dataset, network)
+
+    def test_hotspot_concentration(self, network):
+        """Commuter traffic should be more concentrated than uniform traffic."""
+        commuter = commuter_trajectories(network, 60, num_hotspots=2, seed=3)
+        uniform = mntg_like_trajectories(network, 60, seed=3)
+        commuter_counts = commuter.node_visit_counts(network.num_nodes)
+        uniform_counts = uniform.node_visit_counts(network.num_nodes)
+        # coefficient of variation is higher for hotspot traffic
+        cv_commuter = commuter_counts.std() / max(commuter_counts.mean(), 1e-9)
+        cv_uniform = uniform_counts.std() / max(uniform_counts.mean(), 1e-9)
+        assert cv_commuter > cv_uniform * 0.9
+
+    def test_od_pair_sampling(self, network):
+        model = CommuterModel(network, seed=5)
+        origin, dest = model.sample_od_pair()
+        assert origin != dest
+        assert network.has_node(origin) and network.has_node(dest)
+
+    def test_deterministic(self, network):
+        a = commuter_trajectories(network, 15, seed=11)
+        b = commuter_trajectories(network, 15, seed=11)
+        assert [t.nodes for t in a] == [t.nodes for t in b]
+
+
+class TestMntgLikeTrajectories:
+    def test_count_and_validity(self, network):
+        dataset = mntg_like_trajectories(network, 20, seed=4)
+        assert len(dataset) == 20
+        assert_valid_dataset(dataset, network)
+
+
+class TestLengthClassTrajectories:
+    def test_lengths_within_band(self):
+        network = ring_radial_network(num_rings=4, nodes_per_ring=24, core_grid=5)
+        dataset = length_class_trajectories(network, 10, boundaries_km=(2.0, 4.0), seed=1)
+        assert len(dataset) > 0
+        assert all(2.0 <= t.length_km < 4.0 for t in dataset)
+
+    def test_invalid_band(self, network):
+        with pytest.raises(ValueError):
+            length_class_trajectories(network, 5, boundaries_km=(3.0, 1.0))
+
+    def test_unreachable_band_returns_partial(self, network):
+        # the 8x8 grid with 0.5 km spacing has a diameter of 7 km; asking for
+        # 100 km long trajectories must not loop forever
+        dataset = length_class_trajectories(
+            network, 3, boundaries_km=(100.0, 120.0), seed=1, max_attempts_factor=10
+        )
+        assert len(dataset) == 0

@@ -1,0 +1,68 @@
+"""Unit tests for trajectory serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.generators import grid_network
+from repro.trajectory.generators import random_route_trajectories
+from repro.trajectory.io import (
+    load_trajectories_csv,
+    load_trajectories_json,
+    save_trajectories_csv,
+    save_trajectories_json,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_network(5, 5, spacing_km=0.5)
+
+
+@pytest.fixture(scope="module")
+def dataset(network):
+    return random_route_trajectories(network, 12, seed=6)
+
+
+class TestJsonRoundTrip:
+    def test_counts(self, dataset, tmp_path):
+        path = tmp_path / "trajs.json"
+        save_trajectories_json(dataset, path)
+        loaded = load_trajectories_json(path)
+        assert len(loaded) == len(dataset)
+
+    def test_node_sequences_preserved(self, dataset, tmp_path):
+        path = tmp_path / "trajs.json"
+        save_trajectories_json(dataset, path)
+        loaded = load_trajectories_json(path)
+        for original, restored in zip(dataset, loaded):
+            assert original.nodes == restored.nodes
+
+    def test_cumulative_preserved(self, dataset, tmp_path):
+        path = tmp_path / "trajs.json"
+        save_trajectories_json(dataset, path)
+        loaded = load_trajectories_json(path)
+        for original, restored in zip(dataset, loaded):
+            assert original.cumulative_km == pytest.approx(restored.cumulative_km)
+
+
+class TestCsvRoundTrip:
+    def test_counts(self, dataset, tmp_path):
+        path = tmp_path / "trajs.csv"
+        save_trajectories_csv(dataset, path)
+        loaded = load_trajectories_csv(path)
+        assert len(loaded) == len(dataset)
+
+    def test_node_sequences_preserved(self, dataset, tmp_path):
+        path = tmp_path / "trajs.csv"
+        save_trajectories_csv(dataset, path)
+        loaded = load_trajectories_csv(path)
+        for original, restored in zip(dataset, loaded):
+            assert original.nodes == restored.nodes
+
+    def test_recompute_with_network(self, dataset, network, tmp_path):
+        path = tmp_path / "trajs.csv"
+        save_trajectories_csv(dataset, path)
+        loaded = load_trajectories_csv(path, network=network)
+        for original, restored in zip(dataset, loaded):
+            assert original.length_km == pytest.approx(restored.length_km)

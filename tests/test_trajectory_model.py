@@ -1,0 +1,137 @@
+"""Unit tests for the trajectory model and dataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trajectory.model import Trajectory, TrajectoryDataset
+
+
+@pytest.fixture
+def line_trajectory(line_network):
+    return Trajectory.from_nodes(0, [0, 1, 2, 3, 4], line_network)
+
+
+class TestTrajectory:
+    def test_from_nodes_cumulative(self, line_trajectory):
+        assert line_trajectory.cumulative_km == (0.0, 1.0, 2.0, 3.0, 4.0)
+
+    def test_length_and_counts(self, line_trajectory):
+        assert line_trajectory.length_km == pytest.approx(4.0)
+        assert line_trajectory.num_nodes == 5
+
+    def test_origin_destination(self, line_trajectory):
+        assert line_trajectory.origin == 0
+        assert line_trajectory.destination == 4
+
+    def test_consecutive_duplicates_collapsed(self, line_network):
+        trajectory = Trajectory.from_nodes(1, [0, 0, 1, 1, 2], line_network)
+        assert trajectory.nodes == (0, 1, 2)
+
+    def test_missing_edge_raises(self, line_network):
+        with pytest.raises(KeyError):
+            Trajectory.from_nodes(2, [0, 2], line_network)
+
+    def test_visits(self, line_trajectory):
+        assert line_trajectory.visits(3)
+        assert not line_trajectory.visits(99)
+
+    def test_arrays(self, line_trajectory):
+        assert line_trajectory.nodes_array().dtype == np.int64
+        assert line_trajectory.cumulative_array().dtype == np.float64
+
+    def test_misaligned_cumulative_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(traj_id=0, nodes=(0, 1), cumulative_km=(0.0,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(traj_id=0, nodes=(), cumulative_km=())
+
+    def test_timestamps_must_align(self):
+        with pytest.raises(ValueError):
+            Trajectory(
+                traj_id=0, nodes=(0, 1), cumulative_km=(0.0, 1.0), timestamps=(0.0,)
+            )
+
+    def test_timestamps_preserved_from_nodes(self, line_network):
+        trajectory = Trajectory.from_nodes(3, [0, 1, 2], line_network, timestamps=[0, 60, 120])
+        assert trajectory.timestamps == (0.0, 60.0, 120.0)
+
+
+class TestTrajectoryDataset:
+    def test_from_node_sequences(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences([[0, 1, 2], [2, 3, 4]], line_network)
+        assert len(dataset) == 2
+        assert dataset.ids() == [0, 1]
+
+    def test_unique_ids_enforced(self, line_network):
+        trajectory = Trajectory.from_nodes(0, [0, 1], line_network)
+        with pytest.raises(ValueError):
+            TrajectoryDataset([trajectory, trajectory])
+
+    def test_by_id_and_missing(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences([[0, 1, 2]], line_network)
+        assert dataset.by_id(0).destination == 2
+        with pytest.raises(KeyError):
+            dataset.by_id(13)
+
+    def test_add_remove(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences([[0, 1]], line_network)
+        extra = Trajectory.from_nodes(5, [1, 2, 3], line_network)
+        dataset.add(extra)
+        assert len(dataset) == 2
+        removed = dataset.remove(5)
+        assert removed.traj_id == 5
+        assert len(dataset) == 1
+
+    def test_add_duplicate_id_rejected(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences([[0, 1]], line_network)
+        with pytest.raises(ValueError):
+            dataset.add(Trajectory.from_nodes(0, [1, 2], line_network))
+
+    def test_next_id(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences([[0, 1], [1, 2]], line_network)
+        assert dataset.next_id() == 2
+        assert TrajectoryDataset().next_id() == 0
+
+    def test_filter(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences(
+            [[0, 1], [0, 1, 2, 3, 4]], line_network
+        )
+        long_only = dataset.filter(lambda t: t.length_km > 2)
+        assert len(long_only) == 1
+
+    def test_sample_deterministic(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences(
+            [[0, 1], [1, 2], [2, 3], [3, 4]], line_network
+        )
+        sample_a = dataset.sample(2, seed=3)
+        sample_b = dataset.sample(2, seed=3)
+        assert sample_a.ids() == sample_b.ids()
+
+    def test_sample_too_large_rejected(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences([[0, 1]], line_network)
+        with pytest.raises(ValueError):
+            dataset.sample(5)
+
+    def test_length_classes(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences(
+            [[0, 1], [0, 1, 2], [0, 1, 2, 3, 4]], line_network
+        )
+        bands = dataset.length_classes([0.0, 2.0, 5.0])
+        assert len(bands[(0.0, 2.0)]) == 1
+        assert len(bands[(2.0, 5.0)]) == 2
+
+    def test_node_visit_counts(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences([[0, 1, 2], [1, 2, 3]], line_network)
+        counts = dataset.node_visit_counts(5)
+        assert counts[1] == 2
+        assert counts[4] == 0
+
+    def test_means(self, line_network):
+        dataset = TrajectoryDataset.from_node_sequences([[0, 1], [0, 1, 2, 3]], line_network)
+        assert dataset.mean_length_km() == pytest.approx(2.0)
+        assert dataset.mean_num_nodes() == pytest.approx(3.0)
+        assert TrajectoryDataset().mean_length_km() == 0.0

@@ -1,0 +1,119 @@
+"""Unit tests for repro.utils."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng
+from repro.utils.sizeof import deep_getsizeof
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestEnsureRng:
+    def test_returns_generator_from_int(self):
+        rng = ensure_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert ensure_rng(7).integers(1 << 30) == ensure_rng(7).integers(1 << 30)
+
+    def test_different_seeds_differ(self):
+        draws_a = ensure_rng(1).integers(1 << 30, size=4)
+        draws_b = ensure_rng(2).integers(1 << 30, size=4)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestTimer:
+    def test_context_manager_records_elapsed(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.elapsed > 0.0
+
+    def test_start_stop(self):
+        timer = Timer()
+        timer.start()
+        elapsed = timer.stop()
+        assert elapsed >= 0.0
+        assert timer.elapsed == elapsed
+
+    def test_restart_overwrites(self):
+        timer = Timer()
+        with timer:
+            sum(range(100_000))
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed <= first
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(0.1, "x")
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+        with pytest.raises(ValueError):
+            require_positive(-3, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0.0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-1e-9, "x")
+
+    def test_require_probability(self):
+        require_probability(0.0, "p")
+        require_probability(1.0, "p")
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            require_probability(-0.1, "p")
+
+    def test_require_type(self):
+        require_type(3, int, "x")
+        with pytest.raises(TypeError):
+            require_type("3", int, "x")
+
+
+class TestDeepGetsizeof:
+    def test_numpy_array_counts_nbytes(self):
+        array = np.zeros(1000, dtype=np.float64)
+        assert deep_getsizeof(array) >= array.nbytes
+
+    def test_nested_containers(self):
+        small = deep_getsizeof({"a": [1, 2, 3]})
+        large = deep_getsizeof({"a": [1, 2, 3], "b": list(range(1000))})
+        assert large > small
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        single = deep_getsizeof([shared])
+        double = deep_getsizeof([shared, shared])
+        assert double < 2 * single
+
+    def test_object_with_dict(self):
+        class Holder:
+            def __init__(self):
+                self.payload = np.zeros(100)
+
+        assert deep_getsizeof(Holder()) >= 800
