@@ -8,7 +8,6 @@ from __future__ import annotations
 
 from repro.core.greedy import IncGreedy
 from repro.core.optimal import OptimalSolver
-from repro.core.query import TOPSQuery
 from repro.experiments.figures import fig04_optimal
 from repro.experiments.reporting import print_table
 

@@ -1,0 +1,116 @@
+"""Benchmark — sparse CELF engine vs the dense recompute greedy.
+
+Dense Inc-Greedy (``update_strategy="recompute"``) performs ``k`` full passes
+over the ``(m, n)`` score matrix.  The sparse engine builds a
+:class:`SparseCoverageIndex` (CSR/CSC over only the covered pairs) and runs
+the CELF lazy greedy, which re-evaluates a small fraction of the marginal
+gains.  Both return identical selections; this module measures the speedup
+and the number of evaluated gains on the scalability workloads of Fig. 10.
+
+``test_sparse_engine_smoke`` is the fast check exercised by the CI smoke job
+(``pytest benchmarks -q -k smoke``); the speedup assertion runs on the
+largest (``medium``-scale) workload.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.greedy import IncGreedy, LazyGreedy
+from repro.core.query import TOPSQuery
+from repro.datasets import beijing_like
+from repro.experiments.reporting import print_table
+
+
+def _dense_select(detours, query):
+    coverage = CoverageIndex(detours, query.tau_km, query.preference)
+    return IncGreedy(coverage, update_strategy="recompute").select(query.k)
+
+
+def _sparse_select(detours, query):
+    coverage = SparseCoverageIndex(detours, query.tau_km, query.preference)
+    greedy = LazyGreedy(coverage)
+    selection = greedy.select(query.k)
+    return selection, greedy.last_num_evaluations, coverage
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _compare_engines(bundle, query, rounds=3):
+    """Row of dense-vs-sparse timings for one workload (selections verified)."""
+    problem = bundle.problem()
+    detours = problem.detour_matrix()
+    dense_seconds, dense_selection = _best_of(lambda: _dense_select(detours, query), rounds)
+    sparse_seconds, (sparse_selection, evaluations, coverage) = _best_of(
+        lambda: _sparse_select(detours, query), rounds
+    )
+    assert dense_selection[0] == sparse_selection[0], "engines must select identically"
+    return {
+        "workload": bundle.name,
+        "num_trajectories": coverage.num_trajectories,
+        "num_sites": coverage.num_sites,
+        "density_pct": 100.0 * coverage.density,
+        "dense_ms": 1000.0 * dense_seconds,
+        "sparse_ms": 1000.0 * sparse_seconds,
+        "speedup": dense_seconds / sparse_seconds,
+        "evaluated_gains": evaluations,
+        "eager_gains": query.k * coverage.num_sites,
+    }
+
+
+def test_sparse_engine_smoke(tiny_bundle, default_query):
+    """Fast CI check: engines agree and the lazy greedy skips evaluations."""
+    row = _compare_engines(tiny_bundle, default_query, rounds=1)
+    print()
+    print_table([row], title="Sparse engine — smoke (tiny workload)")
+    assert row["evaluated_gains"] < row["eager_gains"]
+
+
+def test_sparse_engine_speedup_scalability(benchmark):
+    """≥ 2× over dense recompute on the largest scalability workload."""
+    bundle = beijing_like(scale="medium", seed=42)
+    query = TOPSQuery(k=10, tau_km=0.8)
+    row = benchmark.pedantic(
+        lambda: _compare_engines(bundle, query, rounds=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table([row], title="Sparse engine — largest scalability workload")
+    assert row["speedup"] >= 2.0
+
+
+def test_sparse_engine_speedup_varying_tau(small_context):
+    """The sparser the coverage (small τ), the larger the win — report the sweep."""
+    problem = small_context.problem
+    detours = problem.detour_matrix()
+    rows = []
+    for tau in (0.4, 0.8, 1.6):
+        query = TOPSQuery(k=10, tau_km=tau)
+        dense_seconds, dense_selection = _best_of(lambda: _dense_select(detours, query))
+        sparse_seconds, (sparse_selection, evaluations, coverage) = _best_of(
+            lambda: _sparse_select(detours, query)
+        )
+        assert dense_selection[0] == sparse_selection[0]
+        rows.append(
+            {
+                "tau_km": tau,
+                "density_pct": 100.0 * coverage.density,
+                "dense_ms": 1000.0 * dense_seconds,
+                "sparse_ms": 1000.0 * sparse_seconds,
+                "speedup": dense_seconds / sparse_seconds,
+                "evaluated_gains": evaluations,
+                "eager_gains": query.k * coverage.num_sites,
+            }
+        )
+    print()
+    print_table(rows, title="Sparse engine — speedup vs τ (small workload)")

@@ -8,7 +8,6 @@ the paper's ordering (NetClus ≪ Inc-Greedy, trends with τ).
 from __future__ import annotations
 
 from repro.experiments.figures import table09_memory
-from repro.experiments.metrics import incgreedy_memory_bytes, netclus_memory_bytes
 from repro.experiments.reporting import print_table
 
 

@@ -29,15 +29,15 @@ from repro.core.preference import (
     InconveniencePreference,
 )
 from repro.core.distances import DistanceOracle
-from repro.core.coverage import CoverageIndex
-from repro.core.greedy import IncGreedy
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.fm_greedy import FMGreedy
 from repro.core.optimal import OptimalSolver
 from repro.core.netclus import NetClusIndex
 from repro.network.graph import RoadNetwork
 from repro.trajectory.model import Trajectory, TrajectoryDataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TOPSProblem",
@@ -50,7 +50,9 @@ __all__ = [
     "InconveniencePreference",
     "DistanceOracle",
     "CoverageIndex",
+    "SparseCoverageIndex",
     "IncGreedy",
+    "LazyGreedy",
     "FMGreedy",
     "OptimalSolver",
     "NetClusIndex",

@@ -10,8 +10,8 @@ from repro.core.preference import (
 )
 from repro.core.query import TOPSQuery, TOPSResult
 from repro.core.distances import DistanceOracle
-from repro.core.coverage import CoverageIndex
-from repro.core.greedy import IncGreedy
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.fm_greedy import FMGreedy
 from repro.core.optimal import OptimalSolver
 from repro.core.gdsp import GreedyGDSP, Cluster
@@ -36,7 +36,9 @@ __all__ = [
     "TOPSResult",
     "DistanceOracle",
     "CoverageIndex",
+    "SparseCoverageIndex",
     "IncGreedy",
+    "LazyGreedy",
     "FMGreedy",
     "OptimalSolver",
     "GreedyGDSP",

@@ -10,6 +10,25 @@ At query time (when τ and ψ become known) Inc-Greedy needs, per Section 3.2:
 class is reused by NetClus for the *clustered* space, where the "sites" are
 cluster representatives and the detours are the estimates ``d̂r``; this keeps
 one greedy implementation for both the flat and the clustered problem.
+
+:class:`SparseCoverageIndex` stores the same structures in compressed
+sparse row/column (CSR/CSC) form.  For realistic τ each trajectory is covered
+by a small fraction of the candidate sites, so the ψ-score matrix is
+overwhelmingly sparse; the sparse index holds only the covered (trajectory,
+site) pairs and never materialises the dense score matrix.  It can be built
+either from a dense detour matrix or directly from coverage lists
+(:meth:`SparseCoverageIndex.from_coverage_lists`), which is how NetClus and
+the FM-sketch path feed it without a dense detour matrix.
+
+Both index classes implement the same *coverage protocol* consumed by the
+greedy solvers and the TOPS variant drivers:
+
+* ``site_weights``, ``trajectories_covered``, ``sites_covering``;
+* ``site_column(col)`` — the (rows, scores) of one site's covered entries;
+* ``marginal_gains(utilities)`` / ``marginal_gain(col, utilities, capacity)``;
+* ``absorb(utilities, col, capacity)`` — per-trajectory utilities after
+  adding a site;
+* ``utility_of`` / ``per_trajectory_utility`` / ``columns_for_labels``.
 """
 
 from __future__ import annotations
@@ -21,7 +40,7 @@ import numpy as np
 from repro.core.preference import PreferenceFunction
 from repro.utils.validation import require
 
-__all__ = ["CoverageIndex"]
+__all__ = ["CoverageIndex", "SparseCoverageIndex"]
 
 
 class CoverageIndex:
@@ -135,3 +154,365 @@ class CoverageIndex:
         return int(
             self.detours.nbytes + self.scores.nbytes + self._covered_mask.nbytes
         )
+
+    # ------------------------------------------------------------------ #
+    # coverage protocol shared with SparseCoverageIndex
+    # ------------------------------------------------------------------ #
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the score matrix is held in sparse form."""
+        return False
+
+    def site_column(self, col: int) -> tuple[np.ndarray, np.ndarray]:
+        """The covered rows of one site column and their ψ-scores."""
+        rows = np.flatnonzero(self._covered_mask[:, col])
+        return rows, self.scores[rows, col]
+
+    def marginal_gains(self, utilities: np.ndarray) -> np.ndarray:
+        """Marginal utility of every site given current per-trajectory utilities."""
+        return np.maximum(self.scores - utilities[:, np.newaxis], 0.0).sum(axis=0)
+
+    def marginal_gain(
+        self, col: int, utilities: np.ndarray, capacity: int | None = None
+    ) -> float:
+        """Marginal utility of one site, optionally capacity-limited."""
+        residual = np.maximum(self.scores[:, col] - utilities, 0.0)
+        return _top_capacity_sum(residual, capacity)
+
+    def absorb(
+        self, utilities: np.ndarray, col: int, capacity: int | None = None
+    ) -> np.ndarray:
+        """Per-trajectory utilities after adding the site in *col* (copy)."""
+        column = self.scores[:, col]
+        if capacity is None or capacity >= len(column):
+            return np.maximum(utilities, column)
+        return serve_top_capacity(utilities, slice(None), column, capacity)
+
+
+# ---------------------------------------------------------------------- #
+def serve_top_capacity(
+    utilities: np.ndarray, rows: np.ndarray | slice, values: np.ndarray, capacity: int
+) -> np.ndarray:
+    """Utilities after serving the ``capacity`` largest gains of one site.
+
+    ``rows``/``values`` are the site's covered trajectories and scores (use
+    ``slice(None)`` with a full dense column).  Equal gains are served
+    lowest-trajectory first (stable sort), so the dense and sparse engines
+    pick the same trajectories.
+    """
+    gains = np.maximum(values - utilities[rows], 0.0)
+    served = np.argsort(-gains, kind="stable")[: max(int(capacity), 0)]
+    updated = utilities.copy()
+    if isinstance(rows, slice):
+        served_rows = served
+    else:
+        served_rows = rows[served]
+    updated[served_rows] = np.maximum(updated[served_rows], values[served])
+    return updated
+
+
+def _top_capacity_sum(residual: np.ndarray, capacity: int | None) -> float:
+    """Sum of the largest ``capacity`` residual gains (all of them if None)."""
+    if capacity is None or capacity >= len(residual):
+        return float(residual.sum())
+    capacity = int(capacity)
+    if capacity <= 0:
+        return 0.0
+    top = np.partition(residual, len(residual) - capacity)[len(residual) - capacity :]
+    return float(top.sum())
+
+
+class SparseCoverageIndex:
+    """CSR/CSC preference scores, covering sets and site weights for one (τ, ψ).
+
+    Only the covered (trajectory, site) pairs — detour ≤ τ — are stored, in
+    both row-major (``SC(T_j)`` per trajectory) and column-major (``TC(s_i)``
+    per site) compressed form.  The dense ψ matrix is never materialised: the
+    preference function is evaluated on the 1-D array of covered detours.
+
+    Parameters mirror :class:`CoverageIndex`; the constructor consumes a dense
+    detour matrix, while :meth:`from_coverage_lists` builds the index straight
+    from (trajectory, site, detour) triples, which is how NetClus's clustered
+    space and incremental pipelines feed it without an ``(m, n)`` matrix.
+    """
+
+    def __init__(
+        self,
+        detours: np.ndarray,
+        tau_km: float,
+        preference: PreferenceFunction,
+        site_labels: Sequence[int] | None = None,
+        trajectory_ids: Sequence[int] | None = None,
+        trajectory_weights: np.ndarray | None = None,
+    ) -> None:
+        detours = np.asarray(detours, dtype=np.float64)
+        require(detours.ndim == 2, "detours must be a 2-D matrix")
+        num_trajectories, num_sites = detours.shape
+        with np.errstate(invalid="ignore"):
+            covered = np.isfinite(detours) & (detours <= float(tau_km))
+        rows, cols = np.nonzero(covered)
+        self._init_from_entries(
+            rows,
+            cols,
+            detours[rows, cols],
+            num_trajectories,
+            num_sites,
+            tau_km,
+            preference,
+            site_labels,
+            trajectory_ids,
+            trajectory_weights,
+            entry_order="row",
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coverage_lists(
+        cls,
+        rows: Sequence[int] | np.ndarray,
+        cols: Sequence[int] | np.ndarray,
+        detours: Sequence[float] | np.ndarray,
+        num_trajectories: int,
+        num_sites: int,
+        tau_km: float,
+        preference: PreferenceFunction,
+        site_labels: Sequence[int] | None = None,
+        trajectory_ids: Sequence[int] | None = None,
+        trajectory_weights: np.ndarray | None = None,
+    ) -> "SparseCoverageIndex":
+        """Build the index from (trajectory, site, detour) coverage triples.
+
+        Entries beyond τ or non-finite are dropped; duplicate (trajectory,
+        site) pairs keep the *smallest* detour, matching how NetClus takes the
+        minimum estimate over a representative's neighbouring clusters.
+        """
+        index = cls.__new__(cls)
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        detour_values = np.asarray(detours, dtype=np.float64)
+        require(
+            rows.shape == cols.shape == detour_values.shape,
+            "rows, cols and detours must have equal lengths",
+        )
+        keep = np.isfinite(detour_values) & (detour_values <= float(tau_km))
+        rows, cols, detour_values = rows[keep], cols[keep], detour_values[keep]
+        if len(rows):
+            require(
+                int(rows.min()) >= 0 and int(rows.max()) < num_trajectories,
+                "trajectory row out of range",
+            )
+            require(
+                int(cols.min()) >= 0 and int(cols.max()) < num_sites,
+                "site column out of range",
+            )
+            # min-reduce duplicate (row, col) pairs
+            order = np.lexsort((rows, cols))
+            rows, cols, detour_values = rows[order], cols[order], detour_values[order]
+            boundary = np.empty(len(rows), dtype=bool)
+            boundary[0] = True
+            boundary[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            starts = np.flatnonzero(boundary)
+            rows, cols = rows[starts], cols[starts]
+            detour_values = np.minimum.reduceat(detour_values, starts)
+        index._init_from_entries(
+            rows,
+            cols,
+            detour_values,
+            num_trajectories,
+            num_sites,
+            tau_km,
+            preference,
+            site_labels,
+            trajectory_ids,
+            trajectory_weights,
+            entry_order="col",
+        )
+        return index
+
+    # ------------------------------------------------------------------ #
+    def _init_from_entries(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        detour_values: np.ndarray,
+        num_trajectories: int,
+        num_sites: int,
+        tau_km: float,
+        preference: PreferenceFunction,
+        site_labels: Sequence[int] | None,
+        trajectory_ids: Sequence[int] | None,
+        trajectory_weights: np.ndarray | None,
+        entry_order: str | None = None,
+    ) -> None:
+        self.num_trajectories = int(num_trajectories)
+        self.num_sites = int(num_sites)
+        self.tau_km = float(tau_km)
+        self.preference = preference
+        if site_labels is None:
+            site_labels = list(range(self.num_sites))
+        if trajectory_ids is None:
+            trajectory_ids = list(range(self.num_trajectories))
+        require(len(site_labels) == self.num_sites, "site_labels length mismatch")
+        require(
+            len(trajectory_ids) == self.num_trajectories, "trajectory_ids length mismatch"
+        )
+        self.site_labels = np.asarray(site_labels, dtype=np.int64)
+        self.trajectory_ids = np.asarray(trajectory_ids, dtype=np.int64)
+        if trajectory_weights is None:
+            self.trajectory_weights = np.ones(self.num_trajectories, dtype=np.float64)
+        else:
+            require(
+                len(trajectory_weights) == self.num_trajectories,
+                "trajectory_weights length mismatch",
+            )
+            self.trajectory_weights = np.asarray(trajectory_weights, dtype=np.float64)
+
+        scores = np.asarray(preference(detour_values, self.tau_km), dtype=np.float64)
+        scores = np.atleast_1d(scores) * self.trajectory_weights[rows]
+
+        # one sort suffices: the callers tell us which order the entries
+        # already have ("row" from np.nonzero, "col" after the duplicate
+        # reduction in from_coverage_lists)
+        if entry_order == "col":
+            csc_rows, csc_cols = rows, cols
+            csc_data = scores
+        else:
+            if entry_order != "row":
+                rorder = np.lexsort((cols, rows))
+                rows, cols = rows[rorder], cols[rorder]
+                scores = scores[rorder]
+            corder = np.lexsort((rows, cols))
+            csc_rows, csc_cols = rows[corder], cols[corder]
+            csc_data = scores[corder]
+
+        # CSC (column-major) — the greedy hot path iterates site columns
+        self._csc_rows = csc_rows
+        self._csc_data = csc_data
+        counts = np.bincount(csc_cols, minlength=self.num_sites)
+        self._csc_indptr = np.zeros(self.num_sites + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._csc_indptr[1:])
+        self._entry_cols = np.repeat(np.arange(self.num_sites, dtype=np.int64), counts)
+
+        # CSR (row-major) — SC(T_j) lookups and per-trajectory scans
+        if entry_order == "col":
+            rorder = np.lexsort((cols, rows))
+            csr_rows, csr_cols, csr_data = rows[rorder], cols[rorder], scores[rorder]
+        else:
+            csr_rows, csr_cols, csr_data = rows, cols, scores
+        self._csr_cols = csr_cols
+        self._csr_data = csr_data
+        row_counts = np.bincount(csr_rows, minlength=self.num_trajectories)
+        self._csr_indptr = np.zeros(self.num_trajectories + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=self._csr_indptr[1:])
+
+        self._site_weights = np.bincount(
+            csc_cols, weights=csc_data, minlength=self.num_sites
+        ).astype(np.float64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the score matrix is held in sparse form."""
+        return True
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (trajectory, site) covered pairs."""
+        return int(len(self._csc_rows))
+
+    @property
+    def density(self) -> float:
+        """Fraction of the (m, n) matrix that is covered."""
+        cells = self.num_trajectories * self.num_sites
+        return self.nnz / cells if cells else 0.0
+
+    @property
+    def site_weights(self) -> np.ndarray:
+        """``w_i = Σ_j ψ(T_j, s_i)`` for every site column."""
+        return self._site_weights
+
+    def site_column(self, col: int) -> tuple[np.ndarray, np.ndarray]:
+        """The covered rows of one site column and their ψ-scores."""
+        start, stop = self._csc_indptr[col], self._csc_indptr[col + 1]
+        return self._csc_rows[start:stop], self._csc_data[start:stop]
+
+    def trajectories_covered(self, site_column: int) -> np.ndarray:
+        """Row indices of trajectories covered by the site in *site_column* (TC)."""
+        start, stop = self._csc_indptr[site_column], self._csc_indptr[site_column + 1]
+        return self._csc_rows[start:stop]
+
+    def sites_covering(self, trajectory_row: int) -> np.ndarray:
+        """Column indices of sites covering the trajectory in *trajectory_row* (SC)."""
+        start, stop = self._csr_indptr[trajectory_row], self._csr_indptr[trajectory_row + 1]
+        return self._csr_cols[start:stop]
+
+    def covered_pairs(self) -> int:
+        """Total number of (trajectory, site) covered pairs — the |TC| mass."""
+        return self.nnz
+
+    def coverage_mask(self) -> np.ndarray:
+        """Boolean ``(m, n)`` coverage mask (densified copy; debugging aid)."""
+        mask = np.zeros((self.num_trajectories, self.num_sites), dtype=bool)
+        mask[self._csc_rows, self._entry_cols] = True
+        return mask
+
+    # ------------------------------------------------------------------ #
+    def marginal_gains(self, utilities: np.ndarray) -> np.ndarray:
+        """Marginal utility of every site in one pass over the stored entries."""
+        residual = np.maximum(self._csc_data - utilities[self._csc_rows], 0.0)
+        return np.bincount(
+            self._entry_cols, weights=residual, minlength=self.num_sites
+        ).astype(np.float64)
+
+    def marginal_gain(
+        self, col: int, utilities: np.ndarray, capacity: int | None = None
+    ) -> float:
+        """Marginal utility of one site, optionally capacity-limited."""
+        rows, values = self.site_column(col)
+        residual = np.maximum(values - utilities[rows], 0.0)
+        return _top_capacity_sum(residual, capacity)
+
+    def absorb(
+        self, utilities: np.ndarray, col: int, capacity: int | None = None
+    ) -> np.ndarray:
+        """Per-trajectory utilities after adding the site in *col* (copy)."""
+        rows, values = self.site_column(col)
+        updated = utilities.copy()
+        if capacity is None or capacity >= len(rows):
+            # rows are unique within a column, so plain fancy indexing beats
+            # the much slower np.maximum.at
+            updated[rows] = np.maximum(updated[rows], values)
+            return updated
+        return serve_top_capacity(utilities, rows, values, capacity)
+
+    # ------------------------------------------------------------------ #
+    def utility_of(self, site_columns: Sequence[int]) -> float:
+        """Utility ``U(Q)`` of the sites given by their column indices."""
+        return float(self.per_trajectory_utility(site_columns).sum())
+
+    def per_trajectory_utility(self, site_columns: Sequence[int]) -> np.ndarray:
+        """Per-trajectory utility under the given site columns."""
+        utilities = np.zeros(self.num_trajectories, dtype=np.float64)
+        for col in site_columns:
+            rows, values = self.site_column(int(col))
+            utilities[rows] = np.maximum(utilities[rows], values)
+        return utilities
+
+    def columns_for_labels(self, labels: Sequence[int]) -> list[int]:
+        """Map site labels (node ids) back to column indices."""
+        label_to_col = {int(label): idx for idx, label in enumerate(self.site_labels)}
+        return [label_to_col[int(label)] for label in labels]
+
+    def storage_bytes(self) -> int:
+        """Bytes held by the sparse coverage structures."""
+        arrays = (
+            self._csc_rows,
+            self._csc_data,
+            self._csc_indptr,
+            self._entry_cols,
+            self._csr_cols,
+            self._csr_data,
+            self._csr_indptr,
+            self._site_weights,
+        )
+        return int(sum(array.nbytes for array in arrays))

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.coverage import CoverageIndex
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
 from repro.core.query import TOPSQuery, TOPSResult
 from repro.sketch.fm import FMSketchFamily
 from repro.utils.timer import Timer
@@ -51,14 +51,21 @@ class FMGreedy:
     ----------
     coverage:
         Coverage index built with a binary preference (``is_binary`` must be
-        true).
+        true).  Both the dense :class:`CoverageIndex` and the
+        :class:`SparseCoverageIndex` work: the sketches only need each site's
+        trajectory cover ``TC(s_i)``, which the sparse index serves straight
+        from its CSC arrays.
     num_sketches:
         Number of FM sketch copies ``f`` (Table 8 studies this parameter).
     """
 
     algorithm_name = "fm-greedy"
 
-    def __init__(self, coverage: CoverageIndex, num_sketches: int = 30) -> None:
+    def __init__(
+        self,
+        coverage: CoverageIndex | SparseCoverageIndex,
+        num_sketches: int = 30,
+    ) -> None:
         require(
             getattr(coverage.preference, "is_binary", False),
             "FMGreedy requires a binary preference function (TOPS1)",

@@ -22,7 +22,7 @@ distance to the center) are consumed by the NetClus index builder.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -31,7 +31,7 @@ from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import ShortestPathEngine
 from repro.sketch.fm import FMSketchFamily
 from repro.utils.timer import Timer
-from repro.utils.validation import require, require_positive
+from repro.utils.validation import require_positive
 
 __all__ = ["Cluster", "GreedyGDSP", "GDSPResult"]
 

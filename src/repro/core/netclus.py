@@ -36,14 +36,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.coverage import CoverageIndex
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
 from repro.core.fm_greedy import FMGreedy
 from repro.core.gdsp import GDSPResult, GreedyGDSP
-from repro.core.greedy import IncGreedy
+from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.query import TOPSQuery, TOPSResult
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import ShortestPathEngine
@@ -153,21 +153,7 @@ class NetClusInstance:
         rep_sites = [cluster.representative for cluster in reps]
         rep_cluster_ids = [cluster.cluster_id for cluster in reps]
         detours = np.full((len(trajectory_rows), len(reps)), np.inf)
-
-        # pre-extract each cluster's trajectory list as (row indices, legs)
-        # arrays once, so the per-representative work below is pure NumPy
-        cluster_rows: list[np.ndarray] = []
-        cluster_legs: list[np.ndarray] = []
-        for cluster in self.clusters:
-            rows: list[int] = []
-            legs: list[float] = []
-            for traj_id, leg in cluster.trajectory_list.items():
-                row = trajectory_rows.get(traj_id)
-                if row is not None:
-                    rows.append(row)
-                    legs.append(leg)
-            cluster_rows.append(np.asarray(rows, dtype=np.int64))
-            cluster_legs.append(np.asarray(legs, dtype=np.float64))
+        cluster_rows, cluster_legs = self._trajectory_arrays(trajectory_rows)
 
         for col, cluster in enumerate(reps):
             rep_leg = cluster.representative_round_trip_km
@@ -185,6 +171,77 @@ class NetClusInstance:
                 estimates = cluster_legs[source_id] + center_distance + rep_leg
                 np.minimum.at(column, rows, estimates)
         return detours, rep_sites, rep_cluster_ids
+
+    def estimated_coverage_entries(
+        self, trajectory_rows: dict[int, int], tau_km: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[int], list[int]]:
+        """Sparse coverage lists of the clustered space: qualifying estimates only.
+
+        The sparse counterpart of :meth:`estimated_detours`: instead of an
+        ``(m, #representatives)`` matrix full of ``inf``, it returns the
+        (trajectory row, representative column, estimated detour) triples with
+        ``d̂r ≤ τ`` — exactly the entries that can contribute coverage.
+        Duplicate (row, column) pairs (one per contributing neighbour
+        cluster) are left to the consumer, which keeps the smallest estimate;
+        :meth:`SparseCoverageIndex.from_coverage_lists` does this natively.
+
+        Returns
+        -------
+        (rows, cols, estimates, representative_sites, representative_cluster_ids)
+        """
+        reps = self.representatives()
+        rep_sites = [cluster.representative for cluster in reps]
+        rep_cluster_ids = [cluster.cluster_id for cluster in reps]
+        cluster_rows, cluster_legs = self._trajectory_arrays(trajectory_rows)
+
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        estimate_parts: list[np.ndarray] = []
+        for col, cluster in enumerate(reps):
+            rep_leg = cluster.representative_round_trip_km
+            sources: list[tuple[int, float]] = [(cluster.cluster_id, 0.0)]
+            for neighbor_id, center_distance in cluster.neighbors:
+                if center_distance > tau_km:
+                    continue
+                sources.append((neighbor_id, center_distance))
+            for source_id, center_distance in sources:
+                rows = cluster_rows[source_id]
+                if len(rows) == 0:
+                    continue
+                estimates = cluster_legs[source_id] + center_distance + rep_leg
+                within = estimates <= tau_km
+                if not np.any(within):
+                    continue
+                row_parts.append(rows[within])
+                col_parts.append(np.full(int(within.sum()), col, dtype=np.int64))
+                estimate_parts.append(estimates[within])
+        if row_parts:
+            all_rows = np.concatenate(row_parts)
+            all_cols = np.concatenate(col_parts)
+            all_estimates = np.concatenate(estimate_parts)
+        else:
+            all_rows = np.empty(0, dtype=np.int64)
+            all_cols = np.empty(0, dtype=np.int64)
+            all_estimates = np.empty(0, dtype=np.float64)
+        return all_rows, all_cols, all_estimates, rep_sites, rep_cluster_ids
+
+    def _trajectory_arrays(
+        self, trajectory_rows: dict[int, int]
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-cluster (row indices, legs) arrays for the indexed trajectories."""
+        cluster_rows: list[np.ndarray] = []
+        cluster_legs: list[np.ndarray] = []
+        for cluster in self.clusters:
+            rows: list[int] = []
+            legs: list[float] = []
+            for traj_id, leg in cluster.trajectory_list.items():
+                row = trajectory_rows.get(traj_id)
+                if row is not None:
+                    rows.append(row)
+                    legs.append(leg)
+            cluster_rows.append(np.asarray(rows, dtype=np.int64))
+            cluster_legs.append(np.asarray(legs, dtype=np.float64))
+        return cluster_rows, cluster_legs
 
     def storage_bytes(self) -> int:
         """Approximate bytes of the per-cluster payload (Table 7 / Table 9)."""
@@ -449,6 +506,7 @@ class NetClusIndex:
         use_fm_sketches: bool = False,
         num_sketches: int = 30,
         existing_sites: Sequence[int] = (),
+        engine: str = "dense",
     ) -> TOPSResult:
         """Answer a TOPS query over the clustered space.
 
@@ -457,18 +515,45 @@ class NetClusIndex:
         :class:`repro.core.distances.DistanceOracle` for quality comparisons.
         ``existing_sites`` seeds the greedy with already-operating services
         (their clusters' representatives are used as proxies).
+
+        ``engine`` selects the coverage representation: ``"dense"`` builds
+        the estimated-detour matrix and runs the paper's Inc-Greedy;
+        ``"sparse"`` feeds the qualifying estimates straight into a
+        :class:`~repro.core.coverage.SparseCoverageIndex` and runs the CELF
+        lazy greedy — the selections are identical.
         """
+        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
         with Timer() as timer:
             instance = self.instance_for(query.tau_km)
             rows = {traj_id: row for row, traj_id in enumerate(self._trajectory_ids)}
-            detours, rep_sites, rep_clusters = instance.estimated_detours(rows, query.tau_km)
-            coverage = CoverageIndex(
-                detours,
-                query.tau_km,
-                query.preference,
-                site_labels=rep_sites,
-                trajectory_ids=self._trajectory_ids,
-            )
+            if engine == "sparse":
+                entry_rows, entry_cols, estimates, rep_sites, rep_clusters = (
+                    instance.estimated_coverage_entries(rows, query.tau_km)
+                )
+                coverage: CoverageIndex | SparseCoverageIndex = (
+                    SparseCoverageIndex.from_coverage_lists(
+                        entry_rows,
+                        entry_cols,
+                        estimates,
+                        num_trajectories=len(rows),
+                        num_sites=len(rep_sites),
+                        tau_km=query.tau_km,
+                        preference=query.preference,
+                        site_labels=rep_sites,
+                        trajectory_ids=self._trajectory_ids,
+                    )
+                )
+            else:
+                detours, rep_sites, rep_clusters = instance.estimated_detours(
+                    rows, query.tau_km
+                )
+                coverage = CoverageIndex(
+                    detours,
+                    query.tau_km,
+                    query.preference,
+                    site_labels=rep_sites,
+                    trajectory_ids=self._trajectory_ids,
+                )
             existing_columns: list[int] = []
             if existing_sites:
                 existing_columns = self._existing_service_columns(
@@ -481,7 +566,9 @@ class NetClusIndex:
                 utilities = coverage.per_trajectory_utility(columns)
                 algorithm = "fm-netclus"
             else:
-                greedy = IncGreedy(coverage)
+                greedy = (
+                    LazyGreedy(coverage) if engine == "sparse" else IncGreedy(coverage)
+                )
                 columns, utilities, _ = greedy.select(
                     query.k, existing_columns=existing_columns
                 )
@@ -498,6 +585,7 @@ class NetClusIndex:
                 "instance_radius_km": instance.radius_km,
                 "num_clusters": instance.num_clusters,
                 "num_representatives": len(rep_sites),
+                "engine": engine,
             },
         )
 

@@ -13,10 +13,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.coverage import CoverageIndex
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
 from repro.core.distances import DistanceOracle
 from repro.core.fm_greedy import FMGreedy
-from repro.core.greedy import IncGreedy
+from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.netclus import NetClusIndex
 from repro.core.optimal import OptimalSolver
 from repro.core.query import TOPSQuery, TOPSResult
@@ -93,9 +93,18 @@ class TOPSProblem:
             self._detour_matrix = self.oracle.detour_matrix(self.trajectories)
         return self._detour_matrix
 
-    def coverage(self, query: TOPSQuery) -> CoverageIndex:
-        """Coverage structures (TC, SC, weights) for the query's (τ, ψ)."""
-        return CoverageIndex(
+    def coverage(
+        self, query: TOPSQuery, engine: str = "dense"
+    ) -> CoverageIndex | SparseCoverageIndex:
+        """Coverage structures (TC, SC, weights) for the query's (τ, ψ).
+
+        ``engine="sparse"`` stores only the covered (trajectory, site) pairs
+        in CSR/CSC form — the fast representation for realistic τ, consumed
+        by the CELF lazy greedy.
+        """
+        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        index_cls = SparseCoverageIndex if engine == "sparse" else CoverageIndex
+        return index_cls(
             self.detour_matrix(),
             query.tau_km,
             query.preference,
@@ -110,17 +119,29 @@ class TOPSProblem:
         method: str = "inc-greedy",
         existing_sites: Sequence[int] = (),
         num_sketches: int = 30,
+        engine: str = "dense",
     ) -> TOPSResult:
         """Solve the query with the requested method.
 
         ``method`` is one of ``"inc-greedy"``, ``"fm-greedy"``, ``"optimal"``.
         (NetClus has its own offline phase; see :meth:`build_netclus_index`.)
+        ``engine`` picks the coverage representation: with ``"sparse"`` the
+        greedy runs as CELF lazy greedy over the CSR/CSC structures and
+        returns the same selections as the dense Inc-Greedy.  The optimal
+        solver requires the dense engine.
         """
+        require(
+            engine == "dense" or method != "optimal",
+            "the optimal solver requires the dense engine",
+        )
         with Timer() as timer:
-            coverage = self.coverage(query)
+            coverage = self.coverage(query, engine=engine)
         preprocess_seconds = timer.elapsed
         if method == "inc-greedy":
-            result = IncGreedy(coverage).solve(query, existing_sites=existing_sites)
+            solver = (
+                LazyGreedy(coverage) if engine == "sparse" else IncGreedy(coverage)
+            )
+            result = solver.solve(query, existing_sites=existing_sites)
         elif method == "fm-greedy":
             result = FMGreedy(coverage, num_sketches=num_sketches).solve(query)
         elif method == "optimal":

@@ -13,9 +13,16 @@
 * :func:`solve_tops_min_inconvenience` — TOPS3: minimise total user deviation
   (greedy on the negated-detour preference with τ = ∞).
 
-All drivers operate on a :class:`~repro.core.coverage.CoverageIndex`, so they
-work unchanged on the flat site space (Inc-Greedy) and on NetClus's clustered
-space (pass the coverage index built from estimated detours).
+All drivers operate through the coverage protocol shared by
+:class:`~repro.core.coverage.CoverageIndex` and
+:class:`~repro.core.coverage.SparseCoverageIndex`, so they work unchanged on
+the flat site space (Inc-Greedy), on NetClus's clustered space (pass the
+coverage index built from estimated detours), and on either the dense or the
+sparse engine.  With a sparse index the greedy-based drivers automatically
+use the CELF lazy greedy (:class:`~repro.core.greedy.LazyGreedy`), which
+returns the same selections.  The one exception is
+:func:`solve_tops_min_inconvenience`, whose τ = ∞ objective needs the full
+detour matrix and therefore requires the dense index.
 """
 
 from __future__ import annotations
@@ -24,8 +31,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.coverage import CoverageIndex
-from repro.core.greedy import IncGreedy
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.query import TOPSQuery, TOPSResult
 from repro.utils.timer import Timer
 from repro.utils.validation import require, require_positive, require_probability
@@ -39,8 +46,18 @@ __all__ = [
 ]
 
 
+AnyCoverage = CoverageIndex | SparseCoverageIndex
+
+
+def _greedy_solver(coverage: AnyCoverage) -> IncGreedy | LazyGreedy:
+    """The greedy solver matching the coverage representation."""
+    if getattr(coverage, "is_sparse", False):
+        return LazyGreedy(coverage)
+    return IncGreedy(coverage)
+
+
 def solve_tops_cost(
-    coverage: CoverageIndex,
+    coverage: AnyCoverage,
     budget: float,
     site_costs: np.ndarray | Sequence[float],
 ) -> TOPSResult:
@@ -59,14 +76,13 @@ def solve_tops_cost(
     costs = np.asarray(site_costs, dtype=float)
     require(len(costs) == coverage.num_sites, "site_costs length mismatch")
     require(bool(np.all(costs > 0)), "site costs must be positive")
-    scores = coverage.scores
     with Timer() as timer:
         utilities = np.zeros(coverage.num_trajectories)
         selected: list[int] = []
         spent = 0.0
         available = set(range(coverage.num_sites))
         while available:
-            residual = np.maximum(scores - utilities[:, np.newaxis], 0.0).sum(axis=0)
+            residual = coverage.marginal_gains(utilities)
             ratio = residual / costs
             ratio[list(set(range(coverage.num_sites)) - available)] = -np.inf
             best = int(np.argmax(ratio))
@@ -75,17 +91,17 @@ def solve_tops_cost(
             if spent + costs[best] <= budget:
                 selected.append(best)
                 spent += float(costs[best])
-                utilities = np.maximum(utilities, scores[:, best])
+                utilities = coverage.absorb(utilities, best)
             available.discard(best)
         # Khuller et al. safeguard: compare with the best single affordable site
         affordable = np.flatnonzero(costs <= budget)
         if len(affordable):
-            single_utilities = scores[:, affordable].sum(axis=0)
+            single_utilities = coverage.site_weights[affordable]
             best_single = int(affordable[np.argmax(single_utilities)])
-            single_total = float(scores[:, best_single].sum())
+            single_total = float(single_utilities.max())
             if single_total > float(utilities.sum()):
                 selected = [best_single]
-                utilities = scores[:, best_single]
+                utilities = coverage.per_trajectory_utility([best_single])
                 spent = float(costs[best_single])
     return TOPSResult(
         sites=tuple(int(coverage.site_labels[c]) for c in selected),
@@ -98,7 +114,7 @@ def solve_tops_cost(
 
 
 def solve_tops_capacity(
-    coverage: CoverageIndex,
+    coverage: AnyCoverage,
     query: TOPSQuery,
     capacities: np.ndarray | Sequence[float],
 ) -> TOPSResult:
@@ -106,7 +122,10 @@ def solve_tops_capacity(
     caps = np.asarray(capacities, dtype=float)
     require(len(caps) == coverage.num_sites, "capacities length mismatch")
     require(bool(np.all(caps >= 0)), "capacities must be non-negative")
-    greedy = IncGreedy(coverage, update_strategy="recompute")
+    if getattr(coverage, "is_sparse", False):
+        greedy: IncGreedy | LazyGreedy = LazyGreedy(coverage)
+    else:
+        greedy = IncGreedy(coverage, update_strategy="recompute")
     with Timer() as timer:
         columns, utilities, gains = greedy.select(query.k, capacities=caps)
     return TOPSResult(
@@ -120,7 +139,7 @@ def solve_tops_capacity(
 
 
 def solve_tops_with_existing(
-    coverage: CoverageIndex,
+    coverage: AnyCoverage,
     query: TOPSQuery,
     existing_sites: Sequence[int],
 ) -> TOPSResult:
@@ -130,7 +149,7 @@ def solve_tops_with_existing(
     by the existing services; the returned ``sites`` are only the *new* k
     sites, matching Section 7.3.
     """
-    greedy = IncGreedy(coverage)
+    greedy = _greedy_solver(coverage)
     result = greedy.solve(query, existing_sites=existing_sites)
     metadata = dict(result.metadata)
     metadata["existing_sites"] = tuple(int(s) for s in existing_sites)
@@ -145,7 +164,7 @@ def solve_tops_with_existing(
 
 
 def solve_tops_market_share(
-    coverage: CoverageIndex,
+    coverage: AnyCoverage,
     beta: float,
     max_sites: int | None = None,
 ) -> TOPSResult:
@@ -162,19 +181,18 @@ def solve_tops_market_share(
     )
     target = beta * coverage.num_trajectories
     limit = max_sites if max_sites is not None else coverage.num_sites
-    scores = coverage.scores
     with Timer() as timer:
         utilities = np.zeros(coverage.num_trajectories)
         selected: list[int] = []
         while float(utilities.sum()) < target and len(selected) < limit:
-            residual = np.maximum(scores - utilities[:, np.newaxis], 0.0).sum(axis=0)
+            residual = coverage.marginal_gains(utilities)
             if selected:
                 residual[selected] = -np.inf
             best = int(np.argmax(residual))
             if residual[best] <= 0.0:
                 break
             selected.append(best)
-            utilities = np.maximum(utilities, scores[:, best])
+            utilities = coverage.absorb(utilities, best)
     return TOPSResult(
         sites=tuple(int(coverage.site_labels[c]) for c in selected),
         utility=float(np.sum(utilities)),
@@ -205,6 +223,11 @@ def solve_tops_min_inconvenience(
     """
     from repro.core.greedy import greedy_max_coverage_columns
 
+    require(
+        not getattr(coverage, "is_sparse", False),
+        "TOPS3 (min inconvenience) needs the dense detour matrix; "
+        "build the coverage with the dense engine",
+    )
     with Timer() as timer:
         detours = np.where(np.isfinite(coverage.detours), coverage.detours, np.nan)
         max_detour = float(np.nanmax(detours)) if np.isfinite(detours).any() else 0.0

@@ -14,7 +14,6 @@ NetClus clustered space.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.coverage import CoverageIndex
 from repro.core.query import TOPSQuery

@@ -21,15 +21,17 @@ from repro.utils.timer import Timer
 __all__ = ["run_varying_sites", "run_varying_trajectories", "run", "main"]
 
 
-def _run_both(problem: TOPSProblem, query: TOPSQuery, gamma: float = 0.75) -> dict[str, float]:
+def _run_both(
+    problem: TOPSProblem, query: TOPSQuery, gamma: float = 0.75, engine: str = "dense"
+) -> dict[str, float]:
     with Timer() as incg_timer:
-        incg = problem.solve(query, method="inc-greedy")
+        incg = problem.solve(query, method="inc-greedy", engine=engine)
     with Timer() as build_timer:
         index = problem.build_netclus_index(
             gamma=gamma, tau_min_km=DEFAULT_TAU_RANGE[0], tau_max_km=DEFAULT_TAU_RANGE[1]
         )
     with Timer() as netclus_timer:
-        netclus = index.query(query)
+        netclus = index.query(query, engine=engine)
     return {
         "incg_runtime_s": incg_timer.elapsed,
         "netclus_runtime_s": netclus_timer.elapsed,
@@ -45,6 +47,7 @@ def run_varying_sites(
     k: int = 5,
     tau_km: float = 0.8,
     seed: int = 3,
+    engine: str = "dense",
 ) -> list[dict]:
     """Fig. 10a: runtimes as the number of candidate sites grows."""
     rng = ensure_rng(seed)
@@ -55,7 +58,7 @@ def run_varying_sites(
         size = max(10, int(round(fraction * len(all_sites))))
         sites = sorted(int(s) for s in rng.choice(all_sites, size=size, replace=False))
         problem = TOPSProblem(bundle.network, bundle.trajectories, sites)
-        stats = _run_both(problem, query)
+        stats = _run_both(problem, query, engine=engine)
         rows.append({"num_sites": size, **stats})
     return rows
 
@@ -66,6 +69,7 @@ def run_varying_trajectories(
     k: int = 5,
     tau_km: float = 0.8,
     seed: int = 3,
+    engine: str = "dense",
 ) -> list[dict]:
     """Fig. 10b: runtimes as the number of trajectories grows."""
     query = TOPSQuery(k=k, tau_km=tau_km)
@@ -74,7 +78,7 @@ def run_varying_trajectories(
         size = max(10, int(round(fraction * bundle.num_trajectories)))
         trajectories = bundle.trajectories.sample(size, seed=seed)
         problem = TOPSProblem(bundle.network, trajectories, bundle.sites)
-        stats = _run_both(problem, query)
+        stats = _run_both(problem, query, engine=engine)
         rows.append({"num_trajectories": size, **stats})
     return rows
 
@@ -83,13 +87,14 @@ def run(
     scale: str = "small",
     seed: int = 42,
     bundle: DatasetBundle | None = None,
+    engine: str = "dense",
 ) -> dict[str, list[dict]]:
     """Both scalability sweeps."""
     if bundle is None:
         bundle = beijing_like(scale=scale, seed=seed)
     return {
-        "varying_sites": run_varying_sites(bundle),
-        "varying_trajectories": run_varying_trajectories(bundle),
+        "varying_sites": run_varying_sites(bundle, engine=engine),
+        "varying_trajectories": run_varying_trajectories(bundle, engine=engine),
     }
 
 

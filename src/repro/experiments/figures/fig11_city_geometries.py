@@ -24,6 +24,7 @@ def run(
     num_trajectories: int = 300,
     seed: int = 7,
     gamma: float = 0.75,
+    engine: str = "dense",
 ) -> list[dict]:
     """Utility (%) and runtime of INCG vs NetClus for the three city types."""
     bundles = [
@@ -36,12 +37,12 @@ def run(
     for short_name, bundle in bundles:
         problem = bundle.problem()
         with Timer() as incg_timer:
-            incg = problem.solve(query, method="inc-greedy")
+            incg = problem.solve(query, method="inc-greedy", engine=engine)
         index = problem.build_netclus_index(
             gamma=gamma, tau_min_km=DEFAULT_TAU_RANGE[0], tau_max_km=DEFAULT_TAU_RANGE[1]
         )
         with Timer() as netclus_timer:
-            netclus = index.query(query)
+            netclus = index.query(query, engine=engine)
         rows.append(
             {
                 "city": short_name,

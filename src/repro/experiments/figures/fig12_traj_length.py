@@ -34,6 +34,7 @@ def run(
     scale: str = "small",
     seed: int = 42,
     bundle: DatasetBundle | None = None,
+    engine: str = "dense",
 ) -> list[dict]:
     """Utility (%) and runtime of INCG vs NetClus per trajectory-length band."""
     if bundle is None:
@@ -49,12 +50,12 @@ def run(
             continue
         problem = TOPSProblem(network, trajectories, bundle.sites)
         with Timer() as incg_timer:
-            incg = problem.solve(query, method="inc-greedy")
+            incg = problem.solve(query, method="inc-greedy", engine=engine)
         index = problem.build_netclus_index(
             tau_min_km=DEFAULT_TAU_RANGE[0], tau_max_km=DEFAULT_TAU_RANGE[1]
         )
         with Timer() as netclus_timer:
-            netclus = index.query(query)
+            netclus = index.query(query, engine=engine)
         rows.append(
             {
                 "length_band_km": f"{low:.0f}-{high:.0f}",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core.query import TOPSQuery
 from repro.experiments.metrics import relative_error_percent
 from repro.experiments.reporting import print_table
-from repro.experiments.runner import DEFAULT_TAU_RANGE, build_context
+from repro.experiments.runner import DEFAULT_TAU_RANGE
 from repro.datasets import beijing_like
 from repro.datasets.base import DatasetBundle
 from repro.utils.timer import Timer
@@ -26,13 +26,14 @@ def run(
     k: int = 5,
     tau_km: float = 0.8,
     bundle: DatasetBundle | None = None,
+    engine: str = "dense",
 ) -> list[dict]:
     """Index build time / size / relative error for each γ."""
     if bundle is None:
         bundle = beijing_like(scale=scale, seed=seed)
     problem = bundle.problem()
     query = TOPSQuery(k=k, tau_km=tau_km)
-    reference = problem.solve(query, method="inc-greedy")
+    reference = problem.solve(query, method="inc-greedy", engine=engine)
     reference_pct = problem.utility_percent(reference.sites, query)
     rows: list[dict] = []
     for gamma in gamma_values:
@@ -42,7 +43,7 @@ def run(
                 tau_min_km=DEFAULT_TAU_RANGE[0],
                 tau_max_km=DEFAULT_TAU_RANGE[1],
             )
-        result = index.query(query)
+        result = index.query(query, engine=engine)
         candidate_pct = problem.utility_percent(result.sites, query)
         rows.append(
             {

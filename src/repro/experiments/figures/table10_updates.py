@@ -9,9 +9,7 @@ two columns with batch sizes scaled to the dataset.
 
 from __future__ import annotations
 
-import numpy as np
 
-from repro.core.query import TOPSQuery
 from repro.datasets import beijing_like
 from repro.datasets.base import DatasetBundle
 from repro.experiments.reporting import print_table

@@ -16,7 +16,6 @@ from __future__ import annotations
 import argparse
 from typing import Callable
 
-from repro.datasets import beijing_like
 from repro.experiments.figures import (
     ablation_design_choices,
     fig04_optimal,
@@ -74,25 +73,30 @@ def _run_fig08(scale: str, seed: int, context) -> None:
 
 
 def _run_fig10(scale: str, seed: int, context) -> None:
-    panels = fig10_scalability.run(scale=scale, seed=seed)
+    panels = fig10_scalability.run(scale=scale, seed=seed, engine=context.engine)
     print_table(panels["varying_sites"], title="Fig. 10a — scalability vs #sites")
     print()
     print_table(panels["varying_trajectories"], title="Fig. 10b — scalability vs #trajectories")
 
 
 def _run_fig11(scale: str, seed: int, context) -> None:
-    print_table(fig11_city_geometries.run(seed=seed), title="Fig. 11 — city geometries")
+    print_table(
+        fig11_city_geometries.run(seed=seed, engine=context.engine),
+        title="Fig. 11 — city geometries",
+    )
 
 
 def _run_fig12(scale: str, seed: int, context) -> None:
     print_table(
-        fig12_traj_length.run(scale=scale, seed=seed), title="Fig. 12 — trajectory length"
+        fig12_traj_length.run(scale=scale, seed=seed, engine=context.engine),
+        title="Fig. 12 — trajectory length",
     )
 
 
 def _run_table07(scale: str, seed: int, context) -> None:
     print_table(
-        table07_gamma.run(scale=scale, seed=seed), title="Table 7 — index resolution γ"
+        table07_gamma.run(scale=scale, seed=seed, engine=context.engine),
+        title="Table 7 — index resolution γ",
     )
 
 
@@ -158,6 +162,13 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--engine",
+        default="dense",
+        choices=["dense", "sparse"],
+        help="coverage + greedy engine: the paper's dense matrices or the "
+        "CSR/CSC coverage with CELF lazy greedy (same selections, faster)",
+    )
+    parser.add_argument(
         "--only",
         nargs="*",
         default=None,
@@ -170,8 +181,11 @@ def main(argv: list[str] | None = None) -> None:
     if unknown:
         parser.error(f"unknown experiment ids: {unknown}")
 
-    print(f"Building shared context (scale={args.scale}, seed={args.seed})...")
-    context = build_context(scale=args.scale, seed=args.seed)
+    print(
+        f"Building shared context (scale={args.scale}, seed={args.seed}, "
+        f"engine={args.engine})..."
+    )
+    context = build_context(scale=args.scale, seed=args.seed, engine=args.engine)
     for name in selected:
         description, runner = EXPERIMENTS[name]
         print()

@@ -10,14 +10,12 @@ expensive pre-computation.  The ``scale`` knob maps to the dataset presets
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
+from dataclasses import dataclass
 
-import numpy as np
 
-from repro.core.coverage import CoverageIndex
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
 from repro.core.fm_greedy import FMGreedy
-from repro.core.greedy import IncGreedy
+from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.netclus import NetClusIndex
 from repro.core.problem import TOPSProblem
 from repro.core.query import TOPSQuery, TOPSResult
@@ -40,6 +38,7 @@ class ExperimentContext:
     netclus: NetClusIndex
     gamma: float = DEFAULT_GAMMA
     num_sketches: int = 30
+    engine: str = "dense"  # "dense" or "sparse" coverage + greedy engine
 
     # ------------------------------------------------------------------ #
     @property
@@ -47,11 +46,11 @@ class ExperimentContext:
         """Number of trajectories m."""
         return self.bundle.num_trajectories
 
-    def coverage(self, query: TOPSQuery) -> CoverageIndex:
+    def coverage(self, query: TOPSQuery) -> CoverageIndex | SparseCoverageIndex:
         """Flat-space coverage index for the query (cached detour matrix)."""
-        return self.problem.coverage(query)
+        return self.problem.coverage(query, engine=self.engine)
 
-    def fresh_coverage(self, query: TOPSQuery) -> CoverageIndex:
+    def fresh_coverage(self, query: TOPSQuery) -> CoverageIndex | SparseCoverageIndex:
         """Flat-space coverage index built from scratch (no cached detours).
 
         The paper charges Inc-Greedy/FMG the O(mn) covering-set computation at
@@ -61,7 +60,8 @@ class ExperimentContext:
         answers purely from its pre-built index.
         """
         detours = self.problem.oracle.detour_matrix(self.problem.trajectories)
-        return CoverageIndex(
+        index_cls = SparseCoverageIndex if self.engine == "sparse" else CoverageIndex
+        return index_cls(
             detours,
             query.tau_km,
             query.preference,
@@ -71,8 +71,14 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------ #
     def run_inc_greedy(self, query: TOPSQuery) -> TOPSResult:
-        """Inc-Greedy on the flat site space (includes covering-set build time)."""
+        """Greedy on the flat site space (includes covering-set build time).
+
+        Runs the paper's Inc-Greedy on the dense engine and the equivalent
+        CELF lazy greedy on the sparse engine.
+        """
         coverage = self.fresh_coverage(query)
+        if self.engine == "sparse":
+            return LazyGreedy(coverage).solve(query)
         return IncGreedy(coverage).solve(query)
 
     def run_fm_greedy(self, query: TOPSQuery) -> TOPSResult:
@@ -81,12 +87,17 @@ class ExperimentContext:
         return FMGreedy(coverage, num_sketches=self.num_sketches).solve(query)
 
     def run_netclus(self, query: TOPSQuery) -> TOPSResult:
-        """NetClus query (clustered space, Inc-Greedy over representatives)."""
-        return self.netclus.query(query)
+        """NetClus query (clustered space, greedy over representatives)."""
+        return self.netclus.query(query, engine=self.engine)
 
     def run_fm_netclus(self, query: TOPSQuery) -> TOPSResult:
         """FM-NetClus query (clustered space, FM-greedy over representatives)."""
-        return self.netclus.query(query, use_fm_sketches=True, num_sketches=self.num_sketches)
+        return self.netclus.query(
+            query,
+            use_fm_sketches=True,
+            num_sketches=self.num_sketches,
+            engine=self.engine,
+        )
 
     def exact_utility_percent(self, result: TOPSResult, query: TOPSQuery) -> float:
         """Score a result's site set with exact detours, as a percent of m."""
@@ -129,8 +140,14 @@ def build_context(
     tau_max_km: float = DEFAULT_TAU_RANGE[1],
     num_sketches: int = 30,
     bundle: DatasetBundle | None = None,
+    engine: str = "dense",
 ) -> ExperimentContext:
-    """Build an :class:`ExperimentContext` (Beijing-like by default)."""
+    """Build an :class:`ExperimentContext` (Beijing-like by default).
+
+    ``engine`` selects the coverage + greedy engine for every driver that
+    goes through the context: ``"dense"`` (the paper's matrices) or
+    ``"sparse"`` (CSR/CSC coverage with CELF lazy greedy).
+    """
     if bundle is None:
         bundle = beijing_like(scale=scale, seed=seed)
     problem = bundle.problem()
@@ -146,4 +163,5 @@ def build_context(
         netclus=netclus,
         gamma=gamma,
         num_sketches=num_sketches,
+        engine=engine,
     )

@@ -14,7 +14,7 @@ used by the distance oracle and the Greedy-GDSP clustering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np

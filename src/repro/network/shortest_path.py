@@ -16,7 +16,7 @@ All distances are in kilometres; unreachable pairs are ``inf``.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra

@@ -14,7 +14,7 @@ before exponentiation, as in the original paper by Flajolet and Martin.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

@@ -10,15 +10,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.coverage import CoverageIndex
-from repro.core.distances import DistanceOracle
 from repro.core.preference import BinaryPreference, LinearPreference
 from repro.core.problem import TOPSProblem
 from repro.core.query import TOPSQuery
 from repro.datasets import beijing_like, beijing_small_like
 from repro.network.generators import grid_network, random_planar_network
-from repro.trajectory.generators import commuter_trajectories, random_route_trajectories
-from repro.trajectory.model import TrajectoryDataset
+from repro.trajectory.generators import commuter_trajectories
 
 
 @pytest.fixture(scope="session")

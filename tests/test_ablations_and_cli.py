@@ -72,8 +72,13 @@ class TestRepresentativeStrategy:
 class TestAblationDrivers:
     def test_update_strategy_rows(self, tiny_bundle):
         rows = ablation_design_choices.run_update_strategy(tiny_bundle, k=4)
-        assert {row["update_strategy"] for row in rows} == {"incremental", "recompute"}
-        assert abs(rows[0]["utility"] - rows[1]["utility"]) < 1e-6
+        assert {row["update_strategy"] for row in rows} == {
+            "incremental",
+            "recompute",
+            "lazy",
+        }
+        utilities = [row["utility"] for row in rows]
+        assert max(utilities) - min(utilities) < 1e-6
 
     def test_gdsp_counting_rows(self, tiny_bundle):
         rows = ablation_design_choices.run_gdsp_counting(tiny_bundle, radius_km=0.4)

@@ -3,11 +3,9 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.baselines import random_sites, static_demand_greedy, top_k_by_traffic
 from repro.core.greedy import IncGreedy
-from repro.core.query import TOPSQuery
 
 
 class TestTopKByTraffic:

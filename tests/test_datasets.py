@@ -9,7 +9,6 @@ from repro.datasets import (
     atlanta_like,
     bangalore_like,
     beijing_like,
-    beijing_small_like,
     new_york_like,
     site_capacities_normal,
     site_costs_normal,

@@ -7,7 +7,7 @@ import pytest
 
 from repro.network.generators import grid_network
 from repro.network.shortest_path import shortest_path_nodes
-from repro.trajectory.gps import GPSTrace, simulate_gps_trace
+from repro.trajectory.gps import simulate_gps_trace
 from repro.trajectory.mapmatch import HMMMapMatcher, map_match_dataset
 
 

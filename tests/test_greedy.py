@@ -1,14 +1,17 @@
-"""Unit tests for Inc-Greedy (Algorithm 1)."""
+"""Unit tests for Inc-Greedy (Algorithm 1) and the CELF lazy greedy."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.core.coverage import CoverageIndex
-from repro.core.greedy import IncGreedy, greedy_max_coverage_columns
-from repro.core.preference import BinaryPreference, LinearPreference
-from repro.core.query import TOPSQuery
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.greedy import IncGreedy, LazyGreedy, greedy_max_coverage_columns
+from repro.core.preference import (
+    BinaryPreference,
+    ExponentialPreference,
+    LinearPreference,
+)
 
 
 def coverage_from_scores(scores, tau=1.0):
@@ -140,6 +143,153 @@ class TestSolve:
         result = IncGreedy(coverage).solve(binary_query)
         for site in result.sites:
             assert grid_problem.network.has_node(site)
+
+
+def random_instance(rng):
+    """A random (detours, τ) pair with mixed density for property tests."""
+    m = int(rng.integers(5, 60))
+    n = int(rng.integers(3, 40))
+    density = float(rng.uniform(0.05, 0.6))
+    detours = np.where(rng.random((m, n)) < density, rng.random((m, n)) * 2.0, np.inf)
+    tau = float(rng.uniform(0.3, 1.5))
+    return detours, tau
+
+
+PREFERENCES = [BinaryPreference(), LinearPreference(), ExponentialPreference()]
+
+
+class TestLazyGreedyEquivalence:
+    """CELF must return exactly Inc-Greedy's selections (paper tie-breaks)."""
+
+    def test_paper_example(self, paper_example):
+        columns, utilities, _ = LazyGreedy(paper_example).select(2)
+        assert set(columns) == {0, 1}
+        assert float(np.sum(utilities)) == pytest.approx(0.9, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("preference", PREFERENCES)
+    def test_matches_recompute_on_random_instances(self, seed, preference):
+        rng = np.random.default_rng(seed)
+        detours, tau = random_instance(rng)
+        dense = CoverageIndex(detours, tau, preference)
+        sparse = SparseCoverageIndex(detours, tau, preference)
+        k = int(rng.integers(1, 8))
+        reference, ref_util, ref_gains = IncGreedy(dense, "recompute").select(k)
+        for coverage in (dense, sparse):
+            columns, utilities, gains = LazyGreedy(coverage).select(k)
+            assert columns == reference
+            assert np.allclose(utilities, ref_util)
+            assert np.allclose(gains, ref_gains)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_with_weighted_trajectories(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        detours, tau = random_instance(rng)
+        weights = rng.uniform(0.5, 3.0, detours.shape[0])
+        dense = CoverageIndex(detours, tau, LinearPreference(), trajectory_weights=weights)
+        sparse = SparseCoverageIndex(
+            detours, tau, LinearPreference(), trajectory_weights=weights
+        )
+        reference, _, _ = IncGreedy(dense, "recompute").select(5)
+        assert LazyGreedy(dense).select(5)[0] == reference
+        assert LazyGreedy(sparse).select(5)[0] == reference
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("preference", [BinaryPreference(), LinearPreference()])
+    def test_matches_with_capacities(self, seed, preference):
+        rng = np.random.default_rng(200 + seed)
+        detours, tau = random_instance(rng)
+        m, n = detours.shape
+        capacities = rng.integers(0, m + 3, n)
+        dense = CoverageIndex(detours, tau, preference)
+        sparse = SparseCoverageIndex(detours, tau, preference)
+        k = int(rng.integers(1, 8))
+        reference, ref_util, _ = IncGreedy(dense, "recompute").select(
+            k, capacities=capacities
+        )
+        for coverage in (dense, sparse):
+            columns, utilities, _ = LazyGreedy(coverage).select(k, capacities=capacities)
+            assert columns == reference
+            assert np.allclose(utilities, ref_util)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_with_existing_columns(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        detours, tau = random_instance(rng)
+        n = detours.shape[1]
+        existing = list(rng.choice(n, size=min(2, n), replace=False))
+        dense = CoverageIndex(detours, tau, LinearPreference())
+        sparse = SparseCoverageIndex(detours, tau, LinearPreference())
+        reference, ref_util, _ = IncGreedy(dense, "recompute").select(
+            4, existing_columns=list(existing)
+        )
+        for coverage in (dense, sparse):
+            columns, utilities, _ = LazyGreedy(coverage).select(
+                4, existing_columns=list(existing)
+            )
+            assert columns == reference
+            assert np.allclose(utilities, ref_util)
+
+    def test_matches_incremental_utility_on_grid(self, grid_coverage):
+        incremental = IncGreedy(grid_coverage, update_strategy="incremental")
+        for k in (1, 3, 5):
+            _, util_inc, _ = incremental.select(k)
+            _, util_lazy, _ = LazyGreedy(grid_coverage).select(k)
+            assert float(np.sum(util_lazy)) == pytest.approx(
+                float(np.sum(util_inc)), rel=1e-9
+            )
+
+    def test_tie_break_prefers_weight_then_index(self):
+        # two identical columns (tie on gain and weight -> larger index) and
+        # one lighter column
+        scores = np.asarray([[1.0, 1.0, 0.4], [1.0, 1.0, 0.0]])
+        cov = coverage_from_scores(scores)
+        assert LazyGreedy(cov).select(1)[0] == [1]
+        assert IncGreedy(cov, "recompute").select(1)[0] == [1]
+
+
+class TestLazyGreedyBehaviour:
+    def test_update_strategy_entry_point(self, grid_coverage):
+        via_inc = IncGreedy(grid_coverage, update_strategy="lazy").select(5)
+        direct = LazyGreedy(grid_coverage).select(5)
+        assert via_inc[0] == direct[0]
+
+    def test_sparse_coverage_requires_lazy(self):
+        sparse = SparseCoverageIndex(np.zeros((2, 2)), 1.0, BinaryPreference())
+        with pytest.raises(ValueError):
+            IncGreedy(sparse, update_strategy="incremental")
+        columns, _, _ = IncGreedy(sparse, update_strategy="lazy").select(1)
+        assert len(columns) == 1
+
+    def test_lazy_evaluates_fewer_gains(self, grid_coverage):
+        sparse = SparseCoverageIndex(
+            grid_coverage.detours,
+            grid_coverage.tau_km,
+            grid_coverage.preference,
+        )
+        greedy = LazyGreedy(sparse)
+        k = 8
+        greedy.select(k)
+        eager_evaluations = k * sparse.num_sites
+        assert greedy.last_num_evaluations < eager_evaluations
+
+    def test_solve_reports_metadata(self, grid_coverage, binary_query):
+        result = LazyGreedy(grid_coverage).solve(binary_query)
+        assert result.algorithm == "lazy-greedy"
+        assert len(result.sites) == binary_query.k
+        assert result.metadata["update_strategy"] == "lazy"
+        assert result.metadata["num_gain_evaluations"] >= grid_coverage.num_sites
+
+    def test_empty_coverage_selects_one_site(self):
+        """On a fully empty instance both solvers pick exactly one zero-gain site."""
+        detours = np.full((3, 4), np.inf)
+        dense = CoverageIndex(detours, 1.0, BinaryPreference())
+        sparse = SparseCoverageIndex(detours, 1.0, BinaryPreference())
+        reference, _, _ = IncGreedy(dense, "recompute").select(3)
+        columns, utilities, _ = LazyGreedy(sparse).select(3)
+        assert columns == reference
+        assert len(columns) == 1
+        assert float(np.sum(utilities)) == 0.0
 
 
 class TestGreedyMaxCoverage:

@@ -7,13 +7,12 @@ shared dataset.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.netclus import NetClusIndex
 from repro.core.problem import TOPSProblem
 from repro.core.query import TOPSQuery
-from repro.core.preference import BinaryPreference, LinearPreference
+from repro.core.preference import LinearPreference
 from repro.network.generators import grid_network
 from repro.network.shortest_path import shortest_path_nodes
 from repro.trajectory.gps import simulate_gps_trace

@@ -7,7 +7,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.netclus import NetClusIndex
 from repro.core.preference import BinaryPreference, LinearPreference
 from repro.core.query import TOPSQuery
 
@@ -227,3 +226,53 @@ class TestQuery:
     def test_utility_monotone_in_k(self, index):
         utilities = [index.query(TOPSQuery(k=k, tau_km=0.8)).utility for k in (1, 3, 6)]
         assert utilities == sorted(utilities)
+
+
+class TestSparseEngine:
+    """The sparse (CSR + lazy greedy) engine must reproduce the dense answers."""
+
+    @pytest.mark.parametrize("tau", [0.4, 0.8, 1.6, 3.0])
+    @pytest.mark.parametrize(
+        "preference", [BinaryPreference(), LinearPreference()], ids=["binary", "linear"]
+    )
+    def test_engines_agree(self, index, tau, preference):
+        query = TOPSQuery(k=5, tau_km=tau, preference=preference)
+        dense = index.query(query, engine="dense")
+        sparse = index.query(query, engine="sparse")
+        assert sparse.sites == dense.sites
+        assert sparse.utility == pytest.approx(dense.utility)
+        assert sparse.metadata["engine"] == "sparse"
+        assert dense.metadata["engine"] == "dense"
+
+    def test_engines_agree_with_fm_sketches(self, index):
+        query = TOPSQuery(k=4, tau_km=0.8)
+        dense = index.query(query, use_fm_sketches=True, engine="dense")
+        sparse = index.query(query, use_fm_sketches=True, engine="sparse")
+        assert sparse.sites == dense.sites
+        assert sparse.algorithm == dense.algorithm == "fm-netclus"
+
+    def test_engines_agree_with_existing_sites(self, index, tiny_problem):
+        query = TOPSQuery(k=3, tau_km=0.8)
+        seed_sites = list(tiny_problem.sites[:2])
+        dense = index.query(query, existing_sites=seed_sites, engine="dense")
+        sparse = index.query(query, existing_sites=seed_sites, engine="sparse")
+        assert sparse.sites == dense.sites
+
+    def test_sparse_entries_match_dense_matrix(self, index):
+        """The coverage-list extraction agrees with the estimated-detour matrix."""
+        instance = index.instance_for(0.8)
+        rows = {traj_id: row for row, traj_id in enumerate(index._trajectory_ids)}
+        detours, rep_sites, _ = instance.estimated_detours(rows, 0.8)
+        entry_rows, entry_cols, estimates, sparse_sites, _ = (
+            instance.estimated_coverage_entries(rows, 0.8)
+        )
+        assert sparse_sites == rep_sites
+        rebuilt = np.full_like(detours, np.inf)
+        np.minimum.at(rebuilt, (entry_rows, entry_cols), estimates)
+        qualifying = detours <= 0.8
+        assert np.array_equal(qualifying, rebuilt <= 0.8)
+        assert np.allclose(rebuilt[qualifying], detours[qualifying])
+
+    def test_invalid_engine_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.query(TOPSQuery(k=2, tau_km=0.8), engine="bogus")

@@ -8,7 +8,6 @@ from repro.core.netclus import NetClusIndex
 from repro.core.query import TOPSQuery
 from repro.network.generators import grid_network
 from repro.trajectory.generators import commuter_trajectories
-from repro.trajectory.model import Trajectory
 
 
 @pytest.fixture

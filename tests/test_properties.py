@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.coverage import CoverageIndex
-from repro.core.greedy import IncGreedy, greedy_max_coverage_columns
+from repro.core.greedy import IncGreedy
 from repro.core.optimal import OptimalSolver
 from repro.core.preference import BinaryPreference, ExponentialPreference, LinearPreference
 from repro.core.query import TOPSQuery

@@ -1,0 +1,199 @@
+"""Unit tests for the CSR/CSC :class:`SparseCoverageIndex`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.preference import BinaryPreference, LinearPreference
+
+
+def random_detours(rng, m, n, density=0.3, scale=2.0):
+    """A random (m, n) detour matrix with roughly the given finite density."""
+    detours = rng.random((m, n)) * scale
+    return np.where(rng.random((m, n)) < density, detours, np.inf)
+
+
+class TestAgainstDense:
+    """The sparse index must reproduce every dense coverage structure."""
+
+    @pytest.mark.parametrize("preference", [BinaryPreference(), LinearPreference()])
+    @pytest.mark.parametrize("tau", [0.3, 0.8, 1.5])
+    def test_structures_match_dense(self, rng, preference, tau):
+        detours = random_detours(rng, 40, 25)
+        dense = CoverageIndex(detours, tau, preference)
+        sparse = SparseCoverageIndex(detours, tau, preference)
+        assert sparse.num_trajectories == dense.num_trajectories
+        assert sparse.num_sites == dense.num_sites
+        assert np.allclose(sparse.site_weights, dense.site_weights)
+        assert np.array_equal(sparse.coverage_mask(), dense.coverage_mask())
+        assert sparse.covered_pairs() == dense.covered_pairs()
+        for col in range(dense.num_sites):
+            assert np.array_equal(
+                sparse.trajectories_covered(col), dense.trajectories_covered(col)
+            )
+            d_rows, d_vals = dense.site_column(col)
+            s_rows, s_vals = sparse.site_column(col)
+            assert np.array_equal(d_rows, s_rows)
+            assert np.allclose(d_vals, s_vals)
+        for row in range(dense.num_trajectories):
+            assert np.array_equal(
+                sparse.sites_covering(row), dense.sites_covering(row)
+            )
+
+    def test_utilities_match_dense(self, rng):
+        detours = random_detours(rng, 30, 12)
+        dense = CoverageIndex(detours, 0.9, LinearPreference())
+        sparse = SparseCoverageIndex(detours, 0.9, LinearPreference())
+        columns = [0, 3, 7]
+        assert sparse.utility_of(columns) == pytest.approx(dense.utility_of(columns))
+        assert np.allclose(
+            sparse.per_trajectory_utility(columns),
+            dense.per_trajectory_utility(columns),
+        )
+        utilities = rng.random(30)
+        assert np.allclose(sparse.marginal_gains(utilities), dense.marginal_gains(utilities))
+        for col in (0, 5, 11):
+            assert sparse.marginal_gain(col, utilities) == pytest.approx(
+                dense.marginal_gain(col, utilities)
+            )
+            assert np.allclose(
+                sparse.absorb(utilities, col), dense.absorb(utilities, col)
+            )
+
+    def test_capacity_absorb_matches_dense(self, rng):
+        detours = random_detours(rng, 25, 8, density=0.5)
+        dense = CoverageIndex(detours, 1.0, LinearPreference())
+        sparse = SparseCoverageIndex(detours, 1.0, LinearPreference())
+        utilities = np.zeros(25)
+        for col in range(8):
+            for cap in (0, 1, 3, 100):
+                assert np.allclose(
+                    sparse.absorb(utilities, col, cap), dense.absorb(utilities, col, cap)
+                )
+                assert sparse.marginal_gain(col, utilities, cap) == pytest.approx(
+                    dense.marginal_gain(col, utilities, cap)
+                )
+
+
+class TestEdgeCases:
+    def test_empty_coverage(self):
+        """No detour within τ: a valid, fully empty index."""
+        detours = np.full((4, 3), np.inf)
+        sparse = SparseCoverageIndex(detours, 1.0, BinaryPreference())
+        assert sparse.nnz == 0
+        assert sparse.covered_pairs() == 0
+        assert sparse.density == 0.0
+        assert np.all(sparse.site_weights == 0.0)
+        assert len(sparse.trajectories_covered(0)) == 0
+        assert len(sparse.sites_covering(0)) == 0
+        assert sparse.utility_of([0, 1, 2]) == 0.0
+
+    def test_all_covered(self):
+        """Zero detours everywhere: a fully dense 'sparse' index still works."""
+        detours = np.zeros((3, 4))
+        sparse = SparseCoverageIndex(detours, 1.0, BinaryPreference())
+        assert sparse.nnz == 12
+        assert sparse.density == 1.0
+        assert np.all(sparse.site_weights == 3.0)
+        assert sparse.utility_of([0]) == 3.0
+
+    def test_weighted_trajectories(self):
+        detours = np.zeros((3, 2))
+        weights = np.asarray([1.0, 2.0, 3.0])
+        sparse = SparseCoverageIndex(
+            detours, 1.0, BinaryPreference(), trajectory_weights=weights
+        )
+        assert np.all(sparse.site_weights == 6.0)
+        assert sparse.utility_of([0]) == 6.0
+        dense = CoverageIndex(
+            detours, 1.0, BinaryPreference(), trajectory_weights=weights
+        )
+        assert np.allclose(sparse.site_weights, dense.site_weights)
+
+    def test_zero_score_within_tau_still_covered(self):
+        """The linear preference scores exactly-τ detours 0 but they count as covered."""
+        detours = np.asarray([[1.0, np.inf]])
+        sparse = SparseCoverageIndex(detours, 1.0, LinearPreference())
+        dense = CoverageIndex(detours, 1.0, LinearPreference())
+        assert sparse.covered_pairs() == dense.covered_pairs() == 1
+        assert np.array_equal(sparse.trajectories_covered(0), [0])
+        assert sparse.utility_of([0]) == 0.0
+
+    def test_single_trajectory_single_site(self):
+        sparse = SparseCoverageIndex(np.asarray([[0.5]]), 1.0, LinearPreference())
+        assert sparse.nnz == 1
+        assert sparse.utility_of([0]) == pytest.approx(0.5)
+
+    def test_labels_and_storage(self, rng):
+        detours = random_detours(rng, 20, 10)
+        sparse = SparseCoverageIndex(
+            detours, 0.8, BinaryPreference(), site_labels=list(range(100, 110))
+        )
+        assert sparse.columns_for_labels([105, 100]) == [5, 0]
+        assert sparse.storage_bytes() > 0
+        dense = CoverageIndex(detours, 0.8, BinaryPreference())
+        # roughly 30% density: the sparse payload must undercut the dense one
+        assert sparse.storage_bytes() < dense.storage_bytes()
+
+
+class TestFromCoverageLists:
+    def test_matches_dense_construction(self, rng):
+        detours = random_detours(rng, 30, 15)
+        rows, cols = np.nonzero(np.isfinite(detours))
+        from_lists = SparseCoverageIndex.from_coverage_lists(
+            rows,
+            cols,
+            detours[rows, cols],
+            num_trajectories=30,
+            num_sites=15,
+            tau_km=0.8,
+            preference=LinearPreference(),
+        )
+        from_dense = SparseCoverageIndex(detours, 0.8, LinearPreference())
+        assert from_lists.nnz == from_dense.nnz
+        assert np.allclose(from_lists.site_weights, from_dense.site_weights)
+        assert np.array_equal(from_lists.coverage_mask(), from_dense.coverage_mask())
+
+    def test_duplicates_keep_smallest_detour(self):
+        """NetClus emits one estimate per neighbouring cluster; keep the min."""
+        rows = [0, 0, 0]
+        cols = [1, 1, 1]
+        detours = [0.9, 0.2, 0.5]
+        sparse = SparseCoverageIndex.from_coverage_lists(
+            rows, cols, detours, 2, 3, tau_km=1.0, preference=LinearPreference()
+        )
+        assert sparse.nnz == 1
+        _, values = sparse.site_column(1)
+        assert values[0] == pytest.approx(0.8)  # 1 - 0.2
+
+    def test_drops_entries_beyond_tau(self):
+        sparse = SparseCoverageIndex.from_coverage_lists(
+            [0, 1, 1],
+            [0, 0, 1],
+            [0.5, 2.0, np.inf],
+            2,
+            2,
+            tau_km=1.0,
+            preference=BinaryPreference(),
+        )
+        assert sparse.nnz == 1
+        assert np.array_equal(sparse.trajectories_covered(0), [0])
+
+    def test_empty_lists(self):
+        sparse = SparseCoverageIndex.from_coverage_lists(
+            [], [], [], 3, 2, tau_km=1.0, preference=BinaryPreference()
+        )
+        assert sparse.nnz == 0
+        assert sparse.utility_of([0, 1]) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SparseCoverageIndex.from_coverage_lists(
+                [5], [0], [0.1], 2, 2, tau_km=1.0, preference=BinaryPreference()
+            )
+        with pytest.raises(ValueError):
+            SparseCoverageIndex.from_coverage_lists(
+                [0], [7], [0.1], 2, 2, tau_km=1.0, preference=BinaryPreference()
+            )

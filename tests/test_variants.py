@@ -183,3 +183,56 @@ class TestTops2ConvexPreference:
             TOPSQuery(k=5, tau_km=1.0, preference=ConvexProbabilityPreference())
         )
         assert convex.utility <= binary.utility + 1e-9
+
+
+class TestVariantsOnSparseEngine:
+    """Every variant driver (except TOPS3) runs on the sparse coverage index
+    and returns the dense driver's selections."""
+
+    @pytest.fixture
+    def engines(self, grid_problem, binary_query):
+        dense = grid_problem.coverage(binary_query, engine="dense")
+        sparse = grid_problem.coverage(binary_query, engine="sparse")
+        return dense, sparse
+
+    def test_cost_matches_dense(self, engines):
+        dense, sparse = engines
+        costs = site_costs_normal(dense.num_sites, seed=5)
+        a = solve_tops_cost(dense, budget=3.0, site_costs=costs)
+        b = solve_tops_cost(sparse, budget=3.0, site_costs=costs)
+        assert a.sites == b.sites
+        assert a.utility == pytest.approx(b.utility)
+
+    def test_capacity_matches_dense(self, engines, binary_query):
+        dense, sparse = engines
+        caps = site_capacities_normal(
+            dense.num_sites, dense.num_trajectories, seed=5
+        )
+        a = solve_tops_capacity(dense, binary_query, caps)
+        b = solve_tops_capacity(sparse, binary_query, caps)
+        assert a.sites == b.sites
+        assert a.utility == pytest.approx(b.utility)
+
+    def test_existing_matches_dense(self, engines, binary_query):
+        dense, sparse = engines
+        base = IncGreedy(dense).solve(binary_query)
+        seed_sites = list(base.sites[:2])
+        a = solve_tops_with_existing(dense, binary_query, seed_sites)
+        b = solve_tops_with_existing(sparse, binary_query, seed_sites)
+        assert a.sites == b.sites
+        assert a.utility == pytest.approx(b.utility)
+
+    def test_market_share_matches_dense(self, engines):
+        dense, sparse = engines
+        a = solve_tops_market_share(dense, beta=0.6)
+        b = solve_tops_market_share(sparse, beta=0.6)
+        assert a.sites == b.sites
+        assert a.utility == pytest.approx(b.utility)
+
+    def test_min_inconvenience_requires_dense(self, grid_problem):
+        query = TOPSQuery(k=3, tau_km=1.0, preference=InconveniencePreference())
+        sparse = grid_problem.coverage(
+            TOPSQuery(k=3, tau_km=1.0, preference=LinearPreference()), engine="sparse"
+        )
+        with pytest.raises(ValueError):
+            solve_tops_min_inconvenience(sparse, query)
