@@ -17,6 +17,15 @@ Quickstart
 >>> result = problem.solve(TOPSQuery(k=5, tau_km=1.0))
 >>> index = problem.build_netclus_index(tau_min_km=0.4, tau_max_km=4.0)
 >>> fast = index.query(TOPSQuery(k=5, tau_km=1.0))
+
+Persist & serve
+---------------
+>>> from repro import PlacementService, QuerySpec, save_index, load_index
+>>> save_index(index, "city.ncx")                        # doctest: +SKIP
+>>> service = PlacementService.from_path("city.ncx")     # doctest: +SKIP
+>>> results = service.batch_query(                       # doctest: +SKIP
+...     [QuerySpec(k=5, tau_km=1.0), QuerySpec(k=10, tau_km=1.0)]
+... )
 """
 
 from repro.core.problem import TOPSProblem
@@ -35,9 +44,10 @@ from repro.core.fm_greedy import FMGreedy
 from repro.core.optimal import OptimalSolver
 from repro.core.netclus import NetClusIndex
 from repro.network.graph import RoadNetwork
+from repro.service import PlacementService, QuerySpec, load_index, save_index
 from repro.trajectory.model import Trajectory, TrajectoryDataset
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TOPSProblem",
@@ -56,6 +66,10 @@ __all__ = [
     "FMGreedy",
     "OptimalSolver",
     "NetClusIndex",
+    "PlacementService",
+    "QuerySpec",
+    "save_index",
+    "load_index",
     "RoadNetwork",
     "Trajectory",
     "TrajectoryDataset",

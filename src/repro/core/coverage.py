@@ -28,7 +28,10 @@ greedy solvers and the TOPS variant drivers:
 * ``marginal_gains(utilities)`` / ``marginal_gain(col, utilities, capacity)``;
 * ``absorb(utilities, col, capacity)`` — per-trajectory utilities after
   adding a site;
-* ``utility_of`` / ``per_trajectory_utility`` / ``columns_for_labels``.
+* ``utility_of`` / ``per_trajectory_utility`` / ``columns_for_labels``;
+* ``utilities_for_selection(columns, capacity, seed_columns)`` — replay a
+  selection order (used by the placement service to answer every ``k' ≤ k``
+  from a single greedy run at the largest ``k``).
 """
 
 from __future__ import annotations
@@ -187,6 +190,38 @@ class CoverageIndex:
         if capacity is None or capacity >= len(column):
             return np.maximum(utilities, column)
         return serve_top_capacity(utilities, slice(None), column, capacity)
+
+    def utilities_for_selection(
+        self,
+        columns: Sequence[int],
+        capacity: int | None = None,
+        seed_columns: Sequence[int] = (),
+    ) -> np.ndarray:
+        """Per-trajectory utilities after absorbing *columns* in order."""
+        return replay_selection(self, columns, capacity, seed_columns)
+
+
+# ---------------------------------------------------------------------- #
+def replay_selection(
+    coverage,
+    columns: Sequence[int],
+    capacity: int | None = None,
+    seed_columns: Sequence[int] = (),
+) -> np.ndarray:
+    """Per-trajectory utilities after absorbing *columns* in selection order.
+
+    ``seed_columns`` (existing services) are absorbed first without any
+    capacity limit, matching how the greedy solvers seed their utilities.
+    With a capacity, the absorption order matters — the columns must be given
+    in the order the greedy selected them, which is exactly what makes a
+    prefix of a k-selection the answer for a smaller k.
+    """
+    utilities = np.zeros(coverage.num_trajectories, dtype=np.float64)
+    for col in seed_columns:
+        utilities = coverage.absorb(utilities, int(col))
+    for col in columns:
+        utilities = coverage.absorb(utilities, int(col), capacity)
+    return utilities
 
 
 # ---------------------------------------------------------------------- #
@@ -484,6 +519,15 @@ class SparseCoverageIndex:
             updated[rows] = np.maximum(updated[rows], values)
             return updated
         return serve_top_capacity(utilities, rows, values, capacity)
+
+    def utilities_for_selection(
+        self,
+        columns: Sequence[int],
+        capacity: int | None = None,
+        seed_columns: Sequence[int] = (),
+    ) -> np.ndarray:
+        """Per-trajectory utilities after absorbing *columns* in order."""
+        return replay_selection(self, columns, capacity, seed_columns)
 
     # ------------------------------------------------------------------ #
     def utility_of(self, site_columns: Sequence[int]) -> float:

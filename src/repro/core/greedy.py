@@ -94,6 +94,14 @@ class IncGreedy:
         Returns
         -------
         (selected_columns, per_trajectory_utility, marginal_gains)
+            ``selected_columns`` — site *column indices* (not node ids) in
+            selection order; map to node ids via ``coverage.site_labels``.
+            ``per_trajectory_utility`` — final ψ-utility per trajectory
+            (length m), including any existing-service seed utility.
+            ``marginal_gains`` — the gain each selection contributed, in
+            the same order.  The selection may be shorter than k when no
+            site has positive marginal gain left.  A greedy selection for
+            k is always a prefix of the selection for any larger k.
         """
         require(k >= 1, "k must be >= 1")
         if self.update_strategy == "lazy":
@@ -199,8 +207,23 @@ class IncGreedy:
     def solve(self, query: TOPSQuery, existing_sites: Sequence[int] = ()) -> TOPSResult:
         """Run the greedy selection and wrap it in a :class:`TOPSResult`.
 
-        *existing_sites* are site labels (node ids) of already-operating
-        services; they must be present among the coverage index's sites.
+        Parameters
+        ----------
+        query:
+            The ``(k, τ, ψ)`` query; τ (kilometres) and ψ must match what
+            the coverage index was built with — only ``k`` is read here.
+        existing_sites:
+            Site labels (node ids) of already-operating services; they must
+            be present among the coverage index's sites and seed the
+            utilities without counting towards k.
+
+        Returns
+        -------
+        TOPSResult
+            ``sites`` are node ids in selection order; ``utility`` is the
+            total ψ-utility (for the binary ψ, the number of covered
+            trajectories); ``metadata`` carries the per-step marginal gains
+            and the update strategy used.
         """
         with Timer() as timer:
             existing_columns = (

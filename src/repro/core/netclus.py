@@ -44,6 +44,7 @@ from repro.core.coverage import CoverageIndex, SparseCoverageIndex
 from repro.core.fm_greedy import FMGreedy
 from repro.core.gdsp import GDSPResult, GreedyGDSP
 from repro.core.greedy import IncGreedy, LazyGreedy
+from repro.core.preference import PreferenceFunction
 from repro.core.query import TOPSQuery, TOPSResult
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import ShortestPathEngine
@@ -51,7 +52,7 @@ from repro.trajectory.model import Trajectory, TrajectoryDataset
 from repro.utils.timer import Timer
 from repro.utils.validation import require, require_positive
 
-__all__ = ["NetClusCluster", "NetClusInstance", "NetClusIndex"]
+__all__ = ["NetClusCluster", "NetClusInstance", "NetClusIndex", "ClusteredCoverage"]
 
 
 @dataclass
@@ -254,12 +255,73 @@ class NetClusInstance:
         return total
 
 
+@dataclass
+class ClusteredCoverage:
+    """A prepared clustered-space coverage: everything :meth:`NetClusIndex.query`
+    derives from ``(τ, ψ)`` before the greedy runs.
+
+    Produced by :meth:`NetClusIndex.prepare_coverage` and reusable across any
+    number of queries sharing the same ``(τ, ψ)`` — varying k, capacity,
+    budget or existing services.  The placement service builds one of these
+    per ``(τ, ψ)`` group of a batch, which is what amortises the
+    instance-resolution and coverage-construction work.
+
+    Attributes
+    ----------
+    instance:
+        The index instance ``I_p`` selected for τ.
+    coverage:
+        The coverage index over the cluster representatives (dense or
+        sparse, depending on the requested engine).
+    representative_sites:
+        Node id of each representative, aligned with coverage columns.
+    representative_clusters:
+        Cluster id of each representative, aligned with coverage columns.
+    engine:
+        ``"dense"`` or ``"sparse"`` — which representation was built.
+    """
+
+    instance: NetClusInstance
+    coverage: CoverageIndex | SparseCoverageIndex
+    representative_sites: list[int]
+    representative_clusters: list[int]
+    engine: str
+
+    @property
+    def tau_km(self) -> float:
+        """The coverage threshold the structures were built for."""
+        return self.coverage.tau_km
+
+    def existing_columns(self, existing_sites: Sequence[int]) -> list[int]:
+        """Map existing service locations to representative columns.
+
+        Each existing site is represented by the representative of its
+        cluster (the same proxying the online phase applies to candidate
+        sites); sites whose cluster has no representative are dropped.
+        """
+        cluster_to_column = {
+            cid: col for col, cid in enumerate(self.representative_clusters)
+        }
+        columns: list[int] = []
+        for site in existing_sites:
+            cluster_id = self.instance.node_to_cluster.get(int(site))
+            if cluster_id is None:
+                continue
+            column = cluster_to_column.get(cluster_id)
+            if column is not None and column not in columns:
+                columns.append(column)
+        return columns
+
+
 class NetClusIndex:
     """The multi-resolution NetClus index (offline structure + online query).
 
     Build it with :meth:`build`; answer TOPS queries with :meth:`query`;
     apply dynamic updates with :meth:`add_site`, :meth:`remove_site`,
-    :meth:`add_trajectory` and :meth:`remove_trajectory`.
+    :meth:`add_trajectory` and :meth:`remove_trajectory`.  For repeated
+    queries sharing one ``(τ, ψ)``, :meth:`prepare_coverage` exposes the
+    reusable clustered-space structures; :mod:`repro.service` builds index
+    persistence (save/load) and a batch-query façade on top of these hooks.
     """
 
     algorithm_name = "netclus"
@@ -273,6 +335,7 @@ class NetClusIndex:
         tau_max_km: float,
         gamma: float,
         trajectory_ids: Sequence[int],
+        representative_strategy: str = "closest",
     ) -> None:
         self.network = network
         self.sites = set(int(s) for s in sites)
@@ -280,6 +343,7 @@ class NetClusIndex:
         self.tau_min_km = tau_min_km
         self.tau_max_km = tau_max_km
         self.gamma = gamma
+        self.representative_strategy = representative_strategy
         self._trajectory_ids = list(trajectory_ids)
 
     # ------------------------------------------------------------------ #
@@ -322,6 +386,14 @@ class NetClusIndex:
             ``"closest"`` — the candidate site nearest to the cluster center
             (the paper's choice), or ``"most_frequent"`` — the candidate site
             visited by the largest number of trajectories.
+
+        Returns
+        -------
+        NetClusIndex
+            ``t = ⌊log_{1+γ}(τ_max/τ_min)⌋ + 1`` instances (fewer when
+            capped), ready to answer queries.  All distances here and
+            throughout the index — radii, detours, τ — are in kilometres;
+            no metre-denominated quantity exists in this library.
         """
         require_positive(gamma, "gamma")
         require_positive(tau_min_km, "tau_min_km")
@@ -371,6 +443,7 @@ class NetClusIndex:
             tau_max_km=tau_max_km,
             gamma=gamma,
             trajectory_ids=dataset.ids(),
+            representative_strategy=representative_strategy,
         )
 
     @staticmethod
@@ -500,6 +573,69 @@ class NetClusIndex:
         p = max(0, min(p, len(self.instances) - 1))
         return self.instances[p]
 
+    def prepare_coverage(
+        self,
+        tau_km: float,
+        preference: PreferenceFunction,
+        engine: str = "dense",
+        instance: NetClusInstance | None = None,
+    ) -> ClusteredCoverage:
+        """Build the reusable clustered-space coverage for one ``(τ, ψ)``.
+
+        Resolves the index instance for *tau_km* (or reuses a
+        caller-resolved *instance* — how the placement service shares one
+        resolution across several ψ at the same τ) and materialises the
+        coverage structures over its cluster representatives:
+
+        * ``engine="dense"`` — the estimated-detour matrix wrapped in a
+          :class:`~repro.core.coverage.CoverageIndex` (the paper's setup);
+        * ``engine="sparse"`` — the qualifying estimates fed straight into a
+          :class:`~repro.core.coverage.SparseCoverageIndex` (never
+          materialising the dense matrix).
+
+        The returned :class:`ClusteredCoverage` can answer any number of
+        queries at this ``(τ, ψ)`` — pass it back via :meth:`query`'s
+        ``prepared`` argument, or hand it to the solvers/variant drivers
+        directly.  All distances are in kilometres.
+        """
+        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        if instance is None:
+            instance = self.instance_for(tau_km)
+        rows = {traj_id: row for row, traj_id in enumerate(self._trajectory_ids)}
+        if engine == "sparse":
+            entry_rows, entry_cols, estimates, rep_sites, rep_clusters = (
+                instance.estimated_coverage_entries(rows, tau_km)
+            )
+            coverage: CoverageIndex | SparseCoverageIndex = (
+                SparseCoverageIndex.from_coverage_lists(
+                    entry_rows,
+                    entry_cols,
+                    estimates,
+                    num_trajectories=len(rows),
+                    num_sites=len(rep_sites),
+                    tau_km=tau_km,
+                    preference=preference,
+                    site_labels=rep_sites,
+                    trajectory_ids=self._trajectory_ids,
+                )
+            )
+        else:
+            detours, rep_sites, rep_clusters = instance.estimated_detours(rows, tau_km)
+            coverage = CoverageIndex(
+                detours,
+                tau_km,
+                preference,
+                site_labels=rep_sites,
+                trajectory_ids=self._trajectory_ids,
+            )
+        return ClusteredCoverage(
+            instance=instance,
+            coverage=coverage,
+            representative_sites=rep_sites,
+            representative_clusters=rep_clusters,
+            engine=engine,
+        )
+
     def query(
         self,
         query: TOPSQuery,
@@ -507,8 +643,9 @@ class NetClusIndex:
         num_sketches: int = 30,
         existing_sites: Sequence[int] = (),
         engine: str = "dense",
+        prepared: ClusteredCoverage | None = None,
     ) -> TOPSResult:
-        """Answer a TOPS query over the clustered space.
+        """Answer a TOPS query ``(k, τ, ψ)`` over the clustered space.
 
         The reported ``utility`` is the clustered-space (estimated) utility;
         experiments additionally score the returned sites with the exact
@@ -516,49 +653,53 @@ class NetClusIndex:
         ``existing_sites`` seeds the greedy with already-operating services
         (their clusters' representatives are used as proxies).
 
-        ``engine`` selects the coverage representation: ``"dense"`` builds
-        the estimated-detour matrix and runs the paper's Inc-Greedy;
-        ``"sparse"`` feeds the qualifying estimates straight into a
-        :class:`~repro.core.coverage.SparseCoverageIndex` and runs the CELF
-        lazy greedy — the selections are identical.
+        Parameters
+        ----------
+        query:
+            The TOPS query; ``query.tau_km`` is in kilometres.
+        use_fm_sketches:
+            Run FM-greedy over the representatives instead of Inc-Greedy
+            (only effective for a binary ψ; the result's ``algorithm`` is
+            then ``"fm-netclus"``).
+        num_sketches:
+            Number of FM sketches f when *use_fm_sketches* is set.
+        existing_sites:
+            Node ids of already-operating services (Section 7.3).
+        engine:
+            Coverage representation: ``"dense"`` builds the estimated-detour
+            matrix and runs the paper's Inc-Greedy; ``"sparse"`` feeds the
+            qualifying estimates into a sparse index and runs the CELF lazy
+            greedy — the selections are identical.
+        prepared:
+            A :class:`ClusteredCoverage` from :meth:`prepare_coverage` to
+            reuse; its ``(τ, engine)`` must match the query.  Skips the
+            instance-resolution and coverage-construction work entirely.
+
+        Returns
+        -------
+        TOPSResult
+            Selected sites (node ids, in selection order), clustered-space
+            utility, per-trajectory utilities, and metadata identifying the
+            instance and engine used.
         """
         require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
         with Timer() as timer:
-            instance = self.instance_for(query.tau_km)
-            rows = {traj_id: row for row, traj_id in enumerate(self._trajectory_ids)}
-            if engine == "sparse":
-                entry_rows, entry_cols, estimates, rep_sites, rep_clusters = (
-                    instance.estimated_coverage_entries(rows, query.tau_km)
-                )
-                coverage: CoverageIndex | SparseCoverageIndex = (
-                    SparseCoverageIndex.from_coverage_lists(
-                        entry_rows,
-                        entry_cols,
-                        estimates,
-                        num_trajectories=len(rows),
-                        num_sites=len(rep_sites),
-                        tau_km=query.tau_km,
-                        preference=query.preference,
-                        site_labels=rep_sites,
-                        trajectory_ids=self._trajectory_ids,
-                    )
-                )
+            if prepared is None:
+                prepared = self.prepare_coverage(query.tau_km, query.preference, engine)
             else:
-                detours, rep_sites, rep_clusters = instance.estimated_detours(
-                    rows, query.tau_km
+                require(
+                    prepared.engine == engine,
+                    "prepared coverage was built with a different engine",
                 )
-                coverage = CoverageIndex(
-                    detours,
-                    query.tau_km,
-                    query.preference,
-                    site_labels=rep_sites,
-                    trajectory_ids=self._trajectory_ids,
+                require(
+                    prepared.tau_km == query.tau_km,
+                    "prepared coverage was built for a different tau_km",
                 )
+            instance = prepared.instance
+            coverage = prepared.coverage
             existing_columns: list[int] = []
             if existing_sites:
-                existing_columns = self._existing_service_columns(
-                    instance, rep_clusters, existing_sites
-                )
+                existing_columns = prepared.existing_columns(existing_sites)
             if use_fm_sketches and getattr(query.preference, "is_binary", False):
                 solver = FMGreedy(coverage, num_sketches=num_sketches)
                 inner = solver.solve(query)
@@ -584,28 +725,10 @@ class NetClusIndex:
                 "instance_id": instance.instance_id,
                 "instance_radius_km": instance.radius_km,
                 "num_clusters": instance.num_clusters,
-                "num_representatives": len(rep_sites),
+                "num_representatives": len(prepared.representative_sites),
                 "engine": engine,
             },
         )
-
-    def _existing_service_columns(
-        self,
-        instance: NetClusInstance,
-        rep_clusters: list[int],
-        existing_sites: Sequence[int],
-    ) -> list[int]:
-        """Map existing service locations to representative columns."""
-        cluster_to_column = {cid: col for col, cid in enumerate(rep_clusters)}
-        columns: list[int] = []
-        for site in existing_sites:
-            cluster_id = instance.node_to_cluster.get(int(site))
-            if cluster_id is None:
-                continue
-            column = cluster_to_column.get(cluster_id)
-            if column is not None and column not in columns:
-                columns.append(column)
-        return columns
 
     # ------------------------------------------------------------------ #
     # dynamic updates (Section 6)
@@ -696,6 +819,11 @@ class NetClusIndex:
     def num_trajectories(self) -> int:
         """Number of indexed trajectories."""
         return len(self._trajectory_ids)
+
+    @property
+    def trajectory_ids(self) -> list[int]:
+        """Ids of the indexed trajectories, in registration order (copy)."""
+        return list(self._trajectory_ids)
 
     def storage_bytes(self) -> int:
         """Total estimated index payload bytes across all instances."""

@@ -14,6 +14,12 @@ experiments:
   not bounded to [0, 1], used only by the TOPS3 variant driver).
 
 All implementations are vectorised: they accept NumPy arrays of detours.
+
+Every preference is registered under a short name (``"binary"``,
+``"linear"``, ...) so that serialised query specs — the placement service's
+batch files, result caches — can name a ψ without pickling objects:
+:func:`make_preference` builds an instance from ``(name, params)`` and
+:meth:`PreferenceFunction.spec` is its inverse.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.utils.validation import require_positive
+from repro.utils.validation import require, require_positive
 
 __all__ = [
     "PreferenceFunction",
@@ -31,6 +37,9 @@ __all__ = [
     "ExponentialPreference",
     "ConvexProbabilityPreference",
     "InconveniencePreference",
+    "PREFERENCE_REGISTRY",
+    "make_preference",
+    "is_registered",
 ]
 
 
@@ -71,6 +80,29 @@ class PreferenceFunction(ABC):
         """Human-readable name used in experiment reports."""
         return type(self).__name__
 
+    def spec(self) -> tuple[str, dict[str, float]]:
+        """The ``(registry_name, params)`` pair describing this preference.
+
+        The inverse of :func:`make_preference`; used by the placement
+        service to serialise query specs and to key result caches.
+        Parameterised subclasses override :meth:`params`.  Raises for
+        instances :func:`is_registered` rejects — an unregistered subclass
+        (even of a registered class) cannot be represented faithfully.
+        """
+        require(
+            is_registered(self),
+            f"{type(self).__name__} is not a registered preference; it "
+            "cannot be serialised into a query spec",
+        )
+        return self.registry_name, self.params()
+
+    def params(self) -> dict[str, float]:
+        """Constructor parameters of this preference (empty by default)."""
+        return {}
+
+    #: short name under which the class is registered (set by subclasses)
+    registry_name: str = ""
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"{type(self).__name__}()"
 
@@ -79,6 +111,7 @@ class BinaryPreference(PreferenceFunction):
     """TOPS1 / Definition 3: ψ = 1 iff the detour is within τ."""
 
     is_binary = True
+    registry_name = "binary"
 
     def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
         return np.ones_like(detour_km)
@@ -86,6 +119,8 @@ class BinaryPreference(PreferenceFunction):
 
 class LinearPreference(PreferenceFunction):
     """Linearly decaying preference ``1 − d/τ`` (1 on the trajectory, 0 at τ)."""
+
+    registry_name = "linear"
 
     def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
         if tau_km <= 0:
@@ -96,9 +131,14 @@ class LinearPreference(PreferenceFunction):
 class ExponentialPreference(PreferenceFunction):
     """Exponentially decaying preference ``exp(−λ · d/τ)``."""
 
+    registry_name = "exponential"
+
     def __init__(self, decay: float = 2.0) -> None:
         require_positive(decay, "decay")
         self.decay = decay
+
+    def params(self) -> dict[str, float]:
+        return {"decay": self.decay}
 
     def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
         if tau_km <= 0:
@@ -117,9 +157,14 @@ class ConvexProbabilityPreference(PreferenceFunction):
     experiments use such a function.  ``power=2`` by default.
     """
 
+    registry_name = "convex"
+
     def __init__(self, power: float = 2.0) -> None:
         require_positive(power, "power")
         self.power = power
+
+    def params(self) -> dict[str, float]:
+        return {"power": self.power}
 
     def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
         if tau_km <= 0:
@@ -140,5 +185,45 @@ class InconveniencePreference(PreferenceFunction):
     machinery still works because the function remains non-increasing.
     """
 
+    registry_name = "inconvenience"
+
     def raw_score(self, detour_km: np.ndarray, tau_km: float) -> np.ndarray:
         return -detour_km
+
+
+# ---------------------------------------------------------------------- #
+#: short name -> preference class, the vocabulary of serialised query specs
+PREFERENCE_REGISTRY: dict[str, type[PreferenceFunction]] = {
+    cls.registry_name: cls
+    for cls in (
+        BinaryPreference,
+        LinearPreference,
+        ExponentialPreference,
+        ConvexProbabilityPreference,
+        InconveniencePreference,
+    )
+}
+
+
+def is_registered(preference: PreferenceFunction) -> bool:
+    """Whether *preference* is an exact instance of a registered class.
+
+    A subclass of a registered preference inherits its ``registry_name``
+    but would be silently replaced by the base class on a
+    serialise/deserialise round trip, so it does not count as registered.
+    """
+    return PREFERENCE_REGISTRY.get(preference.registry_name) is type(preference)
+
+
+def make_preference(name: str, **params: float) -> PreferenceFunction:
+    """Build a preference function from its registry name and parameters.
+
+    The inverse of :meth:`PreferenceFunction.spec`:
+    ``make_preference(*pref.spec()[0:1], **pref.spec()[1])`` reproduces
+    *pref*.  Raises ``ValueError`` for unknown names.
+    """
+    require(
+        name in PREFERENCE_REGISTRY,
+        f"unknown preference {name!r}; available: {sorted(PREFERENCE_REGISTRY)}",
+    )
+    return PREFERENCE_REGISTRY[name](**params)

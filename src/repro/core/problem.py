@@ -121,14 +121,35 @@ class TOPSProblem:
         num_sketches: int = 30,
         engine: str = "dense",
     ) -> TOPSResult:
-        """Solve the query with the requested method.
+        """Solve the query on the flat site space with the requested method.
 
-        ``method`` is one of ``"inc-greedy"``, ``"fm-greedy"``, ``"optimal"``.
-        (NetClus has its own offline phase; see :meth:`build_netclus_index`.)
-        ``engine`` picks the coverage representation: with ``"sparse"`` the
-        greedy runs as CELF lazy greedy over the CSR/CSC structures and
-        returns the same selections as the dense Inc-Greedy.  The optimal
-        solver requires the dense engine.
+        Parameters
+        ----------
+        query:
+            The ``(k, τ, ψ)`` query; ``query.tau_km`` is in kilometres.
+        method:
+            ``"inc-greedy"`` (the paper's ``(1 − 1/e)`` heuristic),
+            ``"fm-greedy"`` (FM-sketch estimated gains, binary ψ), or
+            ``"optimal"`` (exact solver; exponential, small instances only).
+            NetClus has its own offline phase; see
+            :meth:`build_netclus_index` / :meth:`placement_service`.
+        existing_sites:
+            Node ids of already-operating services (seed the greedy,
+            Section 7.3).
+        num_sketches:
+            Number of FM sketches f for ``method="fm-greedy"``.
+        engine:
+            Coverage representation: with ``"sparse"`` the greedy runs as
+            CELF lazy greedy over CSR/CSC structures and returns the same
+            selections as the dense Inc-Greedy.  The optimal solver
+            requires the dense engine.
+
+        Returns
+        -------
+        TOPSResult
+            ``sites`` are node ids in selection order; ``elapsed_seconds``
+            includes the coverage build, broken out in
+            ``metadata["preprocess_seconds"]``.
         """
         require(
             engine == "dense" or method != "optimal",
@@ -170,7 +191,14 @@ class TOPSProblem:
         max_instances: int | None = None,
         representative_strategy: str = "closest",
     ) -> NetClusIndex:
-        """Build a NetClus index over this problem's data (offline phase)."""
+        """Build a NetClus index over this problem's data (offline phase).
+
+        Parameters are forwarded to :meth:`NetClusIndex.build`; distances
+        (``tau_min_km``, ``tau_max_km``) are in kilometres.  The returned
+        index answers any ``(k, τ, ψ)`` with τ in the supported range
+        without touching this problem's detour matrix again; persist it
+        with :func:`repro.service.save_index`.
+        """
         return NetClusIndex.build(
             self.network,
             self.trajectories,
@@ -182,6 +210,25 @@ class TOPSProblem:
             num_sketches=num_sketches,
             max_instances=max_instances,
             representative_strategy=representative_strategy,
+        )
+
+    def placement_service(
+        self,
+        engine: str = "sparse",
+        cache_size: int = 128,
+        **build_kwargs,
+    ):
+        """A lazily-built :class:`~repro.service.PlacementService` over this problem.
+
+        *build_kwargs* are forwarded to :meth:`build_netclus_index`.  The
+        offline phase runs on the first query (or ``service.save``), so
+        constructing the service is free; see :mod:`repro.service` for the
+        batch-query and persistence surface.
+        """
+        from repro.service.placement import PlacementService
+
+        return PlacementService.from_problem(
+            self, engine=engine, cache_size=cache_size, **build_kwargs
         )
 
     # ------------------------------------------------------------------ #

@@ -174,6 +174,14 @@ def main(argv: list[str] | None = None) -> None:
         default=None,
         help=f"subset of experiment ids to run (available: {', '.join(EXPERIMENTS)})",
     )
+    parser.add_argument(
+        "--index-cache",
+        default=None,
+        metavar="DIR",
+        help="persist the shared NetClus index in this directory: loaded if "
+        "present (fingerprint-checked), built and saved otherwise — skips "
+        "the offline phase on repeat runs",
+    )
     args = parser.parse_args(argv)
 
     selected = args.only if args.only else list(EXPERIMENTS)
@@ -185,7 +193,12 @@ def main(argv: list[str] | None = None) -> None:
         f"Building shared context (scale={args.scale}, seed={args.seed}, "
         f"engine={args.engine})..."
     )
-    context = build_context(scale=args.scale, seed=args.seed, engine=args.engine)
+    context = build_context(
+        scale=args.scale,
+        seed=args.seed,
+        engine=args.engine,
+        index_path=args.index_cache,
+    )
     for name in selected:
         description, runner = EXPERIMENTS[name]
         print()

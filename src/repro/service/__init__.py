@@ -1,0 +1,48 @@
+"""repro.service — the persistent, queryable placement-service layer.
+
+NetClus is an *index*: built once per city, then queried many times for TOPS
+placements at varying (τ, k, cost, capacity).  This package turns the
+in-memory :class:`~repro.core.netclus.NetClusIndex` into a service:
+
+* :mod:`repro.service.serialization` — versioned on-disk format
+  (:func:`save_index` / :func:`load_index`): a NumPy ``.npz`` payload plus a
+  JSON manifest with format version, build parameters and graph/trajectory
+  fingerprints.  A loaded index answers ``query`` / ``add_site`` /
+  ``add_trajectory`` identically to a freshly built one.
+* :mod:`repro.service.specs` — :class:`QuerySpec`, the hashable,
+  JSON/CSV-serialisable description of one placement request
+  (k, τ, ψ, capacity, budget, existing sites).
+* :mod:`repro.service.placement` — :class:`PlacementService`, the façade
+  owning a loaded (or lazily built) index: ``batch_query`` with shared-work
+  amortisation across same-(τ, ψ) specs, an LRU result cache, and warm-start
+  reuse of one greedy run across k values.
+* ``python -m repro.service`` — the ``build`` / ``query`` / ``inspect`` CLI.
+
+See ``docs/architecture.md`` for where this layer sits and
+``docs/index-format.md`` for the on-disk format specification.
+"""
+
+from repro.service.placement import PlacementService, ServiceStats
+from repro.service.serialization import (
+    FORMAT_VERSION,
+    IndexFormatError,
+    graph_fingerprint,
+    load_index,
+    load_manifest,
+    save_index,
+    trajectory_fingerprint,
+)
+from repro.service.specs import QuerySpec
+
+__all__ = [
+    "PlacementService",
+    "ServiceStats",
+    "QuerySpec",
+    "save_index",
+    "load_index",
+    "load_manifest",
+    "graph_fingerprint",
+    "trajectory_fingerprint",
+    "FORMAT_VERSION",
+    "IndexFormatError",
+]

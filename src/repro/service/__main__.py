@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.service``."""
+
+from repro.service.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,251 @@
+"""``python -m repro.service`` — build, query and inspect persisted indexes.
+
+Three subcommands::
+
+    # offline phase: build a NetClus index for a dataset preset, save to disk
+    python -m repro.service build --dataset beijing --scale tiny --out city.ncx
+
+    # online phase: answer a JSON/CSV batch of query specs from the index
+    python -m repro.service query --index city.ncx --specs specs.json
+
+    # print the manifest (format version, build params, fingerprints, stats)
+    python -m repro.service inspect --index city.ncx
+
+``specs.json`` is a JSON array of :class:`~repro.service.specs.QuerySpec`
+objects (``[{"k": 5, "tau_km": 1.0}, ...]``); a ``.csv`` file with columns
+``k,tau_km[,preference,capacity,budget,site_cost]`` is accepted too.  See
+``docs/api.md`` for the full spec vocabulary and ``docs/index-format.md``
+for the on-disk format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.datasets import (
+    atlanta_like,
+    bangalore_like,
+    beijing_like,
+    beijing_small_like,
+    new_york_like,
+)
+from repro.datasets.base import DatasetBundle
+from repro.service.placement import PlacementService
+from repro.service.serialization import load_manifest, save_index
+from repro.service.specs import QuerySpec
+
+__all__ = ["main"]
+
+
+def _dataset_builders() -> dict[str, Callable[..., DatasetBundle]]:
+    return {
+        "beijing": beijing_like,
+        "beijing-small": lambda scale, seed: beijing_small_like(seed=seed),
+        "new-york": lambda scale, seed: new_york_like(seed=seed),
+        "atlanta": lambda scale, seed: atlanta_like(seed=seed),
+        "bangalore": lambda scale, seed: bangalore_like(seed=seed),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# build
+# ---------------------------------------------------------------------- #
+def _cmd_build(args: argparse.Namespace) -> int:
+    builders = _dataset_builders()
+    if args.dataset == "beijing":
+        bundle = builders["beijing"](scale=args.scale or "small", seed=args.seed)
+    else:
+        if args.scale is not None:
+            raise SystemExit(
+                f"--scale applies to the 'beijing' dataset only; "
+                f"'{args.dataset}' has a fixed size"
+            )
+        bundle = builders[args.dataset](None, args.seed)
+    problem = bundle.problem()
+    print(
+        f"Building NetClus index for {bundle.name} "
+        f"({bundle.num_nodes} nodes, {bundle.num_trajectories} trajectories, "
+        f"{bundle.num_sites} sites)..."
+    )
+    index = problem.build_netclus_index(
+        gamma=args.gamma,
+        tau_min_km=args.tau_min,
+        tau_max_km=args.tau_max,
+        max_instances=args.max_instances,
+    )
+    directory = save_index(index, args.out, dataset=bundle.trajectories)
+    print(
+        f"Saved {index.num_instances} instances "
+        f"({index.storage_bytes() / 1e6:.2f} MB payload estimate, built in "
+        f"{index.build_seconds():.1f}s) to {directory}"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# query
+# ---------------------------------------------------------------------- #
+def _load_specs(path: Path) -> list[QuerySpec]:
+    """Read a batch of specs from a ``.json`` array or a ``.csv`` table."""
+    if path.suffix.lower() == ".csv":
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        return [
+            QuerySpec.from_dict({k: v for k, v in row.items() if v not in (None, "")})
+            for row in rows
+        ]
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise SystemExit(f"{path}: expected a JSON array of spec objects")
+    return [QuerySpec.from_dict(entry) for entry in payload]
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    specs = _load_specs(Path(args.specs))
+    if not specs:
+        raise SystemExit(f"{args.specs}: no query specs found")
+    service = PlacementService.from_path(args.index, engine=args.engine)
+    results = service.batch_query(specs)
+
+    rows = []
+    for spec, result in zip(specs, results):
+        rows.append(
+            {
+                "spec": spec.to_dict(),
+                "sites": list(result.sites),
+                "utility": result.utility,
+                "algorithm": result.algorithm,
+                "instance_id": result.metadata.get("instance_id"),
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(rows, handle, indent=2)
+            handle.write("\n")
+        print(f"Wrote {len(rows)} results to {args.output}")
+    header = f"{'k':>4} {'tau_km':>7} {'pref':<12} {'utility':>9}  sites"
+    print(header)
+    print("-" * len(header))
+    for spec, result in zip(specs, results):
+        label = "budget" if spec.budget is not None else spec.preference
+        print(
+            f"{spec.k:>4} {spec.tau_km:>7.2f} {label:<12} "
+            f"{result.utility:>9.2f}  {list(result.sites)}"
+        )
+    stats = service.stats
+    print(
+        f"\n{stats.queries_served} specs | {stats.instance_resolutions} instance "
+        f"resolutions | {stats.coverage_builds} coverage builds | "
+        f"{stats.greedy_runs} greedy runs | {stats.cache_hits} cache hits"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# inspect
+# ---------------------------------------------------------------------- #
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    manifest = load_manifest(args.index)
+    if args.json:
+        json.dump(manifest, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    params = manifest["build_params"]
+    prints = manifest["fingerprints"]
+    print(f"format           : {manifest['format']} v{manifest['format_version']}")
+    print(
+        f"build params     : gamma={params['gamma']}, "
+        f"tau=[{params['tau_min_km']}, {params['tau_max_km']}] km"
+    )
+    print(
+        f"size             : {manifest['num_instances']} instances, "
+        f"{manifest['num_trajectories']} trajectories, "
+        f"{manifest['num_sites']} sites, {manifest['num_nodes']} nodes"
+    )
+    print(
+        f"offline phase    : {manifest['build_seconds']:.1f}s build, "
+        f"~{manifest['storage_bytes'] / 1e6:.2f} MB payload"
+    )
+    print(f"graph sha256     : {prints['graph'][:16]}…")
+    print(f"trajectories sha : {prints['trajectories'][:16]}…")
+    print(f"payload sha256   : {prints['payload_sha256'][:16]}…")
+    print()
+    header = (
+        f"{'inst':>4} {'radius_km':>10} {'tau range (km)':>18} "
+        f"{'clusters':>9} {'reps':>6} {'build_s':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for entry in manifest["instances"]:
+        low, high = entry["tau_range_km"]
+        print(
+            f"{entry['instance_id']:>4} {entry['radius_km']:>10.3f} "
+            f"{f'[{low:.2f}, {high:.2f})':>18} {entry['num_clusters']:>9} "
+            f"{entry['num_representatives']:>6} {entry['build_seconds']:>8.2f}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+def main(argv: Sequence[str] | None = None) -> int:
+    """Command-line entry point (returns the process exit code)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service", description=__doc__.split("\n\n")[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build an index and save it to disk")
+    build.add_argument(
+        "--dataset",
+        default="beijing",
+        choices=sorted(_dataset_builders()),
+        help="dataset preset to build the index for",
+    )
+    build.add_argument(
+        "--scale",
+        default=None,
+        choices=["tiny", "small", "medium"],
+        help="dataset scale — 'beijing' only (default: small); the other "
+        "presets have a fixed size",
+    )
+    build.add_argument("--seed", type=int, default=42)
+    build.add_argument("--gamma", type=float, default=0.75, help="index resolution γ")
+    build.add_argument("--tau-min", type=float, default=0.4, help="τ_min in km")
+    build.add_argument("--tau-max", type=float, default=8.0, help="τ_max in km")
+    build.add_argument(
+        "--max-instances", type=int, default=None, help="cap the instance ladder"
+    )
+    build.add_argument("--out", required=True, help="output index directory")
+    build.set_defaults(func=_cmd_build)
+
+    query = sub.add_parser("query", help="answer a batch of specs from an index")
+    query.add_argument("--index", required=True, help="index directory (from build)")
+    query.add_argument("--specs", required=True, help="JSON array or CSV of specs")
+    query.add_argument("--engine", default="sparse", choices=["dense", "sparse"])
+    query.add_argument("--output", default=None, help="write results JSON here")
+    query.set_defaults(func=_cmd_query)
+
+    inspect = sub.add_parser("inspect", help="print an index manifest")
+    inspect.add_argument("--index", required=True, help="index directory")
+    inspect.add_argument("--json", action="store_true", help="raw manifest JSON")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `... inspect | head`; not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

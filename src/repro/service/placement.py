@@ -1,0 +1,450 @@
+"""The placement service: a persistent, queryable façade over a NetClus index.
+
+:class:`PlacementService` owns one :class:`~repro.core.netclus.NetClusIndex`
+— loaded from disk, passed in, or lazily built on first use — and answers
+batches of :class:`~repro.service.specs.QuerySpec` with three layers of
+shared work:
+
+1. **Coverage sharing** — specs with the same ``(τ, ψ)`` resolve the index
+   instance and build the clustered-space coverage
+   (:meth:`NetClusIndex.prepare_coverage`) exactly once per batch.
+2. **Warm-started greedy** — specs that differ only in ``k`` share a single
+   greedy run at the largest k: a greedy selection for k is a prefix of the
+   selection for any larger k, so smaller-k answers are replayed from the
+   shared selection order (``utilities_for_selection``).
+3. **LRU result cache** — results are cached keyed on the (hashable) spec,
+   so repeated queries — the common case for a served index — are O(1).
+
+``stats`` counts every resolution/build/run and every cache hit, which is
+both the service's observability surface and how the batch-amortisation
+contract is asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.greedy import IncGreedy, LazyGreedy
+from repro.core.netclus import ClusteredCoverage, NetClusIndex
+from repro.core.preference import is_registered
+from repro.core.query import TOPSQuery, TOPSResult
+from repro.core.variants import solve_tops_cost
+from repro.network.graph import RoadNetwork
+from repro.service.serialization import load_index, save_index
+from repro.service.specs import QuerySpec
+from repro.trajectory.model import TrajectoryDataset
+from repro.utils.timer import Timer
+from repro.utils.validation import require
+
+__all__ = ["PlacementService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Work counters of a :class:`PlacementService` (monotonic until reset)."""
+
+    queries_served: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    instance_resolutions: int = 0
+    coverage_builds: int = 0
+    greedy_runs: int = 0
+    index_builds: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (reporting/CLI)."""
+        return {
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "instance_resolutions": self.instance_resolutions,
+            "coverage_builds": self.coverage_builds,
+            "greedy_runs": self.greedy_runs,
+            "index_builds": self.index_builds,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for key in self.as_dict():
+            setattr(self, key, 0)
+
+
+@dataclass
+class _PreparedGroup:
+    """One coverage group of a batch: shared structures + member spec indices."""
+
+    prepared: ClusteredCoverage
+    build_seconds: float
+    members: list[int] = field(default_factory=list)
+
+
+class PlacementService:
+    """A persistent placement service over one city's NetClus index.
+
+    Parameters
+    ----------
+    index:
+        A ready :class:`NetClusIndex` (e.g. from
+        :func:`~repro.service.serialization.load_index`).
+    builder:
+        Alternative to *index*: a zero-argument callable building the index
+        on first use (lazy construction; see :meth:`from_problem`).
+    engine:
+        Coverage engine for every query: ``"sparse"`` (default — CSR/CSC
+        coverage with the CELF lazy greedy) or ``"dense"`` (the paper's
+        matrices).  Selections are identical either way.
+    cache_size:
+        Capacity of the LRU result cache (0 disables caching).
+
+    Examples
+    --------
+    >>> service = PlacementService.from_problem(problem, tau_max_km=4.0)
+    >>> service.save("beijing.ncx")                        # doctest: +SKIP
+    >>> service = PlacementService.from_path("beijing.ncx")  # doctest: +SKIP
+    >>> results = service.batch_query([
+    ...     QuerySpec(k=5, tau_km=1.0),
+    ...     QuerySpec(k=10, tau_km=1.0),     # shares the k=10 greedy run
+    ...     QuerySpec(k=5, tau_km=2.0, capacity=40),
+    ... ])
+    """
+
+    def __init__(
+        self,
+        index: NetClusIndex | None = None,
+        *,
+        builder: Callable[[], NetClusIndex] | None = None,
+        engine: str = "sparse",
+        cache_size: int = 128,
+    ) -> None:
+        require(
+            (index is not None) or (builder is not None),
+            "PlacementService needs an index or a builder",
+        )
+        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        require(cache_size >= 0, "cache_size must be non-negative")
+        self._index = index
+        self._builder = builder
+        self.engine = engine
+        self.cache_size = cache_size
+        self._cache: OrderedDict[QuerySpec, TOPSResult] = OrderedDict()
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # construction / persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_problem(
+        cls,
+        problem,
+        *,
+        engine: str = "sparse",
+        cache_size: int = 128,
+        **build_kwargs,
+    ) -> "PlacementService":
+        """A service that lazily builds its index from a ``TOPSProblem``.
+
+        *build_kwargs* are forwarded to
+        :meth:`~repro.core.problem.TOPSProblem.build_netclus_index` (γ,
+        τ range, ...); the offline phase runs on the first query or
+        :meth:`save`, not at construction.
+        """
+        return cls(
+            builder=lambda: problem.build_netclus_index(**build_kwargs),
+            engine=engine,
+            cache_size=cache_size,
+        )
+
+    @classmethod
+    def from_path(
+        cls,
+        path: str | Path,
+        network: RoadNetwork | None = None,
+        dataset: TrajectoryDataset | None = None,
+        *,
+        engine: str = "sparse",
+        cache_size: int = 128,
+    ) -> "PlacementService":
+        """A service over a persisted index directory (see ``save``).
+
+        Fingerprints are verified on load; a *network*/*dataset* that does
+        not match what the index was built on is refused.
+        """
+        return cls(
+            index=load_index(path, network=network, dataset=dataset),
+            engine=engine,
+            cache_size=cache_size,
+        )
+
+    @property
+    def index(self) -> NetClusIndex:
+        """The underlying NetClus index (building it now if lazy)."""
+        if self._index is None:
+            self._index = self._builder()
+            self.stats.index_builds += 1
+        return self._index
+
+    def save(self, path: str | Path, dataset: TrajectoryDataset | None = None) -> Path:
+        """Persist the index to *path* (a directory); returns the path.
+
+        Pass the *dataset* the index was built on to additionally record a
+        trajectory-content fingerprint in the manifest (see
+        :func:`~repro.service.serialization.save_index`).
+        """
+        return save_index(self.index, path, dataset=dataset)
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached result.
+
+        Call after mutating the index through dynamic updates
+        (``service.index.add_site(...)`` etc.) — cached selections may no
+        longer be valid for the updated index.
+        """
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        """Number of results currently cached."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------ #
+    # querying
+    # ------------------------------------------------------------------ #
+    def query(
+        self, spec: QuerySpec | TOPSQuery, use_cache: bool = True
+    ) -> TOPSResult:
+        """Answer a single spec (see :meth:`batch_query`)."""
+        return self.batch_query([spec], use_cache=use_cache)[0]
+
+    def batch_query(
+        self,
+        specs: Sequence[QuerySpec | TOPSQuery],
+        use_cache: bool = True,
+    ) -> list[TOPSResult]:
+        """Answer a batch of specs, amortising shared work across them.
+
+        Results are returned in input order and are identical — site
+        selections, utilities, per-trajectory utilities — to answering each
+        spec individually against a freshly prepared coverage (the batch
+        only removes repeated work, never changes the computation).
+
+        With ``use_cache=False`` the LRU cache is neither consulted nor
+        populated (timing studies); batch-level sharing still applies.
+
+        A :class:`TOPSQuery` whose preference is a custom (unregistered)
+        :class:`~repro.core.preference.PreferenceFunction` subclass —
+        including a subclass of a registered class — cannot be expressed
+        as a serialisable spec; it is answered directly via ``index.query``
+        with the original ψ object: correct, but outside the cache and the
+        batch amortisation.
+        """
+        self.stats.queries_served += len(specs)
+        results: list[TOPSResult | None] = [None] * len(specs)
+        resolved: list[QuerySpec | None] = [None] * len(specs)
+        for position, spec in enumerate(specs):
+            if isinstance(spec, TOPSQuery) and not is_registered(spec.preference):
+                # unregistered ψ: answer outside the spec machinery
+                results[position] = self.index.query(spec, engine=self.engine)
+                self.stats.instance_resolutions += 1
+                self.stats.coverage_builds += 1
+                self.stats.greedy_runs += 1
+            else:
+                resolved[position] = self._coerce(spec)
+
+        pending: list[int] = []
+        for position, spec in enumerate(resolved):
+            if spec is None:
+                continue
+            if use_cache and spec in self._cache:
+                self._cache.move_to_end(spec)
+                self.stats.cache_hits += 1
+                results[position] = self._cache[spec]
+            else:
+                if use_cache:
+                    self.stats.cache_misses += 1
+                pending.append(position)
+
+        groups = self._prepare_groups(resolved, pending)
+        for group in groups.values():
+            self._answer_group(resolved, group, results)
+
+        if use_cache and self.cache_size > 0:
+            for position in pending:
+                self._cache_store(resolved[position], results[position])
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(spec: QuerySpec | TOPSQuery) -> QuerySpec:
+        if isinstance(spec, TOPSQuery):
+            return QuerySpec.from_query(spec)
+        require(isinstance(spec, QuerySpec), f"not a QuerySpec: {spec!r}")
+        return spec
+
+    def _prepare_groups(
+        self, resolved: list[QuerySpec | None], pending: list[int]
+    ) -> dict[tuple, _PreparedGroup]:
+        """Build the shared coverage structures, one per (τ, ψ) group.
+
+        The index instance is resolved once per distinct τ and reused by
+        every coverage group at that τ (``prepare_coverage(instance=...)``),
+        so the ``instance_resolutions`` counter reports exactly the work
+        performed.
+        """
+        groups: dict[tuple, _PreparedGroup] = {}
+        instances: dict[float, object] = {}
+        for position in pending:
+            spec = resolved[position]
+            key = spec.coverage_key
+            if key not in groups:
+                if spec.tau_km not in instances:
+                    instances[spec.tau_km] = self.index.instance_for(spec.tau_km)
+                    self.stats.instance_resolutions += 1
+                with Timer() as timer:
+                    prepared = self.index.prepare_coverage(
+                        spec.tau_km,
+                        spec.preference_fn(),
+                        engine=self.engine,
+                        instance=instances[spec.tau_km],
+                    )
+                self.stats.coverage_builds += 1
+                groups[key] = _PreparedGroup(prepared=prepared, build_seconds=timer.elapsed)
+            groups[key].members.append(position)
+        return groups
+
+    def _answer_group(
+        self,
+        resolved: list[QuerySpec | None],
+        group: _PreparedGroup,
+        results: list[TOPSResult | None],
+    ) -> None:
+        """Answer every member of one coverage group."""
+        # subgroup by selection key: members differing only in k share a run
+        runs: dict[tuple, list[int]] = {}
+        for position in group.members:
+            runs.setdefault(resolved[position].selection_key, []).append(position)
+        for positions in runs.values():
+            spec = resolved[positions[0]]
+            if spec.budget is not None:
+                # members of one budget run group differ at most in the
+                # (ignored) k, so a single budgeted greedy answers them all
+                shared = self._run_budgeted(spec, group)
+                for position in positions:
+                    results[position] = shared
+            else:
+                self._run_shared_greedy(resolved, positions, group, results)
+
+    def _run_shared_greedy(
+        self,
+        resolved: list[QuerySpec | None],
+        positions: list[int],
+        group: _PreparedGroup,
+        results: list[TOPSResult | None],
+    ) -> None:
+        """One greedy run at the largest k answers every member spec."""
+        prepared = group.prepared
+        coverage = prepared.coverage
+        lead = resolved[max(positions, key=lambda p: resolved[p].k)]
+        existing_columns = (
+            prepared.existing_columns(lead.existing_sites) if lead.existing_sites else []
+        )
+        capacities = (
+            None
+            if lead.capacity is None
+            else np.full(coverage.num_sites, int(lead.capacity), dtype=np.int64)
+        )
+        with Timer() as run_timer:
+            greedy = (
+                LazyGreedy(coverage)
+                if self.engine == "sparse"
+                else IncGreedy(coverage)
+            )
+            columns, utilities, gains = greedy.select(
+                lead.k, existing_columns=existing_columns, capacities=capacities
+            )
+        self.stats.greedy_runs += 1
+        for position in positions:
+            spec = resolved[position]
+            prefix = columns[: spec.k]
+            if len(prefix) == len(columns):
+                spec_utilities = utilities
+            else:
+                spec_utilities = coverage.utilities_for_selection(
+                    prefix, capacity=spec.capacity, seed_columns=existing_columns
+                )
+            results[position] = self._wrap_result(
+                spec,
+                group,
+                prefix,
+                spec_utilities,
+                gains[: spec.k],
+                run_seconds=run_timer.elapsed,
+            )
+
+    def _run_budgeted(self, spec: QuerySpec, group: _PreparedGroup) -> TOPSResult:
+        """TOPS-COST: the budgeted greedy with uniform per-site costs."""
+        coverage = group.prepared.coverage
+        costs = np.full(coverage.num_sites, float(spec.site_cost))
+        result = solve_tops_cost(coverage, spec.budget, costs)
+        self.stats.greedy_runs += 1
+        metadata = dict(result.metadata)
+        metadata.update(self._group_metadata(group))
+        return TOPSResult(
+            sites=result.sites,
+            utility=result.utility,
+            per_trajectory_utility=result.per_trajectory_utility,
+            elapsed_seconds=result.elapsed_seconds + group.build_seconds,
+            algorithm=result.algorithm,
+            metadata=metadata,
+        )
+
+    def _wrap_result(
+        self,
+        spec: QuerySpec,
+        group: _PreparedGroup,
+        columns: Sequence[int],
+        utilities: np.ndarray,
+        gains: Sequence[float],
+        run_seconds: float,
+    ) -> TOPSResult:
+        coverage = group.prepared.coverage
+        sites = tuple(int(coverage.site_labels[c]) for c in columns)
+        metadata = self._group_metadata(group)
+        metadata["marginal_gains"] = [float(g) for g in gains]
+        if spec.capacity is not None:
+            metadata["capacity"] = spec.capacity
+        if spec.existing_sites:
+            metadata["existing_sites"] = list(spec.existing_sites)
+        return TOPSResult(
+            sites=sites,
+            utility=float(np.sum(utilities)),
+            per_trajectory_utility=tuple(float(u) for u in utilities),
+            elapsed_seconds=run_seconds + group.build_seconds,
+            algorithm=NetClusIndex.algorithm_name,
+            metadata=metadata,
+        )
+
+    def _group_metadata(self, group: _PreparedGroup) -> dict:
+        instance = group.prepared.instance
+        return {
+            "instance_id": instance.instance_id,
+            "instance_radius_km": instance.radius_km,
+            "num_clusters": instance.num_clusters,
+            "num_representatives": len(group.prepared.representative_sites),
+            "engine": self.engine,
+            "coverage_build_seconds": group.build_seconds,
+        }
+
+    def _cache_store(self, spec: QuerySpec, result: TOPSResult | None) -> None:
+        if result is None:  # pragma: no cover - defensive
+            return
+        self._cache[spec] = result
+        self._cache.move_to_end(spec)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)

@@ -1,0 +1,488 @@
+"""Versioned on-disk persistence for :class:`~repro.core.netclus.NetClusIndex`.
+
+An index directory holds exactly two files:
+
+* ``payload.npz`` — every array of the index in NumPy's native ``.npz``
+  container: the road network (nodes, coordinates, edges), the candidate-site
+  set, the trajectory registry, and, per instance, the cluster arrays in
+  flattened CSR-style form (see ``docs/index-format.md`` for the full key
+  listing).
+* ``manifest.json`` — human-readable metadata: format version, build
+  parameters (γ, τ_min, τ_max), per-instance statistics, and three
+  fingerprints — the SHA-256 of the payload file, of the road network, and
+  of the trajectory registry.
+
+Loading refuses to proceed on any fingerprint or version mismatch
+(:class:`IndexFormatError`), so a stale or corrupted index can never silently
+answer queries for the wrong city.  A loaded index is behaviourally identical
+to a freshly built one: queries, dynamic updates (``add_site``,
+``add_trajectory``, ...) and storage statistics all agree, because the
+serialisation preserves dict insertion orders (they decide tie-breaks in
+representative re-election) and every per-cluster array.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.netclus import NetClusCluster, NetClusIndex, NetClusInstance
+from repro.network.graph import RoadNetwork
+from repro.trajectory.model import TrajectoryDataset
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FORMAT_NAME",
+    "IndexFormatError",
+    "save_index",
+    "load_index",
+    "load_manifest",
+    "graph_fingerprint",
+    "trajectory_fingerprint",
+    "dataset_fingerprint",
+]
+
+#: bump on any backwards-incompatible change to the payload or manifest layout
+FORMAT_VERSION = 1
+FORMAT_NAME = "netclus-index"
+MANIFEST_FILE = "manifest.json"
+PAYLOAD_FILE = "payload.npz"
+
+
+class IndexFormatError(RuntimeError):
+    """Raised when an on-disk index cannot be loaded safely.
+
+    Covers unknown format names/versions, missing files, payload corruption
+    (payload hash mismatch), and graph/trajectory fingerprint mismatches
+    against what the caller supplied.
+    """
+
+
+# ---------------------------------------------------------------------- #
+# fingerprints
+# ---------------------------------------------------------------------- #
+_NETWORK_KEYS = (
+    "net_node_ids",
+    "net_node_xy",
+    "net_edge_src",
+    "net_edge_dst",
+    "net_edge_len",
+)
+
+
+def graph_fingerprint(network: RoadNetwork) -> str:
+    """SHA-256 fingerprint of a road network's structure.
+
+    Hashes exactly the canonical flattening persisted in the payload
+    (node ids, node coordinates, edge list sorted by ``(source, target)``)
+    — deterministic regardless of insertion order, sensitive to any
+    topology, coordinate or edge-length change, and guaranteed to agree
+    with what :func:`save_index` writes because both share
+    ``_network_arrays``.
+    """
+    arrays = _network_arrays(network)
+    digest = hashlib.sha256()
+    for key in _NETWORK_KEYS:
+        digest.update(np.ascontiguousarray(arrays[key]).tobytes())
+    return digest.hexdigest()
+
+
+def trajectory_fingerprint(trajectory_ids: list[int] | np.ndarray) -> str:
+    """SHA-256 fingerprint of the trajectory registry (ordered id list).
+
+    The index stores trajectories in compressed per-cluster form, so this
+    fingerprint covers the registry — the ordered id list that fixes the
+    coverage-matrix row order — rather than raw GPS points.  Ids alone
+    cannot distinguish two datasets that both number their trajectories
+    ``0..m-1``; pass the dataset to :func:`save_index` to additionally
+    record a content fingerprint (:func:`dataset_fingerprint`).
+    """
+    ids = np.asarray(list(trajectory_ids), dtype=np.int64)
+    return hashlib.sha256(ids.tobytes()).hexdigest()
+
+
+def dataset_fingerprint(dataset: TrajectoryDataset) -> str:
+    """SHA-256 fingerprint of full trajectory *content* (ids, nodes, distances).
+
+    Unlike :func:`trajectory_fingerprint`, this distinguishes datasets that
+    share an id numbering (e.g. the same city generated with two seeds).
+    Recorded in the manifest when :func:`save_index` is given the dataset,
+    and verified by :func:`load_index` when the caller supplies one.
+    """
+    digest = hashlib.sha256()
+    for trajectory in dataset:
+        digest.update(np.int64(trajectory.traj_id).tobytes())
+        digest.update(trajectory.nodes_array().tobytes())
+        digest.update(trajectory.cumulative_array().tobytes())
+    return digest.hexdigest()
+
+
+def dataset_matches(index: NetClusIndex, dataset: TrajectoryDataset) -> bool:
+    """Whether *dataset*'s id registry matches the index's (order included)."""
+    return trajectory_fingerprint(dataset.ids()) == trajectory_fingerprint(
+        index.trajectory_ids
+    )
+
+
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# save
+# ---------------------------------------------------------------------- #
+def save_index(
+    index: NetClusIndex,
+    path: str | Path,
+    dataset: TrajectoryDataset | None = None,
+) -> Path:
+    """Persist *index* to directory *path* (created if missing).
+
+    Writes ``payload.npz`` (all arrays) and ``manifest.json`` (metadata +
+    fingerprints).  Returns the directory path.  The format is documented in
+    ``docs/index-format.md``; load with :func:`load_index`.
+
+    When *dataset* (the trajectories the index was built on) is supplied,
+    its content fingerprint is recorded too, letting :func:`load_index`
+    distinguish datasets that merely share an id numbering — e.g. the same
+    city generated with two different seeds.  The dataset's id registry
+    must match the index's.
+    """
+    directory = Path(path)
+    if dataset is not None and not dataset_matches(index, dataset):
+        raise IndexFormatError(
+            "dataset/index mismatch: the supplied dataset's trajectory ids "
+            "do not match the index registry"
+        )
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = _network_arrays(index.network)
+    payload["sites"] = np.asarray(sorted(index.sites), dtype=np.int64)
+    payload["trajectory_ids"] = np.asarray(index.trajectory_ids, dtype=np.int64)
+    for instance in index.instances:
+        payload.update(_instance_arrays(instance))
+    payload_path = directory / PAYLOAD_FILE
+    with open(payload_path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "build_params": {
+            "gamma": index.gamma,
+            "tau_min_km": index.tau_min_km,
+            "tau_max_km": index.tau_max_km,
+            "representative_strategy": index.representative_strategy,
+        },
+        "num_instances": index.num_instances,
+        "num_trajectories": index.num_trajectories,
+        "num_sites": len(index.sites),
+        "num_nodes": index.network.num_nodes,
+        "num_edges": index.network.num_edges,
+        "storage_bytes": index.storage_bytes(),
+        "build_seconds": index.build_seconds(),
+        "fingerprints": {
+            "payload_sha256": _file_sha256(payload_path),
+            "graph": graph_fingerprint(index.network),
+            "trajectories": trajectory_fingerprint(index.trajectory_ids),
+            **(
+                {"trajectory_content": dataset_fingerprint(dataset)}
+                if dataset is not None
+                else {}
+            ),
+        },
+        "instances": [
+            {
+                "instance_id": instance.instance_id,
+                "radius_km": instance.radius_km,
+                "tau_range_km": list(instance.tau_range),
+                "num_clusters": instance.num_clusters,
+                "num_representatives": len(instance.representatives()),
+                "build_seconds": instance.build_seconds,
+                "mean_dominating_set_size": instance.mean_dominating_set_size,
+            }
+            for instance in index.instances
+        ],
+    }
+    with open(directory / MANIFEST_FILE, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return directory
+
+
+def _network_arrays(network: RoadNetwork) -> dict[str, np.ndarray]:
+    """Flatten a road network into payload arrays."""
+    node_ids = np.asarray(network.node_ids(), dtype=np.int64)
+    coords = np.asarray(
+        [[network.node(i).x, network.node(i).y] for i in node_ids], dtype=np.float64
+    )
+    edges = sorted((e.source, e.target, e.length) for e in network.edges())
+    edge_src = np.asarray([e[0] for e in edges], dtype=np.int64)
+    edge_dst = np.asarray([e[1] for e in edges], dtype=np.int64)
+    edge_len = np.asarray([e[2] for e in edges], dtype=np.float64)
+    return {
+        "net_node_ids": node_ids,
+        "net_node_xy": coords,
+        "net_edge_src": edge_src,
+        "net_edge_dst": edge_dst,
+        "net_edge_len": edge_len,
+    }
+
+
+def _instance_arrays(instance: NetClusInstance) -> dict[str, np.ndarray]:
+    """Flatten one index instance into payload arrays (CSR-style ragged lists)."""
+    prefix = f"i{instance.instance_id}_"
+    clusters = instance.clusters
+    for position, cluster in enumerate(clusters):
+        if cluster.cluster_id != position:
+            raise IndexFormatError(
+                f"instance {instance.instance_id}: cluster_id {cluster.cluster_id} "
+                f"is not positional (expected {position}); cannot serialise"
+            )
+    arrays: dict[str, np.ndarray] = {
+        prefix + "meta": np.asarray(
+            [
+                instance.radius_km,
+                instance.gamma,
+                instance.build_seconds,
+                instance.mean_dominating_set_size,
+            ],
+            dtype=np.float64,
+        ),
+        prefix + "centers": np.asarray([c.center for c in clusters], dtype=np.int64),
+        prefix + "reps": np.asarray(
+            [c.representative if c.representative is not None else -1 for c in clusters],
+            dtype=np.int64,
+        ),
+        prefix + "rep_rt": np.asarray(
+            [c.representative_round_trip_km for c in clusters], dtype=np.float64
+        ),
+    }
+    # the three ragged per-cluster lists, each as (indptr, ids, values);
+    # iteration order is preserved — it decides ties in re-election
+    for key, pairs in (
+        ("nodes", [list(c.nodes.items()) for c in clusters]),
+        ("tl", [list(c.trajectory_list.items()) for c in clusters]),
+        ("nb", [c.neighbors for c in clusters]),
+    ):
+        counts = np.asarray([len(p) for p in pairs], dtype=np.int64)
+        indptr = np.zeros(len(pairs) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = [item for p in pairs for item in p]
+        arrays[prefix + key + "_indptr"] = indptr
+        arrays[prefix + key + "_ids"] = np.asarray(
+            [item[0] for item in flat], dtype=np.int64
+        )
+        arrays[prefix + key + "_vals"] = np.asarray(
+            [item[1] for item in flat], dtype=np.float64
+        )
+    n2c = list(instance.node_to_cluster.items())
+    arrays[prefix + "n2c_nodes"] = np.asarray([n for n, _ in n2c], dtype=np.int64)
+    arrays[prefix + "n2c_clusters"] = np.asarray([c for _, c in n2c], dtype=np.int64)
+    return arrays
+
+
+# ---------------------------------------------------------------------- #
+# load
+# ---------------------------------------------------------------------- #
+def load_manifest(path: str | Path) -> dict[str, Any]:
+    """Read and validate the manifest of an index directory.
+
+    Checks the format name and version only; :func:`load_index` additionally
+    verifies the payload and fingerprints.
+    """
+    directory = Path(path)
+    manifest_path = directory / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise IndexFormatError(f"no {MANIFEST_FILE} in {directory}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != FORMAT_NAME:
+        raise IndexFormatError(
+            f"not a {FORMAT_NAME} directory (format={manifest.get('format')!r})"
+        )
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise IndexFormatError(
+            f"unsupported format version {version!r} (this build reads "
+            f"version {FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def load_index(
+    path: str | Path,
+    network: RoadNetwork | None = None,
+    dataset: TrajectoryDataset | None = None,
+) -> NetClusIndex:
+    """Load a persisted index from directory *path*.
+
+    Parameters
+    ----------
+    path:
+        Directory written by :func:`save_index`.
+    network:
+        Optional road network to attach instead of reconstructing one from
+        the payload.  Its :func:`graph_fingerprint` must match the manifest —
+        loading an index against a different city is refused.
+    dataset:
+        Optional trajectory dataset to validate against the index's
+        trajectory registry (:func:`trajectory_fingerprint` must match —
+        and, when the manifest carries a ``trajectory_content``
+        fingerprint, :func:`dataset_fingerprint` as well).  The dataset is
+        not stored in the index; this is purely a guard for callers that
+        will score results exactly against it.
+
+    Raises
+    ------
+    IndexFormatError
+        On missing files, format/version mismatch, payload corruption, or a
+        graph/trajectory fingerprint mismatch.
+    """
+    directory = Path(path)
+    manifest = load_manifest(directory)
+    payload_path = directory / PAYLOAD_FILE
+    if not payload_path.is_file():
+        raise IndexFormatError(f"no {PAYLOAD_FILE} in {directory}")
+    fingerprints = manifest.get("fingerprints", {})
+    actual_payload = _file_sha256(payload_path)
+    if actual_payload != fingerprints.get("payload_sha256"):
+        raise IndexFormatError(
+            "payload fingerprint mismatch: payload.npz does not match the "
+            "manifest (corrupted or partially written index)"
+        )
+    with np.load(payload_path) as payload:
+        arrays = {key: payload[key] for key in payload.files}
+
+    if network is None:
+        network = _rebuild_network(arrays)
+    actual_graph = graph_fingerprint(network)
+    if actual_graph != fingerprints.get("graph"):
+        raise IndexFormatError(
+            "graph fingerprint mismatch: the supplied road network is not "
+            "the one this index was built on"
+        )
+    trajectory_ids = [int(t) for t in arrays["trajectory_ids"]]
+    if trajectory_fingerprint(trajectory_ids) != fingerprints.get("trajectories"):
+        raise IndexFormatError(
+            "trajectory fingerprint mismatch: payload registry does not "
+            "match the manifest"
+        )
+    if dataset is not None:
+        if trajectory_fingerprint(dataset.ids()) != fingerprints.get("trajectories"):
+            raise IndexFormatError(
+                "trajectory fingerprint mismatch: the supplied dataset is not "
+                "the one this index was built on"
+            )
+        expected_content = fingerprints.get("trajectory_content")
+        if (
+            expected_content is not None
+            and dataset_fingerprint(dataset) != expected_content
+        ):
+            raise IndexFormatError(
+                "trajectory content mismatch: the supplied dataset shares the "
+                "index's id numbering but holds different trajectories"
+            )
+
+    params = manifest["build_params"]
+    instances = [
+        _rebuild_instance(arrays, entry["instance_id"])
+        for entry in manifest["instances"]
+    ]
+    return NetClusIndex(
+        network=network,
+        sites=[int(s) for s in arrays["sites"]],
+        instances=instances,
+        tau_min_km=float(params["tau_min_km"]),
+        tau_max_km=float(params["tau_max_km"]),
+        gamma=float(params["gamma"]),
+        trajectory_ids=trajectory_ids,
+        representative_strategy=str(params.get("representative_strategy", "closest")),
+    )
+
+
+def _rebuild_network(arrays: dict[str, np.ndarray]) -> RoadNetwork:
+    """Reconstruct the road network from payload arrays."""
+    network = RoadNetwork()
+    xy = arrays["net_node_xy"]
+    for position, node_id in enumerate(arrays["net_node_ids"]):
+        network.add_node(float(xy[position, 0]), float(xy[position, 1]), int(node_id))
+    for src, dst, length in zip(
+        arrays["net_edge_src"], arrays["net_edge_dst"], arrays["net_edge_len"]
+    ):
+        network.add_edge(int(src), int(dst), float(length))
+    return network
+
+
+def _rebuild_instance(arrays: dict[str, np.ndarray], instance_id: int) -> NetClusInstance:
+    """Reconstruct one index instance from payload arrays."""
+    prefix = f"i{instance_id}_"
+    meta = arrays[prefix + "meta"]
+    centers = arrays[prefix + "centers"]
+    reps = arrays[prefix + "reps"]
+    rep_rt = arrays[prefix + "rep_rt"]
+    ragged = {
+        key: (
+            arrays[prefix + key + "_indptr"],
+            arrays[prefix + key + "_ids"],
+            arrays[prefix + key + "_vals"],
+        )
+        for key in ("nodes", "tl", "nb")
+    }
+    clusters: list[NetClusCluster] = []
+    for cid in range(len(centers)):
+        cluster = NetClusCluster(
+            cluster_id=cid,
+            center=int(centers[cid]),
+            nodes=_ragged_dict(ragged["nodes"], cid),
+            representative=int(reps[cid]) if reps[cid] >= 0 else None,
+            representative_round_trip_km=float(rep_rt[cid])
+            if reps[cid] >= 0
+            else math.inf,
+            trajectory_list=_ragged_dict(ragged["tl"], cid),
+            neighbors=_ragged_pairs(ragged["nb"], cid),
+        )
+        clusters.append(cluster)
+    node_to_cluster = {
+        int(node): int(cid)
+        for node, cid in zip(arrays[prefix + "n2c_nodes"], arrays[prefix + "n2c_clusters"])
+    }
+    return NetClusInstance(
+        instance_id=int(instance_id),
+        radius_km=float(meta[0]),
+        gamma=float(meta[1]),
+        clusters=clusters,
+        node_to_cluster=node_to_cluster,
+        build_seconds=float(meta[2]),
+        mean_dominating_set_size=float(meta[3]),
+    )
+
+
+def _ragged_slice(
+    ragged: tuple[np.ndarray, np.ndarray, np.ndarray], index: int
+) -> tuple[np.ndarray, np.ndarray]:
+    indptr, ids, vals = ragged
+    start, stop = int(indptr[index]), int(indptr[index + 1])
+    return ids[start:stop], vals[start:stop]
+
+
+def _ragged_dict(
+    ragged: tuple[np.ndarray, np.ndarray, np.ndarray], index: int
+) -> dict[int, float]:
+    ids, vals = _ragged_slice(ragged, index)
+    return {int(i): float(v) for i, v in zip(ids, vals)}
+
+
+def _ragged_pairs(
+    ragged: tuple[np.ndarray, np.ndarray, np.ndarray], index: int
+) -> list[tuple[int, float]]:
+    ids, vals = _ragged_slice(ragged, index)
+    return [(int(i), float(v)) for i, v in zip(ids, vals)]

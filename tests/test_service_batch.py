@@ -1,0 +1,300 @@
+"""PlacementService: batch == sequential, shared-work counters, LRU cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import TOPSQuery
+from repro.core.variants import solve_tops_capacity, solve_tops_cost
+from repro.service import PlacementService, QuerySpec, save_index
+
+
+@pytest.fixture()
+def service(tiny_netclus):
+    return PlacementService(tiny_netclus, engine="sparse")
+
+
+MIXED_SPECS = [
+    QuerySpec(k=3, tau_km=0.8),
+    QuerySpec(k=6, tau_km=0.8),
+    QuerySpec(k=9, tau_km=0.8),
+    QuerySpec(k=4, tau_km=1.6),
+    QuerySpec(k=4, tau_km=1.6, capacity=25),
+    QuerySpec(k=4, tau_km=0.8, budget=3.0),
+    QuerySpec(k=5, tau_km=1.6, preference="linear"),
+    QuerySpec(k=5, tau_km=0.8, preference="exponential",
+              preference_params=(("decay", 3.0),)),
+]
+
+
+def _assert_same_result(a, b):
+    assert a.sites == b.sites
+    assert a.utility == pytest.approx(b.utility)
+    assert a.per_trajectory_utility == pytest.approx(b.per_trajectory_utility)
+
+
+# ---------------------------------------------------------------------- #
+# batch == sequential == fresh index
+# ---------------------------------------------------------------------- #
+def test_batch_matches_sequential(tiny_netclus, service):
+    batch = service.batch_query(MIXED_SPECS, use_cache=False)
+    for spec, batched in zip(MIXED_SPECS, batch):
+        alone = PlacementService(tiny_netclus, engine="sparse").query(
+            spec, use_cache=False
+        )
+        _assert_same_result(batched, alone)
+
+
+def test_plain_specs_match_index_query(tiny_netclus, service):
+    """Uncapacitated, unbudgeted specs reproduce NetClusIndex.query exactly."""
+    for spec in MIXED_SPECS:
+        if spec.capacity is not None or spec.budget is not None:
+            continue
+        direct = tiny_netclus.query(spec.to_query(), engine="sparse")
+        served = service.query(spec, use_cache=False)
+        _assert_same_result(served, direct)
+
+
+def test_capacity_spec_matches_variant_driver(tiny_netclus, service):
+    spec = QuerySpec(k=4, tau_km=1.6, capacity=25)
+    prepared = tiny_netclus.prepare_coverage(
+        spec.tau_km, spec.preference_fn(), engine="sparse"
+    )
+    caps = np.full(prepared.coverage.num_sites, spec.capacity)
+    direct = solve_tops_capacity(prepared.coverage, spec.to_query(), caps)
+    served = service.query(spec, use_cache=False)
+    _assert_same_result(served, direct)
+
+
+def test_budget_spec_matches_variant_driver(tiny_netclus, service):
+    spec = QuerySpec(k=4, tau_km=0.8, budget=3.0)
+    prepared = tiny_netclus.prepare_coverage(
+        spec.tau_km, spec.preference_fn(), engine="sparse"
+    )
+    costs = np.full(prepared.coverage.num_sites, 1.0)
+    direct = solve_tops_cost(prepared.coverage, spec.budget, costs)
+    served = service.query(spec, use_cache=False)
+    _assert_same_result(served, direct)
+    assert served.algorithm == "tops-cost"
+
+
+def test_tops_query_input_accepted(tiny_netclus, service):
+    query = TOPSQuery(k=5, tau_km=0.8)
+    direct = tiny_netclus.query(query, engine="sparse")
+    served = service.query(query, use_cache=False)
+    _assert_same_result(served, direct)
+
+
+def test_dense_engine_parity(tiny_netclus):
+    sparse = PlacementService(tiny_netclus, engine="sparse")
+    dense = PlacementService(tiny_netclus, engine="dense")
+    specs = [s for s in MIXED_SPECS if s.budget is None]
+    for a, b in zip(
+        sparse.batch_query(specs, use_cache=False),
+        dense.batch_query(specs, use_cache=False),
+    ):
+        _assert_same_result(a, b)
+
+
+# ---------------------------------------------------------------------- #
+# shared-work amortisation (the acceptance-criterion counters)
+# ---------------------------------------------------------------------- #
+def test_same_tau_batch_resolves_and_builds_once(service):
+    specs = [QuerySpec(k=k, tau_km=0.8) for k in (2, 5, 8)]
+    results = service.batch_query(specs, use_cache=False)
+    assert service.stats.instance_resolutions == 1
+    assert service.stats.coverage_builds == 1
+    assert service.stats.greedy_runs == 1
+    # prefix property: smaller-k selections are prefixes of the largest
+    assert results[0].sites == results[2].sites[:2]
+    assert results[1].sites == results[2].sites[:5]
+
+
+def test_mixed_tau_batch_counts_groups(service):
+    specs = [
+        QuerySpec(k=3, tau_km=0.8),
+        QuerySpec(k=5, tau_km=0.8),
+        QuerySpec(k=3, tau_km=1.6),
+        QuerySpec(k=3, tau_km=0.8, preference="linear"),
+    ]
+    service.batch_query(specs, use_cache=False)
+    assert service.stats.instance_resolutions == 2  # τ ∈ {0.8, 1.6}
+    assert service.stats.coverage_builds == 3  # (0.8, binary), (1.6, binary), (0.8, linear)
+    assert service.stats.greedy_runs == 3
+
+
+def test_same_tau_different_capacity_needs_two_runs(service):
+    specs = [QuerySpec(k=3, tau_km=0.8), QuerySpec(k=3, tau_km=0.8, capacity=10)]
+    service.batch_query(specs, use_cache=False)
+    assert service.stats.coverage_builds == 1
+    assert service.stats.greedy_runs == 2
+
+
+def test_roundtrip_batch_acceptance_property(tiny_problem, tiny_netclus, tmp_path):
+    """save → load → batch_query equals a freshly built index on a mixed batch."""
+    path = save_index(tiny_netclus, tmp_path / "city.ncx")
+    loaded_service = PlacementService.from_path(path)
+    fresh_service = PlacementService(
+        tiny_problem.build_netclus_index(gamma=0.75, tau_min_km=0.4, tau_max_km=4.0)
+    )
+    for loaded, fresh in zip(
+        loaded_service.batch_query(MIXED_SPECS),
+        fresh_service.batch_query(MIXED_SPECS),
+    ):
+        _assert_same_result(loaded, fresh)
+    same_tau = [QuerySpec(k=k, tau_km=1.2) for k in (2, 4, 6)]
+    loaded_service.stats.reset()
+    loaded_service.batch_query(same_tau)
+    assert loaded_service.stats.instance_resolutions == 1
+    assert loaded_service.stats.coverage_builds == 1
+
+
+# ---------------------------------------------------------------------- #
+# LRU cache behaviour
+# ---------------------------------------------------------------------- #
+def test_cache_hits_skip_all_work(service):
+    spec = QuerySpec(k=4, tau_km=0.8)
+    first = service.query(spec)
+    runs = service.stats.greedy_runs
+    builds = service.stats.coverage_builds
+    second = service.query(spec)
+    assert second is first  # the cached object itself
+    assert service.stats.cache_hits == 1
+    assert service.stats.greedy_runs == runs
+    assert service.stats.coverage_builds == builds
+
+
+def test_cache_respects_spec_identity(service):
+    a = service.query(QuerySpec(k=4, tau_km=0.8))
+    b = service.query(QuerySpec(k=4, tau_km=0.8, capacity=10))
+    assert service.stats.cache_hits == 0
+    assert a.sites is not None and b.sites is not None
+
+
+def test_cache_bypass_does_not_populate(service):
+    spec = QuerySpec(k=4, tau_km=0.8)
+    service.query(spec, use_cache=False)
+    assert service.cache_len == 0
+    service.query(spec)
+    assert service.stats.cache_hits == 0
+    assert service.cache_len == 1
+
+
+def test_cache_eviction_is_lru(tiny_netclus):
+    service = PlacementService(tiny_netclus, cache_size=2)
+    s1, s2, s3 = (QuerySpec(k=k, tau_km=0.8) for k in (2, 3, 4))
+    service.query(s1)
+    service.query(s2)
+    service.query(s1)  # refresh s1 → s2 becomes LRU
+    service.query(s3)  # evicts s2
+    assert service.cache_len == 2
+    hits = service.stats.cache_hits
+    service.query(s1)
+    assert service.stats.cache_hits == hits + 1
+    service.query(s2)  # evicted → recomputed
+    assert service.stats.cache_hits == hits + 1
+
+
+def test_invalidate_cache(service):
+    spec = QuerySpec(k=4, tau_km=0.8)
+    service.query(spec)
+    assert service.cache_len == 1
+    service.invalidate_cache()
+    assert service.cache_len == 0
+    service.query(spec)
+    assert service.stats.cache_hits == 0
+
+
+# ---------------------------------------------------------------------- #
+# construction paths / spec validation
+# ---------------------------------------------------------------------- #
+def test_lazy_builder_runs_once(tiny_problem):
+    service = tiny_problem.placement_service(tau_min_km=0.4, tau_max_km=2.0,
+                                             max_instances=2)
+    assert service.stats.index_builds == 0
+    service.query(QuerySpec(k=3, tau_km=0.8), use_cache=False)
+    service.query(QuerySpec(k=3, tau_km=1.2), use_cache=False)
+    assert service.stats.index_builds == 1
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        QuerySpec(k=0, tau_km=1.0)
+    with pytest.raises(ValueError):
+        QuerySpec(k=3, tau_km=1.0, preference="no-such-preference")
+    with pytest.raises(ValueError):
+        QuerySpec(k=3, tau_km=1.0, budget=2.0, capacity=5)
+    with pytest.raises(ValueError):
+        QuerySpec(k=3, tau_km=1.0, budget=2.0, existing_sites=(1,))
+
+
+def test_spec_dict_roundtrip():
+    spec = QuerySpec(k=5, tau_km=1.5, preference="exponential",
+                     preference_params=(("decay", 3.0),), capacity=12,
+                     existing_sites=(4, 9))
+    assert QuerySpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ValueError, match="unknown QuerySpec fields"):
+        QuerySpec.from_dict({"k": 3, "tau_km": 1.0, "typo_field": 1})
+
+
+def test_spec_from_query_roundtrip():
+    query = TOPSQuery(k=4, tau_km=2.0)
+    spec = QuerySpec.from_query(query)
+    rebuilt = spec.to_query()
+    assert rebuilt.k == query.k
+    assert rebuilt.tau_km == query.tau_km
+    assert type(rebuilt.preference) is type(query.preference)
+
+
+def test_custom_preference_query_falls_back_to_index(tiny_netclus, service):
+    """A TOPSQuery with an unregistered ψ subclass still gets answered."""
+    from repro.core.preference import PreferenceFunction
+
+    class StepPreference(PreferenceFunction):
+        def raw_score(self, detour_km, tau_km):
+            return np.where(detour_km <= tau_km / 2.0, 1.0, 0.5)
+
+    query = TOPSQuery(k=4, tau_km=1.2, preference=StepPreference())
+    direct = tiny_netclus.query(query, engine="sparse")
+    served = service.query(query, use_cache=False)
+    _assert_same_result(served, direct)
+    assert service.cache_len == 0  # unserialisable specs stay uncached
+
+
+def test_subclass_of_registered_preference_not_coerced(tiny_netclus, service):
+    """A subclass of a registered ψ must not be replaced by its base class."""
+    from repro.core.preference import LinearPreference
+
+    class SteeperLinear(LinearPreference):
+        def raw_score(self, detour_km, tau_km):
+            return super().raw_score(detour_km, tau_km) ** 3
+
+    query = TOPSQuery(k=4, tau_km=1.6, preference=SteeperLinear())
+    direct = tiny_netclus.query(query, engine="sparse")
+    served = service.query(query)
+    _assert_same_result(served, direct)
+    plain = tiny_netclus.query(
+        TOPSQuery(k=4, tau_km=1.6, preference=LinearPreference()), engine="sparse"
+    )
+    assert served.utility != pytest.approx(plain.utility)  # really used the subclass
+    with pytest.raises(ValueError, match="not a registered preference"):
+        QuerySpec.from_query(query)
+
+
+def test_identical_budget_specs_share_one_run(service):
+    specs = [QuerySpec(k=1, tau_km=0.8, budget=3.0),
+             QuerySpec(k=9, tau_km=0.8, budget=3.0)]
+    a, b = service.batch_query(specs, use_cache=False)
+    assert service.stats.greedy_runs == 1  # k is ignored for budgeted specs
+    _assert_same_result(a, b)
+
+
+def test_existing_sites_spec(tiny_netclus, service):
+    existing = (min(tiny_netclus.sites),)
+    spec = QuerySpec(k=3, tau_km=0.8, existing_sites=existing)
+    direct = tiny_netclus.query(
+        spec.to_query(), existing_sites=existing, engine="sparse"
+    )
+    served = service.query(spec, use_cache=False)
+    _assert_same_result(served, direct)

@@ -1,0 +1,175 @@
+"""The ``python -m repro.service`` CLI: build, query (JSON + CSV), inspect."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cli import main
+
+
+@pytest.fixture(scope="module")
+def built_index(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "city.ncx"
+    code = main(
+        [
+            "build",
+            "--dataset", "beijing",
+            "--scale", "tiny",
+            "--tau-max", "2.0",
+            "--max-instances", "3",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+def test_build_writes_index(built_index):
+    assert (built_index / "manifest.json").is_file()
+    assert (built_index / "payload.npz").is_file()
+
+
+def test_build_records_content_fingerprint(built_index):
+    """CLI-built indexes carry the trajectory-content fingerprint."""
+    manifest = json.loads((built_index / "manifest.json").read_text())
+    assert "trajectory_content" in manifest["fingerprints"]
+    assert manifest["build_params"]["representative_strategy"] == "closest"
+
+
+def test_build_rejects_scale_for_fixed_datasets(tmp_path):
+    with pytest.raises(SystemExit, match="fixed size"):
+        main(
+            [
+                "build",
+                "--dataset", "new-york",
+                "--scale", "tiny",
+                "--out", str(tmp_path / "ny.ncx"),
+            ]
+        )
+
+
+def test_inspect_prints_manifest(built_index, capsys):
+    assert main(["inspect", "--index", str(built_index)]) == 0
+    out = capsys.readouterr().out
+    assert "netclus-index v1" in out
+    assert "gamma=0.75" in out
+    assert "graph sha256" in out
+
+
+def test_inspect_json(built_index, capsys):
+    assert main(["inspect", "--index", str(built_index), "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["format"] == "netclus-index"
+
+
+def test_query_json_specs(built_index, tmp_path, capsys):
+    specs = [
+        {"k": 3, "tau_km": 0.8},
+        {"k": 5, "tau_km": 0.8},
+        {"k": 3, "tau_km": 1.5, "capacity": 20},
+        {"k": 3, "tau_km": 0.8, "budget": 2.0},
+    ]
+    specs_path = tmp_path / "specs.json"
+    specs_path.write_text(json.dumps(specs))
+    output_path = tmp_path / "results.json"
+    code = main(
+        [
+            "query",
+            "--index", str(built_index),
+            "--specs", str(specs_path),
+            "--output", str(output_path),
+        ]
+    )
+    assert code == 0
+    rows = json.loads(output_path.read_text())
+    assert len(rows) == 4
+    assert all(len(row["sites"]) >= 1 for row in rows)
+    assert rows[0]["sites"] == rows[1]["sites"][:3]  # prefix property via CLI
+    out = capsys.readouterr().out
+    assert "1 instance resolutions" not in out  # τ ∈ {0.8, 1.5} → 2 resolutions
+    assert "2 instance resolutions" in out
+
+
+def test_query_csv_specs(built_index, tmp_path, capsys):
+    csv_path = tmp_path / "specs.csv"
+    csv_path.write_text("k,tau_km,preference\n3,0.8,binary\n4,1.5,linear\n")
+    assert main(["query", "--index", str(built_index), "--specs", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "linear" in out
+
+
+def test_query_rejects_bad_specs_file(built_index, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"k": 3}))
+    with pytest.raises(SystemExit):
+        main(["query", "--index", str(built_index), "--specs", str(bad)])
+
+
+def test_run_all_index_cache(tmp_path, capsys):
+    """build_context --index-cache round-trips through the experiments layer."""
+    from repro.datasets import beijing_like
+    from repro.experiments.runner import build_context
+
+    bundle = beijing_like(scale="tiny", seed=3)
+    cache = tmp_path / "ctx.ncx"
+    first = build_context(
+        bundle=bundle, tau_max_km=2.0, engine="sparse", index_path=cache
+    )
+    assert (cache / "manifest.json").is_file()
+    second = build_context(
+        bundle=bundle, tau_max_km=2.0, engine="sparse", index_path=cache
+    )
+    from repro.core.query import TOPSQuery
+
+    query = TOPSQuery(k=4, tau_km=0.8)
+    assert second.run_netclus(query).sites == first.run_netclus(query).sites
+
+
+def test_run_all_index_cache_refuses_other_seed(tmp_path):
+    """A cached index never silently serves a different seed's trajectories."""
+    from repro.datasets import beijing_like
+    from repro.experiments.runner import build_context
+    from repro.service import IndexFormatError
+
+    cache = tmp_path / "seeded.ncx"
+    build_context(
+        bundle=beijing_like(scale="tiny", seed=3),
+        tau_max_km=2.0,
+        index_path=cache,
+    )
+    with pytest.raises(IndexFormatError, match="trajectory content"):
+        build_context(
+            bundle=beijing_like(scale="tiny", seed=4),
+            tau_max_km=2.0,
+            index_path=cache,
+        )
+
+
+def test_run_all_index_cache_refuses_other_build_params(tmp_path):
+    from repro.datasets import beijing_like
+    from repro.experiments.runner import build_context
+    from repro.service import IndexFormatError
+
+    bundle = beijing_like(scale="tiny", seed=3)
+    cache = tmp_path / "params.ncx"
+    build_context(bundle=bundle, tau_max_km=2.0, index_path=cache)
+    with pytest.raises(IndexFormatError, match="build_params|built with"):
+        build_context(bundle=bundle, tau_max_km=4.0, index_path=cache)
+
+
+def test_run_all_index_cache_refuses_capped_ladder(tmp_path):
+    """An index built with --max-instances is not a valid experiment cache."""
+    from repro.datasets import beijing_like
+    from repro.experiments.runner import build_context
+    from repro.service import IndexFormatError, save_index
+
+    bundle = beijing_like(scale="tiny", seed=3)
+    capped = bundle.problem().build_netclus_index(
+        gamma=0.75, tau_min_km=0.4, tau_max_km=8.0, max_instances=2
+    )
+    cache = tmp_path / "capped.ncx"
+    save_index(capped, cache, dataset=bundle.trajectories)
+    with pytest.raises(IndexFormatError, match="instances"):
+        build_context(bundle=bundle, index_path=cache)

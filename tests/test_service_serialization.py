@@ -1,0 +1,220 @@
+"""Save/load round-trip: a loaded index is indistinguishable from a fresh one."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.query import TOPSQuery
+from repro.core.preference import ConvexProbabilityPreference, LinearPreference
+from repro.network.generators import grid_network
+from repro.service import (
+    IndexFormatError,
+    graph_fingerprint,
+    load_index,
+    load_manifest,
+    save_index,
+)
+from repro.service.serialization import trajectory_fingerprint
+from repro.trajectory.generators import commuter_trajectories
+from repro.trajectory.model import Trajectory
+
+
+@pytest.fixture(scope="module")
+def saved_index(tiny_problem, tmp_path_factory):
+    """A NetClus index over the tiny bundle, persisted to disk."""
+    index = tiny_problem.build_netclus_index(
+        gamma=0.75, tau_min_km=0.4, tau_max_km=4.0
+    )
+    path = tmp_path_factory.mktemp("index") / "city.ncx"
+    save_index(index, path)
+    return index, path
+
+
+MIXED_QUERIES = [
+    TOPSQuery(k=3, tau_km=0.5),
+    TOPSQuery(k=5, tau_km=1.0),
+    TOPSQuery(k=8, tau_km=2.0, preference=LinearPreference()),
+    TOPSQuery(k=4, tau_km=3.0, preference=ConvexProbabilityPreference()),
+]
+
+
+# ---------------------------------------------------------------------- #
+# round-trip equivalence
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+def test_roundtrip_query_parity(saved_index, engine):
+    index, path = saved_index
+    loaded = load_index(path)
+    for query in MIXED_QUERIES:
+        fresh = index.query(query, engine=engine)
+        reloaded = loaded.query(query, engine=engine)
+        assert reloaded.sites == fresh.sites
+        assert reloaded.utility == pytest.approx(fresh.utility)
+        assert reloaded.per_trajectory_utility == pytest.approx(
+            fresh.per_trajectory_utility
+        )
+        assert reloaded.metadata["instance_id"] == fresh.metadata["instance_id"]
+
+
+def test_roundtrip_preserves_structure(saved_index):
+    index, path = saved_index
+    loaded = load_index(path)
+    assert loaded.num_instances == index.num_instances
+    assert loaded.num_trajectories == index.num_trajectories
+    assert loaded.sites == index.sites
+    assert loaded.trajectory_ids == index.trajectory_ids
+    assert loaded.storage_bytes() == index.storage_bytes()
+    for fresh, reloaded in zip(index.instances, loaded.instances):
+        assert reloaded.num_clusters == fresh.num_clusters
+        assert reloaded.radius_km == pytest.approx(fresh.radius_km)
+        assert reloaded.node_to_cluster == fresh.node_to_cluster
+        for a, b in zip(fresh.clusters, reloaded.clusters):
+            assert b.center == a.center
+            assert b.representative == a.representative
+            assert b.nodes == pytest.approx(a.nodes)
+            assert b.trajectory_list == pytest.approx(a.trajectory_list)
+            assert b.neighbors == a.neighbors
+
+
+def test_roundtrip_network_reconstruction(saved_index):
+    index, path = saved_index
+    loaded = load_index(path)
+    assert graph_fingerprint(loaded.network) == graph_fingerprint(index.network)
+    assert loaded.network.num_nodes == index.network.num_nodes
+    assert loaded.network.num_edges == index.network.num_edges
+
+
+def test_roundtrip_dynamic_update_parity(tiny_problem, tmp_path):
+    """add/remove site + add/remove trajectory behave identically after reload."""
+    index = tiny_problem.build_netclus_index(
+        gamma=0.75, tau_min_km=0.4, tau_max_km=2.0, max_instances=3
+    )
+    path = save_index(index, tmp_path / "upd.ncx")
+    loaded = load_index(path)
+    query = TOPSQuery(k=4, tau_km=1.0)
+
+    site = min(index.sites)
+    for target in (index, loaded):
+        target.remove_site(site)
+        target.add_site(site)
+    assert loaded.query(query).sites == index.query(query).sites
+
+    new_traj = Trajectory.from_nodes(
+        max(index.trajectory_ids) + 1,
+        list(tiny_problem.trajectories[0].nodes),
+        tiny_problem.network,
+    )
+    for target in (index, loaded):
+        target.add_trajectory(new_traj)
+    assert loaded.query(query).sites == index.query(query).sites
+    assert loaded.trajectory_ids == index.trajectory_ids
+
+    for target in (index, loaded):
+        target.remove_trajectory(new_traj.traj_id)
+    assert loaded.query(query).sites == index.query(query).sites
+
+
+# ---------------------------------------------------------------------- #
+# manifest + refusal paths
+# ---------------------------------------------------------------------- #
+def test_manifest_contents(saved_index):
+    index, path = saved_index
+    manifest = load_manifest(path)
+    assert manifest["format"] == "netclus-index"
+    assert manifest["format_version"] == 1
+    assert manifest["build_params"]["gamma"] == pytest.approx(0.75)
+    assert manifest["num_instances"] == index.num_instances
+    assert len(manifest["instances"]) == index.num_instances
+    prints = manifest["fingerprints"]
+    assert prints["graph"] == graph_fingerprint(index.network)
+    assert prints["trajectories"] == trajectory_fingerprint(index.trajectory_ids)
+
+
+def test_load_accepts_matching_network_and_dataset(saved_index, tiny_problem):
+    _, path = saved_index
+    loaded = load_index(
+        path, network=tiny_problem.network, dataset=tiny_problem.trajectories
+    )
+    assert loaded.network is tiny_problem.network
+
+
+def test_load_refuses_wrong_network(saved_index):
+    _, path = saved_index
+    other = grid_network(4, 4, spacing_km=0.5)
+    with pytest.raises(IndexFormatError, match="graph fingerprint"):
+        load_index(path, network=other)
+
+
+def test_load_refuses_wrong_dataset(saved_index, tiny_problem):
+    _, path = saved_index
+    other = commuter_trajectories(tiny_problem.network, 10, seed=99)
+    with pytest.raises(IndexFormatError, match="trajectory fingerprint"):
+        load_index(path, dataset=other)
+
+
+def test_load_refuses_same_ids_different_content(tiny_problem, tmp_path):
+    """Two datasets sharing an id numbering are told apart by content."""
+    index = tiny_problem.build_netclus_index(
+        gamma=0.75, tau_min_km=0.4, tau_max_km=2.0, max_instances=2
+    )
+    path = save_index(index, tmp_path / "content.ncx", dataset=tiny_problem.trajectories)
+    manifest = load_manifest(path)
+    assert "trajectory_content" in manifest["fingerprints"]
+    # same network, same id numbering 0..m-1, different seed → different routes
+    impostor = commuter_trajectories(
+        tiny_problem.network, len(tiny_problem.trajectories), seed=12345
+    )
+    assert impostor.ids() == tiny_problem.trajectories.ids()
+    with pytest.raises(IndexFormatError, match="trajectory content"):
+        load_index(path, dataset=impostor)
+    # the genuine dataset still loads
+    load_index(path, dataset=tiny_problem.trajectories)
+
+
+def test_save_refuses_foreign_dataset(saved_index, tiny_problem, tmp_path):
+    index, _ = saved_index
+    other = commuter_trajectories(tiny_problem.network, 10, seed=99)
+    with pytest.raises(IndexFormatError, match="dataset/index mismatch"):
+        save_index(index, tmp_path / "bad.ncx", dataset=other)
+
+
+def test_load_refuses_corrupted_payload(saved_index, tmp_path):
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "corrupt.ncx")
+    payload = path / "payload.npz"
+    payload.write_bytes(payload.read_bytes() + b"tampered")
+    with pytest.raises(IndexFormatError, match="payload fingerprint"):
+        load_index(path)
+
+
+def test_load_refuses_unknown_version(saved_index, tmp_path):
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "ver.ncx")
+    manifest_path = path / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format_version"] = 999
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(IndexFormatError, match="version"):
+        load_index(path)
+
+
+def test_load_refuses_foreign_format(tmp_path):
+    (tmp_path / "manifest.json").write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(IndexFormatError, match="not a netclus-index"):
+        load_manifest(tmp_path)
+
+
+def test_load_refuses_missing_manifest(tmp_path):
+    with pytest.raises(IndexFormatError, match="manifest"):
+        load_index(tmp_path)
+
+
+def test_fingerprints_are_deterministic(tiny_problem):
+    net = tiny_problem.network
+    assert graph_fingerprint(net) == graph_fingerprint(net.copy())
+    ids = tiny_problem.trajectories.ids()
+    assert trajectory_fingerprint(ids) == trajectory_fingerprint(np.asarray(ids))
+    assert trajectory_fingerprint(ids) != trajectory_fingerprint(ids[::-1])
