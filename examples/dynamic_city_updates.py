@@ -6,7 +6,10 @@ index absorbing streaming updates without a rebuild:
 
 1. build the index on the morning's trajectories;
 2. stream in the afternoon's trajectories and a batch of newly available
-   candidate sites, timing each batch (Table 10 of the paper);
+   candidate sites through the batched update engine
+   (``add_trajectories``/``add_sites``), timing each batch (Table 10 of the
+   paper; ``benchmarks/bench_update_throughput.py`` measures the per-item
+   speedup of batching over one-at-a-time calls);
 3. remove a site that became unavailable and re-query;
 4. verify against an index rebuilt from scratch on the final data.
 
@@ -45,15 +48,15 @@ def main() -> None:
     print(f"  morning answer: sites {baseline.sites}, utility {baseline.utility:.0f}\n")
 
     # ------------------------------------------------------------------ #
-    # stream afternoon trajectories in batches
+    # stream afternoon trajectories in batches through the update engine:
+    # one UpdateBatch per arriving chunk instead of one call per item
     model = CommuterModel(network, num_hotspots=4, seed=101)
     next_id = max(morning.ids()) + 1
     rows = []
     for batch_size in (100, 200, 400):
-        batch = model.generate(batch_size)
-        start = time.perf_counter()
-        for trajectory in batch:
-            index.add_trajectory(
+        new_trajectories = []
+        for trajectory in model.generate(batch_size):
+            new_trajectories.append(
                 Trajectory(
                     traj_id=next_id,
                     nodes=trajectory.nodes,
@@ -61,12 +64,13 @@ def main() -> None:
                 )
             )
             next_id += 1
+        start = time.perf_counter()
+        index.add_trajectories(new_trajectories)
         traj_time = time.perf_counter() - start
 
         new_sites = [s for s in bundle.sites if s not in index.sites][:batch_size]
         start = time.perf_counter()
-        for site in new_sites:
-            index.add_site(site)
+        index.add_sites(new_sites)
         site_time = time.perf_counter() - start
         rows.append(
             {

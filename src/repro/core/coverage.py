@@ -107,10 +107,10 @@ class CoverageIndex:
             finite = np.where(np.isfinite(detours), detours, np.inf)
         self.scores = np.asarray(preference(finite, self.tau_km), dtype=np.float64)
         self.scores = self.scores * self.trajectory_weights[:, np.newaxis]
-        self._covered_mask = (finite <= self.tau_km) & (self.scores != 0.0)
-        # the binary preference gives score 1 everywhere within τ, including
-        # exactly-zero detours; keep those in the mask
-        self._covered_mask |= finite <= self.tau_km
+        # coverage is purely geometric — a (trajectory, site) pair is covered
+        # iff the detour is within τ, even when ψ scores it 0 (e.g. a linear
+        # ψ at detour exactly τ); the sparse index keeps the same entries
+        self._covered_mask = finite <= self.tau_km
 
     # ------------------------------------------------------------------ #
     @property

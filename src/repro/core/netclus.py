@@ -30,6 +30,14 @@ representatives.
 
 Dynamic updates (Section 6) — addition/deletion of candidate sites and
 trajectories — modify the affected clusters of every instance in place.
+Updates can be applied one at a time (:meth:`NetClusIndex.add_trajectory`
+and friends) or, far cheaper per item, as a batch through
+:class:`UpdateBatch`/:meth:`NetClusIndex.apply_updates` and the plural
+``add_trajectories``/``remove_trajectories``/``add_sites``/``remove_sites``
+APIs, which share per-instance lookup structures and the shortest-path
+engine across the whole batch.  Every mutation bumps the monotonic
+:attr:`NetClusIndex.version` counter, which downstream caches (the
+placement service) use to detect staleness.
 """
 
 from __future__ import annotations
@@ -52,7 +60,17 @@ from repro.trajectory.model import Trajectory, TrajectoryDataset
 from repro.utils.timer import Timer
 from repro.utils.validation import require, require_positive
 
-__all__ = ["NetClusCluster", "NetClusInstance", "NetClusIndex", "ClusteredCoverage"]
+__all__ = [
+    "NetClusCluster",
+    "NetClusInstance",
+    "NetClusIndex",
+    "ClusteredCoverage",
+    "UpdateBatch",
+]
+
+#: relative tolerance used to snap τ onto an instance boundary: τ equal to
+#: ``τ_min·(1+γ)^p`` up to float noise must select instance p, not p-1
+_TAU_BOUNDARY_RTOL = 1e-9
 
 
 @dataclass
@@ -98,6 +116,7 @@ class NetClusInstance:
         self.node_to_cluster = node_to_cluster
         self.build_seconds = build_seconds
         self.mean_dominating_set_size = mean_dominating_set_size
+        self._node_lookup: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -117,6 +136,45 @@ class NetClusInstance:
     def cluster_of_node(self, node: int) -> NetClusCluster:
         """Return the cluster containing *node*."""
         return self.clusters[self.node_to_cluster[node]]
+
+    def node_lookup_arrays(self, num_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dense node→cluster and node→round-trip lookup arrays (cached).
+
+        Cluster membership is fixed after the offline build except for the
+        rare dynamic attach of an unclustered node, which calls
+        :meth:`invalidate_node_lookup`; the arrays are therefore built once
+        and shared by every batched registration.
+        """
+        if self._node_lookup is None or len(self._node_lookup[0]) != num_nodes:
+            cluster_of = np.full(num_nodes, -1, dtype=np.int64)
+            if self.node_to_cluster:
+                keys = np.fromiter(
+                    self.node_to_cluster.keys(), np.int64, len(self.node_to_cluster)
+                )
+                values = np.fromiter(
+                    self.node_to_cluster.values(), np.int64, len(self.node_to_cluster)
+                )
+                cluster_of[keys] = values
+            round_trip_of = np.full(num_nodes, np.inf, dtype=np.float64)
+            for cluster in self.clusters:
+                if not cluster.nodes:
+                    continue
+                member_ids = np.fromiter(
+                    cluster.nodes.keys(), np.int64, len(cluster.nodes)
+                )
+                member_legs = np.fromiter(
+                    cluster.nodes.values(), np.float64, len(cluster.nodes)
+                )
+                # only the owning cluster's leg counts (a node can also appear
+                # in another cluster's nodes after a dynamic attach)
+                owned = cluster_of[member_ids] == cluster.cluster_id
+                round_trip_of[member_ids[owned]] = member_legs[owned]
+            self._node_lookup = (cluster_of, round_trip_of)
+        return self._node_lookup
+
+    def invalidate_node_lookup(self) -> None:
+        """Drop the cached lookup arrays (cluster membership changed)."""
+        self._node_lookup = None
 
     def mean_trajectory_list_size(self) -> float:
         """Average |T L| across clusters (Table 11)."""
@@ -279,6 +337,10 @@ class ClusteredCoverage:
         Cluster id of each representative, aligned with coverage columns.
     engine:
         ``"dense"`` or ``"sparse"`` — which representation was built.
+    index_version:
+        The :attr:`NetClusIndex.version` the structures were built at;
+        :meth:`NetClusIndex.query` refuses a prepared coverage whose version
+        no longer matches the (since-mutated) index.
     """
 
     instance: NetClusInstance
@@ -286,6 +348,7 @@ class ClusteredCoverage:
     representative_sites: list[int]
     representative_clusters: list[int]
     engine: str
+    index_version: int = 0
 
     @property
     def tau_km(self) -> float:
@@ -313,14 +376,64 @@ class ClusteredCoverage:
         return columns
 
 
+@dataclass(frozen=True)
+class UpdateBatch:
+    """One batch of dynamic updates for :meth:`NetClusIndex.apply_updates`.
+
+    The batch is applied in a fixed order — trajectory removals, site
+    removals, trajectory additions, site additions — and is guaranteed to
+    leave the index in exactly the state the equivalent sequence of
+    one-at-a-time calls (in that same order) would produce; batching only
+    amortises per-call setup work, it never changes the computation.
+
+    Attributes
+    ----------
+    add_trajectories:
+        New trajectories; ids must not collide with indexed ones.
+    remove_trajectories:
+        Ids of indexed trajectories to drop.
+    add_sites:
+        Node ids to register as candidate sites (already-registered ids are
+        ignored, matching :meth:`NetClusIndex.add_site`).
+    remove_sites:
+        Node ids to unregister (unknown ids raise ``KeyError``).
+    """
+
+    add_trajectories: tuple[Trajectory, ...] = ()
+    remove_trajectories: tuple[int, ...] = ()
+    add_sites: tuple[int, ...] = ()
+    remove_sites: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "add_trajectories", tuple(self.add_trajectories))
+        object.__setattr__(
+            self, "remove_trajectories", tuple(int(t) for t in self.remove_trajectories)
+        )
+        object.__setattr__(self, "add_sites", tuple(int(s) for s in self.add_sites))
+        object.__setattr__(self, "remove_sites", tuple(int(s) for s in self.remove_sites))
+
+    def __len__(self) -> int:
+        """Total number of update items in the batch."""
+        return (
+            len(self.add_trajectories)
+            + len(self.remove_trajectories)
+            + len(self.add_sites)
+            + len(self.remove_sites)
+        )
+
+
 class NetClusIndex:
     """The multi-resolution NetClus index (offline structure + online query).
 
     Build it with :meth:`build`; answer TOPS queries with :meth:`query`;
     apply dynamic updates with :meth:`add_site`, :meth:`remove_site`,
-    :meth:`add_trajectory` and :meth:`remove_trajectory`.  For repeated
-    queries sharing one ``(τ, ψ)``, :meth:`prepare_coverage` exposes the
-    reusable clustered-space structures; :mod:`repro.service` builds index
+    :meth:`add_trajectory` and :meth:`remove_trajectory` — or, for whole
+    batches of updates, with :meth:`apply_updates` and the plural
+    :meth:`add_trajectories`/:meth:`remove_trajectories`/:meth:`add_sites`/
+    :meth:`remove_sites`, which amortise per-call setup across the batch.
+    Every mutation bumps :attr:`version`.  For repeated queries sharing one
+    ``(τ, ψ)``, :meth:`prepare_coverage` exposes the reusable
+    clustered-space structures; :mod:`repro.service` builds index
     persistence (save/load) and a batch-query façade on top of these hooks.
     """
 
@@ -336,6 +449,9 @@ class NetClusIndex:
         gamma: float,
         trajectory_ids: Sequence[int],
         representative_strategy: str = "closest",
+        version: int = 0,
+        node_visit_counts: np.ndarray | None = None,
+        trajectory_nodes: dict[int, np.ndarray] | None = None,
     ) -> None:
         self.network = network
         self.sites = set(int(s) for s in sites)
@@ -345,6 +461,21 @@ class NetClusIndex:
         self.gamma = gamma
         self.representative_strategy = representative_strategy
         self._trajectory_ids = list(trajectory_ids)
+        self._trajectory_rows = {
+            traj_id: row for row, traj_id in enumerate(self._trajectory_ids)
+        }
+        #: monotonic mutation counter: bumped by every state-changing update
+        #: call; caches keyed on a selection (the placement service's LRU)
+        #: compare it to detect staleness.  Persisted in the index manifest.
+        self.version = int(version)
+        # visit-count bookkeeping backing "most_frequent" re-election: the
+        # per-node distinct-trajectory counts and, per trajectory, its unique
+        # node array (needed to decrement counts on removal).  ``None`` for
+        # "closest" indexes — and for "most_frequent" indexes loaded from a
+        # format-v1 payload, which re-elect by proximity as before.
+        self._node_visit_counts = node_visit_counts
+        self._trajectory_nodes = trajectory_nodes
+        self._engine: ShortestPathEngine | None = None
 
     # ------------------------------------------------------------------ #
     # offline construction
@@ -435,7 +566,7 @@ class NetClusIndex:
                 visit_counts=visit_counts,
             )
             instances.append(instance)
-        return cls(
+        index = cls(
             network=network,
             sites=site_set,
             instances=instances,
@@ -444,7 +575,21 @@ class NetClusIndex:
             gamma=gamma,
             trajectory_ids=dataset.ids(),
             representative_strategy=representative_strategy,
+            node_visit_counts=(
+                visit_counts if representative_strategy == "most_frequent" else None
+            ),
+            trajectory_nodes=(
+                {t.traj_id: np.unique(t.nodes_array()) for t in dataset}
+                if representative_strategy == "most_frequent"
+                else None
+            ),
         )
+        index._engine = engine
+        for instance in instances:
+            # warm the per-instance node lookup tables (offline phase work;
+            # the streaming update engine reads them on every batch)
+            instance.node_lookup_arrays(network.num_nodes)
+        return index
 
     @staticmethod
     def _build_instance(
@@ -564,12 +709,18 @@ class NetClusIndex:
 
         ``p = ⌊log_{1+γ}(τ/τ_min)⌋`` clamped into the available ladder; below
         τ_min the finest instance is used (NetClus degenerates towards plain
-        Inc-Greedy), above τ_max the coarsest.
+        Inc-Greedy), above τ_max the coarsest.  A τ equal to an instance
+        boundary ``τ_min·(1+γ)^p`` up to float rounding selects instance p:
+        ``math.log`` can undershoot the exact integer, so the ratio is
+        snapped to the next boundary within a relative tolerance.
         """
         require_positive(tau_km, "tau_km")
         if tau_km <= self.tau_min_km:
             return self.instances[0]
-        p = int(math.floor(math.log(tau_km / self.tau_min_km, 1.0 + self.gamma)))
+        ratio = tau_km / self.tau_min_km
+        p = int(math.floor(math.log(ratio, 1.0 + self.gamma)))
+        if ratio >= (1.0 + self.gamma) ** (p + 1) * (1.0 - _TAU_BOUNDARY_RTOL):
+            p += 1
         p = max(0, min(p, len(self.instances) - 1))
         return self.instances[p]
 
@@ -601,7 +752,7 @@ class NetClusIndex:
         require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
         if instance is None:
             instance = self.instance_for(tau_km)
-        rows = {traj_id: row for row, traj_id in enumerate(self._trajectory_ids)}
+        rows = self._trajectory_rows
         if engine == "sparse":
             entry_rows, entry_cols, estimates, rep_sites, rep_clusters = (
                 instance.estimated_coverage_entries(rows, tau_km)
@@ -634,6 +785,7 @@ class NetClusIndex:
             representative_sites=rep_sites,
             representative_clusters=rep_clusters,
             engine=engine,
+            index_version=self.version,
         )
 
     def query(
@@ -672,7 +824,10 @@ class NetClusIndex:
             greedy — the selections are identical.
         prepared:
             A :class:`ClusteredCoverage` from :meth:`prepare_coverage` to
-            reuse; its ``(τ, engine)`` must match the query.  Skips the
+            reuse; its ``(τ, engine)`` must match the query and its
+            ``index_version`` the current :attr:`version` (a prepared
+            coverage from before a dynamic update is refused rather than
+            silently serving stale selections).  Skips the
             instance-resolution and coverage-construction work entirely.
 
         Returns
@@ -694,6 +849,11 @@ class NetClusIndex:
                 require(
                     prepared.tau_km == query.tau_km,
                     "prepared coverage was built for a different tau_km",
+                )
+                require(
+                    prepared.index_version == self.version,
+                    "prepared coverage is stale: the index was mutated after "
+                    "prepare_coverage (rebuild it to answer queries)",
                 )
             instance = prepared.instance
             coverage = prepared.coverage
@@ -733,78 +893,337 @@ class NetClusIndex:
     # ------------------------------------------------------------------ #
     # dynamic updates (Section 6)
     # ------------------------------------------------------------------ #
-    def add_site(self, site: int) -> None:
-        """Register a new candidate site located at an existing network node."""
-        require(self.network.has_node(site), f"site {site} is not a network node")
-        if site in self.sites:
-            return
-        self.sites.add(site)
-        for instance in self.instances:
-            cluster_id = instance.node_to_cluster.get(site)
-            if cluster_id is None:
-                # node unseen by this instance (should not happen when the
-                # instance clustered every node); attach to the nearest center
-                cluster_id = self._nearest_cluster(instance, site)
-                instance.node_to_cluster[site] = cluster_id
-            cluster = instance.clusters[cluster_id]
-            round_trip = cluster.nodes.get(site)
-            if round_trip is None:
-                round_trip = self._round_trip_to_center(cluster.center, site)
-                cluster.nodes[site] = round_trip
-            if round_trip < cluster.representative_round_trip_km:
-                cluster.representative = site
-                cluster.representative_round_trip_km = round_trip
+    def apply_updates(self, batch: UpdateBatch) -> int:
+        """Apply a whole :class:`UpdateBatch` and return the number of items.
 
-    def remove_site(self, site: int) -> None:
-        """Unregister a candidate site; clusters elect a new representative."""
-        if site not in self.sites:
-            raise KeyError(f"site {site} is not a registered candidate site")
-        self.sites.discard(site)
-        for instance in self.instances:
-            cluster_id = instance.node_to_cluster.get(site)
-            if cluster_id is None:
-                continue
-            cluster = instance.clusters[cluster_id]
-            if cluster.representative != site:
-                continue
-            cluster.representative = None
-            cluster.representative_round_trip_km = math.inf
-            for node, round_trip in cluster.nodes.items():
-                if node in self.sites and round_trip < cluster.representative_round_trip_km:
-                    cluster.representative = node
-                    cluster.representative_round_trip_km = round_trip
+        Application order is fixed — trajectory removals, site removals,
+        trajectory additions, site additions — and the final index state is
+        identical to issuing the same updates through the one-at-a-time
+        methods in that order; only the per-call setup work (shortest-path
+        engine, per-instance node→cluster lookup tables, trajectory-registry
+        rebuilds, representative re-elections) is shared across the batch.
+        Bumps :attr:`version` once per non-empty sub-batch.
+
+        The whole batch is validated up front: an invalid member (unknown
+        removal id, duplicate or colliding addition, site at a non-network
+        node) raises before *any* sub-batch is applied, so a failed
+        ``apply_updates`` never leaves the index partially updated.
+        """
+        self._validate_batch(batch)
+        applied = 0
+        applied += self.remove_trajectories(batch.remove_trajectories)
+        applied += self.remove_sites(batch.remove_sites)
+        applied += self.add_trajectories(batch.add_trajectories)
+        applied += self.add_sites(batch.add_sites)
+        return applied
+
+    def _validate_batch(self, batch: UpdateBatch) -> None:
+        """Raise if any member of *batch* would fail, before mutating.
+
+        Mirrors the sub-batch validations, applied against the state each
+        sub-batch will see (e.g. a trajectory id removed earlier in the
+        batch may legitimately be re-added later in the same batch).
+        """
+        removed_trajectories: set[int] = set()
+        for traj_id in batch.remove_trajectories:
+            if traj_id not in self._trajectory_rows or traj_id in removed_trajectories:
+                raise KeyError(f"trajectory {traj_id} is not indexed")
+            removed_trajectories.add(traj_id)
+        removed_sites: set[int] = set()
+        for site in batch.remove_sites:
+            if site not in self.sites or site in removed_sites:
+                raise KeyError(f"site {site} is not a registered candidate site")
+            removed_sites.add(site)
+        added_trajectories: set[int] = set()
+        for trajectory in batch.add_trajectories:
+            traj_id = trajectory.traj_id
+            already_indexed = (
+                traj_id in self._trajectory_rows and traj_id not in removed_trajectories
+            )
+            require(
+                not already_indexed and traj_id not in added_trajectories,
+                f"trajectory id {traj_id} already present",
+            )
+            added_trajectories.add(traj_id)
+        for site in batch.add_sites:
+            require(self.network.has_node(site), f"site {site} is not a network node")
 
     def add_trajectory(self, trajectory: Trajectory) -> None:
         """Add a new trajectory to every index instance."""
-        require(
-            trajectory.traj_id not in set(self._trajectory_ids),
-            f"trajectory id {trajectory.traj_id} already present",
-        )
-        self._trajectory_ids.append(trajectory.traj_id)
-        for instance in self.instances:
-            self._register_trajectory(
-                trajectory, instance.clusters, instance.node_to_cluster
-            )
+        self.add_trajectories([trajectory])
 
     def remove_trajectory(self, traj_id: int) -> None:
         """Remove a trajectory from every index instance."""
-        if traj_id not in self._trajectory_ids:
-            raise KeyError(f"trajectory {traj_id} is not indexed")
-        self._trajectory_ids.remove(traj_id)
+        self.remove_trajectories([traj_id])
+
+    def add_site(self, site: int) -> None:
+        """Register a new candidate site located at an existing network node."""
+        self.add_sites([site])
+
+    def remove_site(self, site: int) -> None:
+        """Unregister a candidate site; clusters elect a new representative."""
+        self.remove_sites([site])
+
+    def add_trajectories(self, trajectories: Sequence[Trajectory]) -> int:
+        """Add *trajectories* to every instance; returns the number added.
+
+        Ids must be new.  A batch registers trajectories instance by
+        instance through a vectorised node→(cluster, round-trip) lookup
+        built once per instance, instead of chasing per-node dictionaries
+        for every trajectory; a single trajectory takes the plain scalar
+        path, so one-at-a-time callers pay no table-building overhead.
+        """
+        trajectories = list(trajectories)
+        batch_ids: set[int] = set()
+        for trajectory in trajectories:
+            require(
+                trajectory.traj_id not in self._trajectory_rows
+                and trajectory.traj_id not in batch_ids,
+                f"trajectory id {trajectory.traj_id} already present",
+            )
+            batch_ids.add(trajectory.traj_id)
+        if not trajectories:
+            return 0
+        for trajectory in trajectories:
+            self._trajectory_rows[trajectory.traj_id] = len(self._trajectory_ids)
+            self._trajectory_ids.append(trajectory.traj_id)
+        if len(trajectories) == 1:
+            for instance in self.instances:
+                self._register_trajectory(
+                    trajectories[0], instance.clusters, instance.node_to_cluster
+                )
+        else:
+            node_arrays = [t.nodes_array() for t in trajectories]
+            for instance in self.instances:
+                self._register_trajectories(instance, trajectories, node_arrays)
+        if self._tracks_visits:
+            touched: set[int] = set()
+            num_nodes = len(self._node_visit_counts)
+            for trajectory in trajectories:
+                unique_nodes = np.unique(trajectory.nodes_array())
+                # nodes outside the network carry no visit count (they are
+                # invisible to most_frequent elections, like a fresh build)
+                unique_nodes = unique_nodes[
+                    (unique_nodes >= 0) & (unique_nodes < num_nodes)
+                ]
+                self._node_visit_counts[unique_nodes] += 1
+                self._trajectory_nodes[trajectory.traj_id] = unique_nodes
+                touched.update(int(n) for n in unique_nodes)
+            self._reelect_clusters_of_nodes(touched)
+        self.version += 1
+        return len(trajectories)
+
+    def remove_trajectories(self, traj_ids: Sequence[int]) -> int:
+        """Remove the given trajectories; returns the number removed.
+
+        A batch pays the trajectory-registry rebuild and the sweep over the
+        per-cluster trajectory lists once, instead of once per id.
+        """
+        removal_order = [int(t) for t in traj_ids]
+        removed: set[int] = set()
+        for traj_id in removal_order:
+            if traj_id not in self._trajectory_rows or traj_id in removed:
+                raise KeyError(f"trajectory {traj_id} is not indexed")
+            removed.add(traj_id)
+        if not removed:
+            return 0
+        self._trajectory_ids = [t for t in self._trajectory_ids if t not in removed]
+        self._trajectory_rows = {
+            traj_id: row for row, traj_id in enumerate(self._trajectory_ids)
+        }
         for instance in self.instances:
             for cluster in instance.clusters:
-                cluster.trajectory_list.pop(traj_id, None)
+                for traj_id in removed.intersection(cluster.trajectory_list):
+                    del cluster.trajectory_list[traj_id]
+        if self._tracks_visits:
+            touched: set[int] = set()
+            for traj_id in removed:
+                unique_nodes = self._trajectory_nodes.pop(traj_id, None)
+                if unique_nodes is None:
+                    continue
+                self._node_visit_counts[unique_nodes] -= 1
+                touched.update(int(n) for n in unique_nodes)
+            self._reelect_clusters_of_nodes(touched)
+        self.version += 1
+        return len(removed)
+
+    def add_sites(self, sites: Sequence[int]) -> int:
+        """Register candidate sites; returns how many were actually new.
+
+        Already-registered sites are skipped (like :meth:`add_site`).  Each
+        affected cluster re-elects its representative under the index's
+        ``representative_strategy``, exactly as a fresh build would.
+        """
+        new_sites: list[int] = []
+        new_site_set: set[int] = set()
+        for site in sites:
+            site = int(site)
+            require(self.network.has_node(site), f"site {site} is not a network node")
+            if site not in self.sites and site not in new_site_set:
+                new_sites.append(site)
+                new_site_set.add(site)
+        if not new_sites:
+            return 0
+        self.sites.update(new_site_set)
+        for instance in self.instances:
+            affected: set[int] = set()
+            for site in new_sites:
+                cluster_id = instance.node_to_cluster.get(site)
+                if cluster_id is None:
+                    # node unseen by this instance (should not happen when the
+                    # instance clustered every node); attach to nearest center
+                    cluster_id = self._nearest_cluster(instance, site)
+                    instance.node_to_cluster[site] = cluster_id
+                    instance.invalidate_node_lookup()
+                cluster = instance.clusters[cluster_id]
+                if site not in cluster.nodes:
+                    cluster.nodes[site] = self._round_trip_to_center(
+                        cluster.center, site
+                    )
+                    instance.invalidate_node_lookup()
+                affected.add(cluster_id)
+            for cluster_id in affected:
+                self._reelect(instance.clusters[cluster_id])
+        self.version += 1
+        return len(new_sites)
+
+    def remove_sites(self, sites: Sequence[int]) -> int:
+        """Unregister candidate sites; returns the number removed.
+
+        Unknown sites raise ``KeyError``.  Only clusters whose current
+        representative was removed re-elect — dropping a non-representative
+        candidate can never change the election outcome.
+        """
+        removed: list[int] = []
+        removed_set: set[int] = set()
+        for site in sites:
+            site = int(site)
+            if site not in self.sites or site in removed_set:
+                raise KeyError(f"site {site} is not a registered candidate site")
+            removed_set.add(site)
+            removed.append(site)
+        if not removed:
+            return 0
+        self.sites.difference_update(removed_set)
+        for instance in self.instances:
+            affected: set[int] = set()
+            for site in removed:
+                cluster_id = instance.node_to_cluster.get(site)
+                if (
+                    cluster_id is not None
+                    and instance.clusters[cluster_id].representative in removed_set
+                ):
+                    affected.add(cluster_id)
+            for cluster_id in affected:
+                self._reelect(instance.clusters[cluster_id])
+        self.version += 1
+        return len(removed)
 
     # ------------------------------------------------------------------ #
+    # update internals
+    # ------------------------------------------------------------------ #
+    @property
+    def _tracks_visits(self) -> bool:
+        """Whether visit counts are maintained for ``most_frequent`` elections."""
+        return (
+            self.representative_strategy == "most_frequent"
+            and self._node_visit_counts is not None
+            and self._trajectory_nodes is not None
+        )
+
+    def _reelect(self, cluster: NetClusCluster) -> None:
+        """Re-run the representative election of one cluster from scratch."""
+        cluster.representative = None
+        cluster.representative_round_trip_km = math.inf
+        self._elect_representative(
+            cluster, self.sites, self.representative_strategy, self._node_visit_counts
+        )
+
+    def _reelect_clusters_of_nodes(self, nodes: set[int]) -> None:
+        """Re-elect every cluster containing one of *nodes* (all instances).
+
+        Called when visit counts changed: under ``most_frequent`` a count
+        change can flip the election anywhere the trajectory passed.
+        """
+        for instance in self.instances:
+            affected = {
+                cluster_id
+                for node in nodes
+                if (cluster_id := instance.node_to_cluster.get(node)) is not None
+            }
+            for cluster_id in affected:
+                self._reelect(instance.clusters[cluster_id])
+
+    def _register_trajectories(
+        self,
+        instance: NetClusInstance,
+        trajectories: Sequence[Trajectory],
+        node_arrays: Sequence[np.ndarray],
+    ) -> None:
+        """Batch-register trajectories into one instance.
+
+        Builds dense node→cluster and node→round-trip lookup arrays once per
+        instance, then reduces the *whole batch's* (trajectory, node) pairs
+        to per-(cluster, trajectory) minimum legs with a single lexsort +
+        grouped minimum, instead of per-node dictionary probes per call.
+        Produces exactly the same trajectory lists (values and insertion
+        order) as :meth:`_register_trajectory` called per trajectory.
+        """
+        cluster_of, round_trip_of = instance.node_lookup_arrays(
+            self.network.num_nodes
+        )
+        all_nodes = np.concatenate(node_arrays)
+        positions = np.repeat(
+            np.arange(len(node_arrays)), [len(nodes) for nodes in node_arrays]
+        )
+        # node ids outside the network are unclustered, exactly as the
+        # sequential path's node_to_cluster.get(node) treats them — they must
+        # not wrap around (negative) or overflow the dense lookup arrays
+        in_range = (all_nodes >= 0) & (all_nodes < len(cluster_of))
+        cluster_ids = np.full(len(all_nodes), -1, dtype=np.int64)
+        legs = np.full(len(all_nodes), np.inf, dtype=np.float64)
+        cluster_ids[in_range] = cluster_of[all_nodes[in_range]]
+        legs[in_range] = round_trip_of[all_nodes[in_range]]
+        valid = (cluster_ids >= 0) & np.isfinite(legs)
+        cluster_ids, legs, positions = cluster_ids[valid], legs[valid], positions[valid]
+        if len(cluster_ids) == 0:
+            return
+        # group by (cluster, batch position): position-minor order reproduces
+        # the insertion order of the sequential per-trajectory registration
+        order = np.lexsort((positions, cluster_ids))
+        cluster_ids, legs, positions = (
+            cluster_ids[order],
+            legs[order],
+            positions[order],
+        )
+        boundary = np.r_[
+            True,
+            (cluster_ids[1:] != cluster_ids[:-1]) | (positions[1:] != positions[:-1]),
+        ]
+        starts = np.flatnonzero(boundary)
+        min_legs = np.minimum.reduceat(legs, starts)
+        clusters = instance.clusters
+        traj_ids = [trajectory.traj_id for trajectory in trajectories]
+        for cluster_id, position, leg in zip(
+            cluster_ids[starts].tolist(), positions[starts].tolist(), min_legs.tolist()
+        ):
+            clusters[cluster_id].trajectory_list[traj_ids[position]] = leg
+
+    def _shortest_path_engine(self) -> ShortestPathEngine:
+        """The shared shortest-path engine (built once, reused by updates)."""
+        if self._engine is None:
+            self._engine = ShortestPathEngine(self.network)
+        return self._engine
+
     def _nearest_cluster(self, instance: NetClusInstance, node: int) -> int:
-        engine = ShortestPathEngine(self.network)
+        engine = self._shortest_path_engine()
         round_trip = engine.round_trip_from(node)
         centers = [cluster.center for cluster in instance.clusters]
         distances = [round_trip[center] for center in centers]
         return int(np.argmin(distances))
 
     def _round_trip_to_center(self, center: int, node: int) -> float:
-        engine = ShortestPathEngine(self.network)
+        engine = self._shortest_path_engine()
         forward = engine.distances_from([center])[0][node]
         backward = engine.distances_to([center])[0][node]
         return float(forward + backward)

@@ -14,9 +14,11 @@ in-memory :class:`~repro.core.netclus.NetClusIndex` into a service:
   (k, τ, ψ, capacity, budget, existing sites).
 * :mod:`repro.service.placement` — :class:`PlacementService`, the façade
   owning a loaded (or lazily built) index: ``batch_query`` with shared-work
-  amortisation across same-(τ, ψ) specs, an LRU result cache, and warm-start
-  reuse of one greedy run across k values.
-* ``python -m repro.service`` — the ``build`` / ``query`` / ``inspect`` CLI.
+  amortisation across same-(τ, ψ) specs, an LRU result cache that
+  auto-invalidates off :attr:`NetClusIndex.version` when the index is
+  mutated, and warm-start reuse of one greedy run across k values.
+* ``python -m repro.service`` — the ``build`` / ``query`` / ``update`` /
+  ``inspect`` CLI.
 
 See ``docs/architecture.md`` for where this layer sits and
 ``docs/index-format.md`` for the on-disk format specification.
@@ -25,6 +27,7 @@ See ``docs/architecture.md`` for where this layer sits and
 from repro.service.placement import PlacementService, ServiceStats
 from repro.service.serialization import (
     FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
     IndexFormatError,
     graph_fingerprint,
     load_index,
@@ -44,5 +47,6 @@ __all__ = [
     "graph_fingerprint",
     "trajectory_fingerprint",
     "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "IndexFormatError",
 ]

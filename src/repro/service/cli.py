@@ -1,6 +1,6 @@
-"""``python -m repro.service`` — build, query and inspect persisted indexes.
+"""``python -m repro.service`` — build, query, update and inspect indexes.
 
-Three subcommands::
+Four subcommands::
 
     # offline phase: build a NetClus index for a dataset preset, save to disk
     python -m repro.service build --dataset beijing --scale tiny --out city.ncx
@@ -8,12 +8,22 @@ Three subcommands::
     # online phase: answer a JSON/CSV batch of query specs from the index
     python -m repro.service query --index city.ncx --specs specs.json
 
+    # dynamic updates: absorb trajectory/site deltas as one batch, save back
+    python -m repro.service update --index city.ncx \\
+        --add-trajectories new_trips.json --remove-sites closed.json
+
     # print the manifest (format version, build params, fingerprints, stats)
     python -m repro.service inspect --index city.ncx
 
 ``specs.json`` is a JSON array of :class:`~repro.service.specs.QuerySpec`
 objects (``[{"k": 5, "tau_km": 1.0}, ...]``); a ``.csv`` file with columns
-``k,tau_km[,preference,capacity,budget,site_cost]`` is accepted too.  See
+``k,tau_km[,preference,capacity,budget,site_cost]`` is accepted too.
+
+``update`` delta files: site files are JSON arrays of node ids; the
+trajectory-removal file is a JSON array of trajectory ids; the
+trajectory-addition file is a JSON array of ``{"traj_id": ..., "nodes":
+[...]}`` objects whose node sequences must follow edges of the index's road
+network (along-path distances are recomputed from the network).  See
 ``docs/api.md`` for the full spec vocabulary and ``docs/index-format.md``
 for the on-disk format.
 """
@@ -149,6 +159,81 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# update
+# ---------------------------------------------------------------------- #
+def _load_json(path: str, expected: str) -> list:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise SystemExit(f"{path}: expected a JSON array of {expected}")
+    return payload
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.core.netclus import UpdateBatch
+    from repro.service.serialization import load_index
+    from repro.trajectory.model import Trajectory
+    from repro.utils.timer import Timer
+
+    if not any(
+        (args.add_trajectories, args.remove_trajectories, args.add_sites, args.remove_sites)
+    ):
+        raise SystemExit("update: no delta files given (nothing to do)")
+    content_fingerprint = (
+        load_manifest(args.index).get("fingerprints", {}).get("trajectory_content")
+    )
+    index = load_index(args.index)
+    add_trajectories = []
+    if args.add_trajectories:
+        for entry in _load_json(args.add_trajectories, "trajectory objects"):
+            if not isinstance(entry, dict) or "traj_id" not in entry or "nodes" not in entry:
+                raise SystemExit(
+                    f"{args.add_trajectories}: each entry needs 'traj_id' and 'nodes'"
+                )
+            add_trajectories.append(
+                Trajectory.from_nodes(
+                    int(entry["traj_id"]),
+                    [int(n) for n in entry["nodes"]],
+                    index.network,
+                )
+            )
+    batch = UpdateBatch(
+        add_trajectories=add_trajectories,
+        remove_trajectories=(
+            _load_json(args.remove_trajectories, "trajectory ids")
+            if args.remove_trajectories
+            else ()
+        ),
+        add_sites=_load_json(args.add_sites, "node ids") if args.add_sites else (),
+        remove_sites=_load_json(args.remove_sites, "node ids") if args.remove_sites else (),
+    )
+    version_before = index.version
+    with Timer() as timer:
+        applied = index.apply_updates(batch)
+    out = args.out or args.index
+    trajectories_changed = bool(batch.add_trajectories or batch.remove_trajectories)
+    directory = save_index(
+        index,
+        out,
+        # a site-only delta leaves the trajectory content untouched, so the
+        # manifest's content fingerprint stays valid and is carried over;
+        # trajectory deltas invalidate it (no dataset here to recompute it)
+        trajectory_content=None if trajectories_changed else content_fingerprint,
+    )
+    print(
+        f"Applied {applied} updates "
+        f"(+{len(batch.add_trajectories)}/-{len(batch.remove_trajectories)} "
+        f"trajectories, +{len(batch.add_sites)}/-{len(batch.remove_sites)} sites) "
+        f"in {timer.elapsed:.3f}s; index version {version_before} -> {index.version}"
+    )
+    print(
+        f"Saved {index.num_trajectories} trajectories / {len(index.sites)} sites "
+        f"to {directory}"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # inspect
 # ---------------------------------------------------------------------- #
 def _cmd_inspect(args: argparse.Namespace) -> int:
@@ -160,6 +245,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     params = manifest["build_params"]
     prints = manifest["fingerprints"]
     print(f"format           : {manifest['format']} v{manifest['format_version']}")
+    print(f"update version   : {manifest.get('index_version', 0)}")
     print(
         f"build params     : gamma={params['gamma']}, "
         f"tau=[{params['tau_min_km']}, {params['tau_max_km']}] km"
@@ -231,6 +317,33 @@ def main(argv: Sequence[str] | None = None) -> int:
     query.add_argument("--engine", default="sparse", choices=["dense", "sparse"])
     query.add_argument("--output", default=None, help="write results JSON here")
     query.set_defaults(func=_cmd_query)
+
+    update = sub.add_parser(
+        "update", help="apply trajectory/site deltas to an index as one batch"
+    )
+    update.add_argument("--index", required=True, help="index directory (from build)")
+    update.add_argument(
+        "--add-trajectories",
+        default=None,
+        help="JSON array of {traj_id, nodes} objects to add",
+    )
+    update.add_argument(
+        "--remove-trajectories",
+        default=None,
+        help="JSON array of trajectory ids to remove",
+    )
+    update.add_argument(
+        "--add-sites", default=None, help="JSON array of node ids to register"
+    )
+    update.add_argument(
+        "--remove-sites", default=None, help="JSON array of node ids to unregister"
+    )
+    update.add_argument(
+        "--out",
+        default=None,
+        help="output index directory (default: update --index in place)",
+    )
+    update.set_defaults(func=_cmd_update)
 
     inspect = sub.add_parser("inspect", help="print an index manifest")
     inspect.add_argument("--index", required=True, help="index directory")

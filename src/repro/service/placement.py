@@ -14,6 +14,11 @@ shared work:
    shared selection order (``utilities_for_selection``).
 3. **LRU result cache** — results are cached keyed on the (hashable) spec,
    so repeated queries — the common case for a served index — are O(1).
+   The cache is stamped with the index's :attr:`~NetClusIndex.version` and
+   drops itself automatically when the index has been mutated through
+   dynamic updates (``service.index.add_site(...)``,
+   :meth:`~NetClusIndex.apply_updates`, ...), so a served selection can
+   never be stale.
 
 ``stats`` counts every resolution/build/run and every cache hit, which is
 both the service's observability surface and how the batch-amortisation
@@ -132,6 +137,7 @@ class PlacementService:
         self.engine = engine
         self.cache_size = cache_size
         self._cache: OrderedDict[QuerySpec, TOPSResult] = OrderedDict()
+        self._cache_version: int | None = None
         self.stats = ServiceStats()
 
     # ------------------------------------------------------------------ #
@@ -198,13 +204,22 @@ class PlacementService:
         return save_index(self.index, path, dataset=dataset)
 
     def invalidate_cache(self) -> None:
-        """Drop every cached result.
+        """Drop every cached result (manual override).
 
-        Call after mutating the index through dynamic updates
-        (``service.index.add_site(...)`` etc.) — cached selections may no
-        longer be valid for the updated index.
+        Calling this is no longer required after dynamic updates: the cache
+        is stamped with :attr:`NetClusIndex.version` and invalidates itself
+        as soon as a query observes a mutated index.  The method remains
+        for callers that want to force a drop (e.g. to free memory).
         """
         self._cache.clear()
+
+    def _sync_cache_version(self) -> None:
+        """Drop the cache if the index was mutated since it was populated."""
+        if self._index is None:
+            return
+        if self._cache and self._cache_version != self._index.version:
+            self._cache.clear()
+        self._cache_version = self._index.version
 
     @property
     def cache_len(self) -> int:
@@ -243,6 +258,7 @@ class PlacementService:
         batch amortisation.
         """
         self.stats.queries_served += len(specs)
+        self._sync_cache_version()
         results: list[TOPSResult | None] = [None] * len(specs)
         resolved: list[QuerySpec | None] = [None] * len(specs)
         for position, spec in enumerate(specs):
@@ -273,6 +289,9 @@ class PlacementService:
             self._answer_group(resolved, group, results)
 
         if use_cache and self.cache_size > 0:
+            # stamp the entries stored below with the version they were
+            # computed at (the index may have been built lazily mid-batch)
+            self._sync_cache_version()
             for position in pending:
                 self._cache_store(resolved[position], results[position])
         return results  # type: ignore[return-value]

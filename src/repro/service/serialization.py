@@ -8,17 +8,26 @@ An index directory holds exactly two files:
   flattened CSR-style form (see ``docs/index-format.md`` for the full key
   listing).
 * ``manifest.json`` — human-readable metadata: format version, build
-  parameters (γ, τ_min, τ_max), per-instance statistics, and three
-  fingerprints — the SHA-256 of the payload file, of the road network, and
-  of the trajectory registry.
+  parameters (γ, τ_min, τ_max), the index's dynamic-update ``version``
+  counter, per-instance statistics, and three fingerprints — the SHA-256 of
+  the payload file, of the road network, and of the trajectory registry.
 
 Loading refuses to proceed on any fingerprint or version mismatch
 (:class:`IndexFormatError`), so a stale or corrupted index can never silently
 answer queries for the wrong city.  A loaded index is behaviourally identical
 to a freshly built one: queries, dynamic updates (``add_site``,
-``add_trajectory``, ...) and storage statistics all agree, because the
-serialisation preserves dict insertion orders (they decide tie-breaks in
-representative re-election) and every per-cluster array.
+``add_trajectory``, :meth:`~repro.core.netclus.NetClusIndex.apply_updates`,
+...) and storage statistics all agree, because the serialisation preserves
+dict insertion orders (they decide tie-breaks in representative re-election)
+and every per-cluster array.
+
+Format v2 additionally round-trips the index ``version`` counter and, for
+indexes built with ``representative_strategy="most_frequent"``, the
+visit-count bookkeeping (per-node trajectory counts + per-trajectory unique
+node lists) that dynamic re-election needs.  Format-v1 directories remain
+loadable: they come back with ``version`` 0 and, for ``most_frequent``
+indexes, without visit counts (their re-elections fall back to proximity,
+the pre-v2 behaviour).
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from repro.trajectory.model import TrajectoryDataset
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "FORMAT_NAME",
     "IndexFormatError",
     "save_index",
@@ -47,8 +57,11 @@ __all__ = [
     "dataset_fingerprint",
 ]
 
-#: bump on any backwards-incompatible change to the payload or manifest layout
-FORMAT_VERSION = 1
+#: the version written by :func:`save_index`; bump on any layout change
+FORMAT_VERSION = 2
+#: the versions :func:`load_index` can read (older versions load with
+#: documented fallbacks; see the module docstring)
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 FORMAT_NAME = "netclus-index"
 MANIFEST_FILE = "manifest.json"
 PAYLOAD_FILE = "payload.npz"
@@ -144,6 +157,7 @@ def save_index(
     index: NetClusIndex,
     path: str | Path,
     dataset: TrajectoryDataset | None = None,
+    trajectory_content: str | None = None,
 ) -> Path:
     """Persist *index* to directory *path* (created if missing).
 
@@ -155,7 +169,10 @@ def save_index(
     its content fingerprint is recorded too, letting :func:`load_index`
     distinguish datasets that merely share an id numbering — e.g. the same
     city generated with two different seeds.  The dataset's id registry
-    must match the index's.
+    must match the index's.  A caller that does not hold the dataset but
+    knows a still-valid content fingerprint (e.g. the ``update`` CLI
+    re-saving after a site-only delta) may pass it via
+    *trajectory_content* instead; it is ignored when *dataset* is given.
     """
     directory = Path(path)
     if dataset is not None and not dataset_matches(index, dataset):
@@ -163,10 +180,13 @@ def save_index(
             "dataset/index mismatch: the supplied dataset's trajectory ids "
             "do not match the index registry"
         )
+    if dataset is not None:
+        trajectory_content = dataset_fingerprint(dataset)
     directory.mkdir(parents=True, exist_ok=True)
     payload = _network_arrays(index.network)
     payload["sites"] = np.asarray(sorted(index.sites), dtype=np.int64)
     payload["trajectory_ids"] = np.asarray(index.trajectory_ids, dtype=np.int64)
+    payload.update(_visit_arrays(index))
     for instance in index.instances:
         payload.update(_instance_arrays(instance))
     payload_path = directory / PAYLOAD_FILE
@@ -182,6 +202,7 @@ def save_index(
             "tau_max_km": index.tau_max_km,
             "representative_strategy": index.representative_strategy,
         },
+        "index_version": index.version,
         "num_instances": index.num_instances,
         "num_trajectories": index.num_trajectories,
         "num_sites": len(index.sites),
@@ -194,8 +215,8 @@ def save_index(
             "graph": graph_fingerprint(index.network),
             "trajectories": trajectory_fingerprint(index.trajectory_ids),
             **(
-                {"trajectory_content": dataset_fingerprint(dataset)}
-                if dataset is not None
+                {"trajectory_content": trajectory_content}
+                if trajectory_content is not None
                 else {}
             ),
         },
@@ -234,6 +255,32 @@ def _network_arrays(network: RoadNetwork) -> dict[str, np.ndarray]:
         "net_edge_src": edge_src,
         "net_edge_dst": edge_dst,
         "net_edge_len": edge_len,
+    }
+
+
+def _visit_arrays(index: NetClusIndex) -> dict[str, np.ndarray]:
+    """Visit-count bookkeeping arrays (format v2, ``most_frequent`` only).
+
+    ``visit_counts`` is the per-node distinct-trajectory count;
+    ``traj_nodes_indptr``/``traj_nodes_flat`` hold each trajectory's unique
+    node array (in registry order), which dynamic removal needs to decrement
+    the counts.  An index that does not track visits contributes nothing.
+    """
+    if not index._tracks_visits:
+        return {}
+    node_lists = [index._trajectory_nodes[traj_id] for traj_id in index.trajectory_ids]
+    counts = np.asarray([len(nodes) for nodes in node_lists], dtype=np.int64)
+    indptr = np.zeros(len(node_lists) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    flat = (
+        np.concatenate(node_lists).astype(np.int64)
+        if node_lists
+        else np.empty(0, dtype=np.int64)
+    )
+    return {
+        "visit_counts": np.asarray(index._node_visit_counts, dtype=np.int64),
+        "traj_nodes_indptr": indptr,
+        "traj_nodes_flat": flat,
     }
 
 
@@ -310,10 +357,10 @@ def load_manifest(path: str | Path) -> dict[str, Any]:
             f"not a {FORMAT_NAME} directory (format={manifest.get('format')!r})"
         )
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_FORMAT_VERSIONS:
         raise IndexFormatError(
             f"unsupported format version {version!r} (this build reads "
-            f"version {FORMAT_VERSION})"
+            f"versions {sorted(SUPPORTED_FORMAT_VERSIONS)})"
         )
     return manifest
 
@@ -397,6 +444,16 @@ def load_index(
         _rebuild_instance(arrays, entry["instance_id"])
         for entry in manifest["instances"]
     ]
+    node_visit_counts = None
+    trajectory_nodes = None
+    if "visit_counts" in arrays:  # format v2, most_frequent indexes only
+        node_visit_counts = arrays["visit_counts"].astype(np.int64)
+        indptr = arrays["traj_nodes_indptr"]
+        flat = arrays["traj_nodes_flat"]
+        trajectory_nodes = {
+            traj_id: flat[int(indptr[row]) : int(indptr[row + 1])].astype(np.int64)
+            for row, traj_id in enumerate(trajectory_ids)
+        }
     return NetClusIndex(
         network=network,
         sites=[int(s) for s in arrays["sites"]],
@@ -406,6 +463,9 @@ def load_index(
         gamma=float(params["gamma"]),
         trajectory_ids=trajectory_ids,
         representative_strategy=str(params.get("representative_strategy", "closest")),
+        version=int(manifest.get("index_version", 0)),
+        node_visit_counts=node_visit_counts,
+        trajectory_nodes=trajectory_nodes,
     )
 
 

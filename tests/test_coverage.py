@@ -117,3 +117,42 @@ class TestUtility:
 
     def test_storage_bytes_positive(self, binary_cov):
         assert binary_cov.storage_bytes() > 0
+
+
+# ---------------------------------------------------------------------- #
+# coverage is geometric: dense and sparse agree on zero-score-at-τ pairs
+# ---------------------------------------------------------------------- #
+def test_covered_pairs_includes_zero_score_entries():
+    """A linear ψ scores a detour of exactly τ as 0, yet the pair is covered
+    (the mask is the geometric detour ≤ τ predicate, not a score test)."""
+    from repro.core.coverage import SparseCoverageIndex
+
+    detours = np.asarray(
+        [
+            [1.0, 0.3, np.inf],  # detour == τ scores 0 under linear ψ
+            [0.0, 1.0, 2.0],
+            [np.inf, 0.7, 1.0],
+        ]
+    )
+    tau = 1.0
+    dense = CoverageIndex(detours, tau, LinearPreference())
+    sparse = SparseCoverageIndex(detours, tau, LinearPreference())
+    expected = np.isfinite(detours) & (detours <= tau)
+    assert dense.covered_pairs() == int(expected.sum())
+    assert sparse.covered_pairs() == dense.covered_pairs()
+    assert np.array_equal(dense.coverage_mask(), expected)
+    assert np.array_equal(sparse.coverage_mask(), dense.coverage_mask())
+    for col in range(detours.shape[1]):
+        assert np.array_equal(
+            dense.trajectories_covered(col), sparse.trajectories_covered(col)
+        )
+
+
+def test_covered_pairs_parity_binary_and_linear(detours):
+    from repro.core.coverage import SparseCoverageIndex
+
+    for preference in (BinaryPreference(), LinearPreference()):
+        for tau in (0.4, 0.5, 1.0, 2.0):
+            dense = CoverageIndex(detours, tau, preference)
+            sparse = SparseCoverageIndex(detours, tau, preference)
+            assert dense.covered_pairs() == sparse.covered_pairs(), (preference, tau)

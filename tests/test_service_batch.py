@@ -298,3 +298,53 @@ def test_existing_sites_spec(tiny_netclus, service):
     )
     served = service.query(spec, use_cache=False)
     _assert_same_result(served, direct)
+
+
+def test_cache_auto_invalidates_on_index_mutation(tiny_netclus):
+    """Mutating the index through its own API (no invalidate_cache() call)
+    must drop stale cached selections before the next query is served."""
+    import copy
+
+    index = copy.deepcopy(tiny_netclus)
+    service = PlacementService(index, engine="sparse")
+    spec = QuerySpec(k=4, tau_km=0.8)
+    before = service.query(spec)
+    assert service.cache_len == 1
+
+    victim = before.sites[0]
+    service.index.remove_site(victim)  # rely on version, not invalidate_cache
+    after = service.query(spec)
+    assert service.stats.cache_hits == 0  # the stale entry was not served
+    assert victim not in after.sites
+    assert after.sites == index.query(TOPSQuery(k=4, tau_km=0.8), engine="sparse").sites
+
+    # the repopulated cache serves hits again until the next mutation
+    assert service.query(spec) is after
+    assert service.stats.cache_hits == 1
+    service.index.add_site(victim)
+    refreshed = service.query(spec)
+    assert service.stats.cache_hits == 1
+    assert refreshed.sites == before.sites
+
+
+def test_batch_update_invalidates_cache_once(tiny_netclus):
+    """apply_updates between queries drops the cache exactly like singular
+    updates do (the version counter moves once per non-empty sub-batch)."""
+    import copy
+
+    from repro.core.netclus import UpdateBatch
+
+    index = copy.deepcopy(tiny_netclus)
+    service = PlacementService(index, engine="sparse")
+    spec = QuerySpec(k=3, tau_km=1.0)
+    first = service.query(spec)
+    sites = sorted(index.sites)[:2]
+    version = index.version
+    service.index.apply_updates(
+        UpdateBatch(remove_sites=sites)
+    )
+    assert index.version == version + 1
+    second = service.query(spec)
+    assert service.stats.cache_hits == 0
+    assert all(site not in second.sites for site in sites)
+    assert first.sites != second.sites or first is not second

@@ -53,7 +53,7 @@ def test_build_rejects_scale_for_fixed_datasets(tmp_path):
 def test_inspect_prints_manifest(built_index, capsys):
     assert main(["inspect", "--index", str(built_index)]) == 0
     out = capsys.readouterr().out
-    assert "netclus-index v1" in out
+    assert "netclus-index v2" in out
     assert "gamma=0.75" in out
     assert "graph sha256" in out
 
@@ -173,3 +173,98 @@ def test_run_all_index_cache_refuses_capped_ladder(tmp_path):
     save_index(capped, cache, dataset=bundle.trajectories)
     with pytest.raises(IndexFormatError, match="instances"):
         build_context(bundle=bundle, index_path=cache)
+
+
+# ---------------------------------------------------------------------- #
+# update
+# ---------------------------------------------------------------------- #
+def test_update_applies_deltas(built_index, tmp_path):
+    from repro.service.serialization import load_index, load_manifest
+
+    index = load_index(built_index)
+    victim_site = sorted(index.sites)[0]
+    remove_id = index.trajectory_ids[0]
+    # a short edge-connected walk for the new trajectory
+    network = index.network
+    path_nodes = [network.node_ids()[0]]
+    for _ in range(5):
+        successors = network.successors(path_nodes[-1])
+        if not successors:
+            break
+        path_nodes.append(next(iter(successors)))
+    new_id = max(index.trajectory_ids) + 1
+
+    add_file = tmp_path / "add_trajectories.json"
+    add_file.write_text(json.dumps([{"traj_id": new_id, "nodes": path_nodes}]))
+    remove_traj_file = tmp_path / "remove_trajectories.json"
+    remove_traj_file.write_text(json.dumps([remove_id]))
+    remove_site_file = tmp_path / "remove_sites.json"
+    remove_site_file.write_text(json.dumps([victim_site]))
+    out = tmp_path / "updated.ncx"
+
+    code = main(
+        [
+            "update",
+            "--index", str(built_index),
+            "--add-trajectories", str(add_file),
+            "--remove-trajectories", str(remove_traj_file),
+            "--remove-sites", str(remove_site_file),
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    updated = load_index(out)
+    assert new_id in updated.trajectory_ids
+    assert remove_id not in updated.trajectory_ids
+    assert victim_site not in updated.sites
+    assert updated.version == 3  # one bump per non-empty sub-batch
+    assert load_manifest(out)["index_version"] == 3
+    # --out leaves the source index untouched
+    assert load_index(built_index).version == 0
+
+
+def test_update_without_deltas_rejected(built_index):
+    with pytest.raises(SystemExit, match="nothing to do"):
+        main(["update", "--index", str(built_index)])
+
+
+def test_update_rejects_malformed_trajectory_file(built_index, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps([{"nodes": [1, 2]}]))  # missing traj_id
+    with pytest.raises(SystemExit, match="traj_id"):
+        main(["update", "--index", str(built_index), "--add-trajectories", str(bad)])
+
+
+def test_site_only_update_keeps_content_fingerprint(built_index, tmp_path):
+    """A site-only delta carries the trajectory_content fingerprint over;
+    a trajectory delta (content no longer verifiable) drops it."""
+    from repro.service.serialization import load_manifest
+
+    fingerprint = load_manifest(built_index)["fingerprints"]["trajectory_content"]
+    remove_site_file = tmp_path / "rm_sites.json"
+    remove_site_file.write_text(json.dumps([4]))
+    out = tmp_path / "site_only.ncx"
+    assert main(
+        [
+            "update",
+            "--index", str(built_index),
+            "--remove-sites", str(remove_site_file),
+            "--out", str(out),
+        ]
+    ) == 0
+    assert load_manifest(out)["fingerprints"]["trajectory_content"] == fingerprint
+
+    from repro.service.serialization import load_index
+
+    remove_traj_file = tmp_path / "rm_traj.json"
+    remove_traj_file.write_text(json.dumps([load_index(out).trajectory_ids[0]]))
+    out2 = tmp_path / "traj_delta.ncx"
+    assert main(
+        [
+            "update",
+            "--index", str(out),
+            "--remove-trajectories", str(remove_traj_file),
+            "--out", str(out2),
+        ]
+    ) == 0
+    assert "trajectory_content" not in load_manifest(out2)["fingerprints"]

@@ -124,7 +124,8 @@ def test_manifest_contents(saved_index):
     index, path = saved_index
     manifest = load_manifest(path)
     assert manifest["format"] == "netclus-index"
-    assert manifest["format_version"] == 1
+    assert manifest["format_version"] == 2
+    assert manifest["index_version"] == index.version
     assert manifest["build_params"]["gamma"] == pytest.approx(0.75)
     assert manifest["num_instances"] == index.num_instances
     assert len(manifest["instances"]) == index.num_instances
@@ -218,3 +219,60 @@ def test_fingerprints_are_deterministic(tiny_problem):
     ids = tiny_problem.trajectories.ids()
     assert trajectory_fingerprint(ids) == trajectory_fingerprint(np.asarray(ids))
     assert trajectory_fingerprint(ids) != trajectory_fingerprint(ids[::-1])
+
+
+# ---------------------------------------------------------------------- #
+# format v2: index version + visit-count bookkeeping (PR 3)
+# ---------------------------------------------------------------------- #
+def test_index_version_round_trips(tiny_problem, tmp_path):
+    index = tiny_problem.build_netclus_index(
+        gamma=0.75, tau_min_km=0.4, tau_max_km=2.0, max_instances=2
+    )
+    site = min(index.sites)
+    index.remove_site(site)
+    index.add_site(site)
+    assert index.version == 2
+    path = save_index(index, tmp_path / "ver2.ncx")
+    loaded = load_index(path)
+    assert loaded.version == 2
+    assert load_manifest(path)["index_version"] == 2
+
+
+def test_v1_directory_still_loads(saved_index, tmp_path):
+    """A format-v1 manifest (no index_version) loads with version 0."""
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "v1.ncx")
+    manifest_path = path / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format_version"] = 1
+    del manifest["index_version"]
+    manifest_path.write_text(json.dumps(manifest))
+    loaded = load_index(path)
+    assert loaded.version == 0
+    query = TOPSQuery(k=4, tau_km=1.0)
+    assert loaded.query(query).sites == index.query(query).sites
+
+
+def test_most_frequent_visit_data_round_trips(tmp_path):
+    """Dynamic re-election on a loaded most_frequent index matches the
+    original's — the visit-count bookkeeping survives the round-trip."""
+    network = grid_network(6, 6, spacing_km=0.5)
+    dataset = commuter_trajectories(network, 40, seed=7)
+    from repro.core.netclus import NetClusIndex
+
+    index = NetClusIndex.build(
+        network,
+        dataset,
+        network.node_ids()[::3],
+        gamma=0.75,
+        tau_min_km=0.4,
+        tau_max_km=2.0,
+        representative_strategy="most_frequent",
+    )
+    loaded = load_index(save_index(index, tmp_path / "mf.ncx"))
+    for mutant in (index, loaded):
+        mutant.add_sites(network.node_ids())
+        mutant.remove_trajectories(list(dataset.ids())[:10])
+    for instance_a, instance_b in zip(index.instances, loaded.instances):
+        for cluster_a, cluster_b in zip(instance_a.clusters, instance_b.clusters):
+            assert cluster_a.representative == cluster_b.representative
