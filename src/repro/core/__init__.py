@@ -16,6 +16,7 @@ from repro.core.fm_greedy import FMGreedy
 from repro.core.optimal import OptimalSolver
 from repro.core.gdsp import GreedyGDSP, Cluster
 from repro.core.netclus import NetClusIndex, NetClusInstance
+from repro.core.build import BuildStats, build_index
 from repro.core.variants import (
     solve_tops_cost,
     solve_tops_capacity,
@@ -45,6 +46,8 @@ __all__ = [
     "Cluster",
     "NetClusIndex",
     "NetClusInstance",
+    "BuildStats",
+    "build_index",
     "solve_tops_cost",
     "solve_tops_capacity",
     "solve_tops_with_existing",

@@ -1,0 +1,425 @@
+"""Staged offline build pipeline for the NetClus index.
+
+The offline phase (Section 4 of the paper) decomposes into four explicit
+stages, run in order over the whole instance ladder:
+
+1. **clustering** — one Greedy-GDSP run per index instance.  The ``t``
+   clusterings are mutually independent (each sees only the road network
+   and its radius ``R_p``), which makes this stage the natural unit of
+   parallelism: with ``workers > 1`` the per-instance work fans out over a
+   ``multiprocessing`` pool whose workers are initialised with a picklable
+   CSR payload of the network (:meth:`ShortestPathEngine.to_payload`) —
+   no :class:`RoadNetwork` dictionaries ever cross the process boundary.
+   The neighbour-list distance sweeps (stage 4's heavy part) ride along in
+   the same per-instance task so a parallel build ships each instance to a
+   worker exactly once.
+2. **representatives** — per cluster, elect the representative candidate
+   site under the index's ``representative_strategy``.
+3. **registration** — register every trajectory into every instance via
+   the shared lexsort + grouped-minimum kernel
+   (:func:`repro.core.netclus.register_trajectory_batch`) — the same
+   implementation the streaming update engine uses online.
+4. **neighbors** — per cluster, the clusters whose centers lie within
+   round-trip ``4 R_p (1 + γ)``.
+
+Each stage produces a :class:`BuildStats` record (stage name, seconds,
+per-instance breakdown, worker count) which the resulting index carries in
+:attr:`NetClusIndex.build_stats`; ``save_index`` persists the records in
+the manifest so ``inspect`` and the Table 11 driver can report the stage
+breakdown of a loaded index.
+
+**Parity guarantee.** ``workers=1`` is the exact sequential path; any
+``workers > 1`` build is state-, selection- and serialization-identical to
+it: every stage is deterministic (Greedy-GDSP's greedy order, FM-sketch
+hashing, the registration kernel's insertion order, the neighbour sort),
+so only wall-clock time changes.  ``benchmarks/bench_parallel_build.py``
+and the CI parity step compare the serialized payloads byte for byte
+(timings excluded — they are the one thing a parallel build legitimately
+changes).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.gdsp import GDSPResult, GreedyGDSP
+from repro.core.netclus import (
+    NetClusCluster,
+    NetClusIndex,
+    NetClusInstance,
+    register_trajectory_batch,
+)
+from repro.network.graph import RoadNetwork
+from repro.network.shortest_path import ShortestPathEngine
+from repro.trajectory.model import TrajectoryDataset
+from repro.utils.timer import Timer
+from repro.utils.validation import require, require_positive
+
+__all__ = ["BuildStats", "build_index", "compute_neighbor_lists"]
+
+#: the stage names, in pipeline order
+STAGES = ("clustering", "representatives", "registration", "neighbors")
+
+
+@dataclass(frozen=True)
+class BuildStats:
+    """One stage of the offline build pipeline.
+
+    Attributes
+    ----------
+    stage:
+        Stage name — one of ``"clustering"``, ``"representatives"``,
+        ``"registration"``, ``"neighbors"``.
+    seconds:
+        Total work seconds of the stage, summed across instances.  For a
+        parallel stage this is CPU work, not wall-clock (the whole build's
+        wall-clock is what ``workers`` shrinks).
+    workers:
+        Number of processes the stage ran on (1 = in the build process).
+    per_instance_seconds:
+        The stage's seconds per index instance, in instance order.
+    """
+
+    stage: str
+    seconds: float
+    workers: int = 1
+    per_instance_seconds: tuple[float, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready form (persisted in the index manifest)."""
+        return {
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "workers": self.workers,
+            "per_instance_seconds": list(self.per_instance_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "BuildStats":
+        """Inverse of :meth:`as_dict` (manifest loading)."""
+        return cls(
+            stage=str(payload["stage"]),
+            seconds=float(payload["seconds"]),
+            workers=int(payload.get("workers", 1)),
+            per_instance_seconds=tuple(
+                float(s) for s in payload.get("per_instance_seconds", ())
+            ),
+        )
+
+
+def compute_neighbor_lists(
+    centers: Sequence[int],
+    engine: ShortestPathEngine,
+    radius_km: float,
+    gamma: float,
+) -> list[list[tuple[int, float]]]:
+    """Neighbour lists ``CL(g_i)`` for one instance's cluster centers.
+
+    For every cluster, the (cluster id, center round-trip distance) pairs
+    of the clusters whose centers lie within round-trip
+    ``4 R_p (1 + γ)``, sorted by distance (ties keep cluster-id order).
+    """
+    centers = list(centers)
+    threshold = 4.0 * radius_km * (1.0 + gamma)
+    forward = engine.distances_from(centers, limit=threshold)[:, centers]
+    round_trip = forward + forward.T
+    neighbor_lists: list[list[tuple[int, float]]] = []
+    for i in range(len(centers)):
+        neighbor_ids = np.flatnonzero(round_trip[i] <= threshold)
+        neighbors = [
+            (int(j), float(round_trip[i, j])) for j in neighbor_ids if int(j) != i
+        ]
+        neighbors.sort(key=lambda item: item[1])
+        neighbor_lists.append(neighbors)
+    return neighbor_lists
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+# ---------------------------------------------------------------------- #
+#: per-worker shortest-path engine, rebuilt from the CSR payload once per
+#: process by the pool initializer
+_WORKER_ENGINE: ShortestPathEngine | None = None
+
+
+def _init_worker(payload: dict[str, np.ndarray]) -> None:
+    """Pool initializer: restore the shortest-path engine from CSR arrays."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = ShortestPathEngine.from_payload(payload)
+
+
+def _instance_task(
+    task: tuple[int, float, float, bool, int, int],
+) -> tuple[int, GDSPResult, list[list[tuple[int, float]]], float, float]:
+    """One parallel unit: cluster one instance and sweep its neighbour lists.
+
+    Returns ``(instance_id, gdsp_result, neighbor_lists, clustering_seconds,
+    neighbors_seconds)``.  Runs in a pool worker against the process-local
+    engine; everything it computes is deterministic in (network, radius).
+    """
+    instance_id, radius_km, gamma, use_fm_sketches, num_sketches, chunk_size = task
+    engine = _WORKER_ENGINE
+    gdsp = GreedyGDSP(
+        None,
+        engine=engine,
+        use_fm_sketches=use_fm_sketches,
+        num_sketches=num_sketches,
+        chunk_size=chunk_size,
+    )
+    gdsp_result = gdsp.cluster(radius_km)
+    with Timer() as neighbor_timer:
+        neighbor_lists = compute_neighbor_lists(
+            [cluster.center for cluster in gdsp_result.clusters],
+            engine,
+            radius_km,
+            gamma,
+        )
+    return (
+        instance_id,
+        gdsp_result,
+        neighbor_lists,
+        gdsp_result.build_seconds,
+        neighbor_timer.elapsed,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the pipeline
+# ---------------------------------------------------------------------- #
+def build_index(
+    network: RoadNetwork,
+    dataset: TrajectoryDataset,
+    sites: Sequence[int],
+    *,
+    gamma: float = 0.75,
+    tau_min_km: float = 0.4,
+    tau_max_km: float = 8.0,
+    use_fm_sketches: bool = False,
+    num_sketches: int = 30,
+    gdsp_chunk_size: int = 512,
+    max_instances: int | None = None,
+    representative_strategy: str = "closest",
+    workers: int = 1,
+    mp_start_method: str | None = None,
+) -> NetClusIndex:
+    """Run the staged offline build pipeline; see the module docstring.
+
+    Parameters mirror :meth:`NetClusIndex.build` (which delegates here).
+    ``workers=1`` runs the exact sequential path; ``workers > 1`` fans the
+    independent per-instance clustering (and neighbour sweeps) out over a
+    ``multiprocessing`` pool and produces an identical index.  A worker
+    that raises propagates its exception out of this function before any
+    index object exists — a failed parallel build never yields a
+    half-built index.
+    """
+    require_positive(gamma, "gamma")
+    require_positive(tau_min_km, "tau_min_km")
+    require(tau_max_km > tau_min_km, "tau_max_km must exceed tau_min_km")
+    require(
+        representative_strategy in ("closest", "most_frequent"),
+        "representative_strategy must be 'closest' or 'most_frequent'",
+    )
+    require(int(workers) >= 1, "workers must be >= 1")
+    workers = int(workers)
+    site_set = set(int(s) for s in sites)
+    for site in site_set:
+        require(network.has_node(site), f"site {site} is not a network node")
+
+    num_instances = int(math.floor(math.log(tau_max_km / tau_min_km, 1.0 + gamma))) + 1
+    if max_instances is not None:
+        num_instances = min(num_instances, max_instances)
+    base_radius = tau_min_km / 4.0
+    radii = [base_radius * (1.0 + gamma) ** p for p in range(num_instances)]
+    engine = ShortestPathEngine(network)
+    visit_counts = dataset.node_visit_counts(network.num_nodes)
+    stats: list[BuildStats] = []
+
+    # stage 1 — per-instance GDSP clustering (the parallel stage); parallel
+    # tasks also carry home the stage-4 neighbour sweeps so each instance
+    # crosses the process boundary exactly once
+    if workers > 1 and num_instances > 1:
+        outcomes = _run_parallel_clustering(
+            engine,
+            radii,
+            gamma,
+            use_fm_sketches,
+            num_sketches,
+            gdsp_chunk_size,
+            workers,
+            mp_start_method,
+        )
+    else:
+        workers = 1
+        gdsp = GreedyGDSP(
+            network,
+            engine=engine,
+            use_fm_sketches=use_fm_sketches,
+            num_sketches=num_sketches,
+            chunk_size=gdsp_chunk_size,
+        )
+        outcomes = []
+        for radius in radii:
+            gdsp_result = gdsp.cluster(radius)
+            outcomes.append((gdsp_result, None, gdsp_result.build_seconds, 0.0))
+    clustering_per_instance = [outcome[2] for outcome in outcomes]
+    stats.append(
+        BuildStats(
+            stage="clustering",
+            seconds=sum(clustering_per_instance),
+            workers=workers,
+            per_instance_seconds=tuple(clustering_per_instance),
+        )
+    )
+
+    # stage 2 — representative election
+    election_per_instance: list[float] = []
+    instances: list[NetClusInstance] = []
+    for instance_id, (gdsp_result, _, _, _) in enumerate(outcomes):
+        with Timer() as election_timer:
+            clusters: list[NetClusCluster] = []
+            for gdsp_cluster in gdsp_result.clusters:
+                cluster = NetClusCluster(
+                    cluster_id=gdsp_cluster.cluster_id,
+                    center=gdsp_cluster.center,
+                    nodes=dict(
+                        zip(gdsp_cluster.nodes, gdsp_cluster.node_round_trip_km)
+                    ),
+                )
+                NetClusIndex._elect_representative(
+                    cluster, site_set, representative_strategy, visit_counts
+                )
+                clusters.append(cluster)
+            instance = NetClusInstance(
+                instance_id=instance_id,
+                radius_km=radii[instance_id],
+                gamma=gamma,
+                clusters=clusters,
+                node_to_cluster=dict(gdsp_result.node_to_cluster),
+                mean_dominating_set_size=gdsp_result.mean_dominating_set_size,
+            )
+            instances.append(instance)
+        election_per_instance.append(election_timer.elapsed)
+    stats.append(
+        BuildStats(
+            stage="representatives",
+            seconds=sum(election_per_instance),
+            per_instance_seconds=tuple(election_per_instance),
+        )
+    )
+
+    # stage 3 — trajectory registration through the shared lexsort +
+    # grouped-min kernel (also warms the per-instance node lookup tables
+    # the streaming update engine reads on every batch)
+    traj_ids = dataset.ids()
+    node_arrays = [trajectory.nodes_array() for trajectory in dataset]
+    registration_per_instance: list[float] = []
+    for instance in instances:
+        with Timer() as registration_timer:
+            register_trajectory_batch(
+                instance, network.num_nodes, traj_ids, node_arrays
+            )
+        registration_per_instance.append(registration_timer.elapsed)
+    stats.append(
+        BuildStats(
+            stage="registration",
+            seconds=sum(registration_per_instance),
+            per_instance_seconds=tuple(registration_per_instance),
+        )
+    )
+
+    # stage 4 — neighbour lists (already swept by the workers in a
+    # parallel build; computed here on the shared engine otherwise)
+    neighbors_per_instance: list[float] = []
+    for instance, (_, neighbor_lists, _, neighbor_seconds) in zip(instances, outcomes):
+        if neighbor_lists is None:
+            with Timer() as neighbor_timer:
+                neighbor_lists = compute_neighbor_lists(
+                    [cluster.center for cluster in instance.clusters],
+                    engine,
+                    instance.radius_km,
+                    gamma,
+                )
+            neighbor_seconds = neighbor_timer.elapsed
+        for cluster, neighbors in zip(instance.clusters, neighbor_lists):
+            cluster.neighbors = neighbors
+        neighbors_per_instance.append(neighbor_seconds)
+    stats.append(
+        BuildStats(
+            stage="neighbors",
+            seconds=sum(neighbors_per_instance),
+            workers=workers,
+            per_instance_seconds=tuple(neighbors_per_instance),
+        )
+    )
+
+    # per-instance build_seconds: that instance's share of every stage
+    for position, instance in enumerate(instances):
+        instance.build_seconds = (
+            clustering_per_instance[position]
+            + election_per_instance[position]
+            + registration_per_instance[position]
+            + neighbors_per_instance[position]
+        )
+
+    index = NetClusIndex(
+        network=network,
+        sites=site_set,
+        instances=instances,
+        tau_min_km=tau_min_km,
+        tau_max_km=tau_max_km,
+        gamma=gamma,
+        trajectory_ids=traj_ids,
+        representative_strategy=representative_strategy,
+        node_visit_counts=(
+            visit_counts if representative_strategy == "most_frequent" else None
+        ),
+        trajectory_nodes=(
+            {t.traj_id: np.unique(t.nodes_array()) for t in dataset}
+            if representative_strategy == "most_frequent"
+            else None
+        ),
+        build_stats=stats,
+        max_instances=max_instances,
+    )
+    index._engine = engine
+    return index
+
+
+def _run_parallel_clustering(
+    engine: ShortestPathEngine,
+    radii: Sequence[float],
+    gamma: float,
+    use_fm_sketches: bool,
+    num_sketches: int,
+    gdsp_chunk_size: int,
+    workers: int,
+    mp_start_method: str | None,
+) -> list[tuple[GDSPResult, list[list[tuple[int, float]]], float, float]]:
+    """Fan the per-instance tasks out over a process pool, in instance order.
+
+    Workers are initialised once with the engine's CSR payload; tasks are
+    scheduled one at a time (``chunksize=1``) so the skewed per-instance
+    costs balance across the pool.  Any worker exception propagates out of
+    ``pool.map`` and the pool is torn down before it reaches the caller.
+    """
+    payload = engine.to_payload()
+    tasks = [
+        (p, radius, gamma, use_fm_sketches, num_sketches, gdsp_chunk_size)
+        for p, radius in enumerate(radii)
+    ]
+    context = multiprocessing.get_context(mp_start_method)
+    processes = min(workers, len(tasks))
+    with context.Pool(
+        processes, initializer=_init_worker, initargs=(payload,)
+    ) as pool:
+        results = pool.map(_instance_task, tasks, chunksize=1)
+    results.sort(key=lambda item: item[0])
+    return [
+        (gdsp_result, neighbor_lists, clustering_seconds, neighbor_seconds)
+        for _, gdsp_result, neighbor_lists, clustering_seconds, neighbor_seconds in results
+    ]

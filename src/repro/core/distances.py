@@ -43,6 +43,9 @@ class DistanceOracle:
     sites:
         Candidate site node ids (the set S of the paper).  Order defines the
         column order of detour matrices.
+    engine:
+        Optional pre-built shortest-path engine over *network*; without one
+        a fresh engine (two CSR conversions) is constructed for the sweeps.
 
     Notes
     -----
@@ -51,7 +54,12 @@ class DistanceOracle:
     the same asymptotic cost the paper reports for Inc-Greedy's offline step.
     """
 
-    def __init__(self, network: RoadNetwork, sites: Sequence[int]) -> None:
+    def __init__(
+        self,
+        network: RoadNetwork,
+        sites: Sequence[int],
+        engine: ShortestPathEngine | None = None,
+    ) -> None:
         require(len(sites) > 0, "need at least one candidate site")
         require(len(set(sites)) == len(sites), "candidate sites must be unique")
         for site in sites:
@@ -59,7 +67,8 @@ class DistanceOracle:
         self.network = network
         self.sites = np.asarray(sites, dtype=np.int64)
         self.site_index = {int(site): idx for idx, site in enumerate(self.sites)}
-        engine = ShortestPathEngine(network)
+        if engine is None:
+            engine = ShortestPathEngine(network)
         # d(site -> node): row per site
         self._from_site = engine.distances_from(list(self.sites))
         # d(node -> site): row per site

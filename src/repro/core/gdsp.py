@@ -31,7 +31,7 @@ from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import ShortestPathEngine
 from repro.sketch.fm import FMSketchFamily
 from repro.utils.timer import Timer
-from repro.utils.validation import require_positive
+from repro.utils.validation import require, require_positive
 
 __all__ = ["Cluster", "GreedyGDSP", "GDSPResult"]
 
@@ -81,10 +81,14 @@ class GreedyGDSP:
     Parameters
     ----------
     network:
-        The road network to cluster.
+        The road network to cluster.  May be ``None`` when *engine* is
+        given — the solver only ever computes through the engine, which is
+        how build workers run it from a pickled CSR payload alone.
     engine:
         Optional pre-built shortest-path engine (reused across radii when
-        building the multi-resolution NetClus index).
+        building the multi-resolution NetClus index).  Constructing a fresh
+        engine per solver costs two CSR conversions, so callers that
+        already hold one should always pass it.
     use_fm_sketches:
         Estimate marginal coverage with FM sketches (the paper's approach)
         instead of exact lazy counting.
@@ -96,12 +100,16 @@ class GreedyGDSP:
 
     def __init__(
         self,
-        network: RoadNetwork,
+        network: RoadNetwork | None,
         engine: ShortestPathEngine | None = None,
         use_fm_sketches: bool = False,
         num_sketches: int = 30,
         chunk_size: int = 512,
     ) -> None:
+        require(
+            network is not None or engine is not None,
+            "GreedyGDSP needs a road network or a pre-built engine",
+        )
         self.network = network
         self.engine = engine if engine is not None else ShortestPathEngine(network)
         self.use_fm_sketches = use_fm_sketches

@@ -5,7 +5,10 @@ Offline phase (Section 4)
 For a ladder of cluster radii ``R_p = (1+γ)^p · R_0`` with ``R_0 = τ_min/4``
 and ``t = ⌊log_{1+γ}(τ_max/τ_min)⌋ + 1`` instances, the road network is
 partitioned by Greedy-GDSP into clusters of round-trip radius at most
-``2 R_p``.  Every cluster stores
+``2 R_p``.  Construction runs through the staged pipeline of
+:mod:`repro.core.build` (clustering → representative election → trajectory
+registration → neighbour lists; ``workers=N`` parallelises the independent
+per-instance clusterings with an identical result).  Every cluster stores
 
 1. its center ``c_i``,
 2. its representative ``r_i`` — the candidate site closest to the center,
@@ -50,7 +53,6 @@ import numpy as np
 
 from repro.core.coverage import CoverageIndex, SparseCoverageIndex
 from repro.core.fm_greedy import FMGreedy
-from repro.core.gdsp import GDSPResult, GreedyGDSP
 from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.preference import PreferenceFunction
 from repro.core.query import TOPSQuery, TOPSResult
@@ -66,11 +68,74 @@ __all__ = [
     "NetClusIndex",
     "ClusteredCoverage",
     "UpdateBatch",
+    "register_trajectory_batch",
 ]
 
 #: relative tolerance used to snap τ onto an instance boundary: τ equal to
 #: ``τ_min·(1+γ)^p`` up to float noise must select instance p, not p-1
 _TAU_BOUNDARY_RTOL = 1e-9
+
+
+def register_trajectory_batch(
+    instance: "NetClusInstance",
+    num_nodes: int,
+    traj_ids: Sequence[int],
+    node_arrays: Sequence[np.ndarray],
+) -> None:
+    """Register a batch of trajectories into one index instance.
+
+    The single registration implementation shared by the offline build and
+    the streaming update engine.  Builds dense node→cluster and
+    node→round-trip lookup arrays once per instance (cached on the
+    instance), then reduces the *whole batch's* (trajectory, node) pairs to
+    per-(cluster, trajectory) minimum legs with a single lexsort + grouped
+    minimum instead of per-node dictionary probes per trajectory.
+
+    The produced trajectory lists carry, per cluster, ``dr(T, c_i)`` — the
+    minimum round-trip from any visited member node to the cluster center —
+    with dict insertion order equal to batch order (clusters see
+    trajectories in the order they were registered, which downstream
+    tie-breaks rely on).  Node ids outside ``[0, num_nodes)`` or outside
+    every cluster are ignored, like an unclustered node in a per-node walk.
+    """
+    cluster_of, round_trip_of = instance.node_lookup_arrays(num_nodes)
+    if not len(node_arrays):
+        return
+    all_nodes = np.concatenate(list(node_arrays))
+    positions = np.repeat(
+        np.arange(len(node_arrays)), [len(nodes) for nodes in node_arrays]
+    )
+    # node ids outside the network are unclustered — they must not wrap
+    # around (negative) or overflow the dense lookup arrays
+    in_range = (all_nodes >= 0) & (all_nodes < len(cluster_of))
+    cluster_ids = np.full(len(all_nodes), -1, dtype=np.int64)
+    legs = np.full(len(all_nodes), np.inf, dtype=np.float64)
+    cluster_ids[in_range] = cluster_of[all_nodes[in_range]]
+    legs[in_range] = round_trip_of[all_nodes[in_range]]
+    valid = (cluster_ids >= 0) & np.isfinite(legs)
+    cluster_ids, legs, positions = cluster_ids[valid], legs[valid], positions[valid]
+    if len(cluster_ids) == 0:
+        return
+    # group by (cluster, batch position): position-minor order reproduces
+    # the insertion order of a per-trajectory registration walk
+    order = np.lexsort((positions, cluster_ids))
+    cluster_ids, legs, positions = (
+        cluster_ids[order],
+        legs[order],
+        positions[order],
+    )
+    boundary = np.r_[
+        True,
+        (cluster_ids[1:] != cluster_ids[:-1]) | (positions[1:] != positions[:-1]),
+    ]
+    starts = np.flatnonzero(boundary)
+    min_legs = np.minimum.reduceat(legs, starts)
+    clusters = instance.clusters
+    traj_ids = [int(t) for t in traj_ids]
+    for cluster_id, position, leg in zip(
+        cluster_ids[starts].tolist(), positions[starts].tolist(), min_legs.tolist()
+    ):
+        clusters[cluster_id].trajectory_list[traj_ids[position]] = leg
 
 
 @dataclass
@@ -452,6 +517,8 @@ class NetClusIndex:
         version: int = 0,
         node_visit_counts: np.ndarray | None = None,
         trajectory_nodes: dict[int, np.ndarray] | None = None,
+        build_stats: Sequence["BuildStats"] | None = None,
+        max_instances: int | None = None,
     ) -> None:
         self.network = network
         self.sites = set(int(s) for s in sites)
@@ -460,6 +527,13 @@ class NetClusIndex:
         self.tau_max_km = tau_max_km
         self.gamma = gamma
         self.representative_strategy = representative_strategy
+        #: per-stage offline-phase records (clustering, representatives,
+        #: registration, neighbors) from :mod:`repro.core.build`; empty for
+        #: indexes loaded from manifests that predate the staged pipeline
+        self.build_stats = list(build_stats or [])
+        #: the ``max_instances`` cap the index was built with (``None`` =
+        #: full ladder); round-tripped through the manifest
+        self.max_instances = max_instances
         self._trajectory_ids = list(trajectory_ids)
         self._trajectory_rows = {
             traj_id: row for row, traj_id in enumerate(self._trajectory_ids)
@@ -494,8 +568,16 @@ class NetClusIndex:
         gdsp_chunk_size: int = 512,
         max_instances: int | None = None,
         representative_strategy: str = "closest",
+        workers: int = 1,
+        mp_start_method: str | None = None,
     ) -> "NetClusIndex":
         """Construct the index (offline phase).
+
+        The construction runs through the staged build pipeline of
+        :mod:`repro.core.build` — per-instance GDSP clustering →
+        representative election → trajectory registration → neighbour
+        lists — which records a :class:`~repro.core.build.BuildStats` per
+        stage on the returned index (:attr:`build_stats`).
 
         Parameters
         ----------
@@ -517,6 +599,16 @@ class NetClusIndex:
             ``"closest"`` — the candidate site nearest to the cluster center
             (the paper's choice), or ``"most_frequent"`` — the candidate site
             visited by the largest number of trajectories.
+        workers:
+            Number of processes for the independent per-instance
+            clusterings.  ``1`` (default) runs everything in-process;
+            ``N > 1`` fans the per-instance work out over a
+            ``multiprocessing`` pool and is guaranteed to produce a
+            state-, selection- and serialization-identical index.
+        mp_start_method:
+            Optional ``multiprocessing`` start method for ``workers > 1``
+            (``"fork"``/``"spawn"``/``"forkserver"``; default: the
+            platform default).
 
         Returns
         -------
@@ -526,113 +618,22 @@ class NetClusIndex:
             throughout the index — radii, detours, τ — are in kilometres;
             no metre-denominated quantity exists in this library.
         """
-        require_positive(gamma, "gamma")
-        require_positive(tau_min_km, "tau_min_km")
-        require(tau_max_km > tau_min_km, "tau_max_km must exceed tau_min_km")
-        require(
-            representative_strategy in ("closest", "most_frequent"),
-            "representative_strategy must be 'closest' or 'most_frequent'",
-        )
-        site_set = set(int(s) for s in sites)
-        for site in site_set:
-            require(network.has_node(site), f"site {site} is not a network node")
+        from repro.core.build import build_index
 
-        num_instances = int(math.floor(math.log(tau_max_km / tau_min_km, 1.0 + gamma))) + 1
-        if max_instances is not None:
-            num_instances = min(num_instances, max_instances)
-        engine = ShortestPathEngine(network)
-        gdsp = GreedyGDSP(
+        return build_index(
             network,
-            engine=engine,
-            use_fm_sketches=use_fm_sketches,
-            num_sketches=num_sketches,
-            chunk_size=gdsp_chunk_size,
-        )
-        visit_counts = dataset.node_visit_counts(network.num_nodes)
-        instances: list[NetClusInstance] = []
-        base_radius = tau_min_km / 4.0
-        for p in range(num_instances):
-            radius = base_radius * (1.0 + gamma) ** p
-            gdsp_result = gdsp.cluster(radius)
-            instance = cls._build_instance(
-                p,
-                radius,
-                gamma,
-                gdsp_result,
-                engine,
-                site_set,
-                dataset,
-                representative_strategy=representative_strategy,
-                visit_counts=visit_counts,
-            )
-            instances.append(instance)
-        index = cls(
-            network=network,
-            sites=site_set,
-            instances=instances,
+            dataset,
+            sites,
+            gamma=gamma,
             tau_min_km=tau_min_km,
             tau_max_km=tau_max_km,
-            gamma=gamma,
-            trajectory_ids=dataset.ids(),
+            use_fm_sketches=use_fm_sketches,
+            num_sketches=num_sketches,
+            gdsp_chunk_size=gdsp_chunk_size,
+            max_instances=max_instances,
             representative_strategy=representative_strategy,
-            node_visit_counts=(
-                visit_counts if representative_strategy == "most_frequent" else None
-            ),
-            trajectory_nodes=(
-                {t.traj_id: np.unique(t.nodes_array()) for t in dataset}
-                if representative_strategy == "most_frequent"
-                else None
-            ),
-        )
-        index._engine = engine
-        for instance in instances:
-            # warm the per-instance node lookup tables (offline phase work;
-            # the streaming update engine reads them on every batch)
-            instance.node_lookup_arrays(network.num_nodes)
-        return index
-
-    @staticmethod
-    def _build_instance(
-        instance_id: int,
-        radius_km: float,
-        gamma: float,
-        gdsp_result: GDSPResult,
-        engine: ShortestPathEngine,
-        sites: set[int],
-        dataset: TrajectoryDataset,
-        representative_strategy: str = "closest",
-        visit_counts: np.ndarray | None = None,
-    ) -> NetClusInstance:
-        with Timer() as timer:
-            clusters: list[NetClusCluster] = []
-            for gdsp_cluster in gdsp_result.clusters:
-                nodes = dict(zip(gdsp_cluster.nodes, gdsp_cluster.node_round_trip_km))
-                cluster = NetClusCluster(
-                    cluster_id=gdsp_cluster.cluster_id,
-                    center=gdsp_cluster.center,
-                    nodes=nodes,
-                )
-                NetClusIndex._elect_representative(
-                    cluster, sites, representative_strategy, visit_counts
-                )
-                clusters.append(cluster)
-            node_to_cluster = dict(gdsp_result.node_to_cluster)
-
-            # trajectory lists: dr(T_j, c_i) = min round-trip from any visited
-            # node of the cluster to its center
-            for trajectory in dataset:
-                NetClusIndex._register_trajectory(trajectory, clusters, node_to_cluster)
-
-            # neighbour lists: centers within round-trip 4 R (1 + γ)
-            NetClusIndex._compute_neighbors(clusters, engine, radius_km, gamma)
-        return NetClusInstance(
-            instance_id=instance_id,
-            radius_km=radius_km,
-            gamma=gamma,
-            clusters=clusters,
-            node_to_cluster=node_to_cluster,
-            build_seconds=timer.elapsed + gdsp_result.build_seconds,
-            mean_dominating_set_size=gdsp_result.mean_dominating_set_size,
+            workers=workers,
+            mp_start_method=mp_start_method,
         )
 
     @staticmethod
@@ -665,41 +666,6 @@ class NetClusIndex:
             best_node, best_round_trip = min(candidate_sites, key=lambda item: item[1])
         cluster.representative = best_node
         cluster.representative_round_trip_km = best_round_trip
-
-    @staticmethod
-    def _register_trajectory(
-        trajectory: Trajectory,
-        clusters: list[NetClusCluster],
-        node_to_cluster: dict[int, int],
-    ) -> None:
-        for node in trajectory.nodes:
-            cluster_id = node_to_cluster.get(node)
-            if cluster_id is None:
-                continue
-            cluster = clusters[cluster_id]
-            round_trip = cluster.nodes.get(node, math.inf)
-            previous = cluster.trajectory_list.get(trajectory.traj_id, math.inf)
-            if round_trip < previous:
-                cluster.trajectory_list[trajectory.traj_id] = round_trip
-
-    @staticmethod
-    def _compute_neighbors(
-        clusters: list[NetClusCluster],
-        engine: ShortestPathEngine,
-        radius_km: float,
-        gamma: float,
-    ) -> None:
-        centers = [cluster.center for cluster in clusters]
-        threshold = 4.0 * radius_km * (1.0 + gamma)
-        forward = engine.distances_from(centers, limit=threshold)[:, centers]
-        round_trip = forward + forward.T
-        for i, cluster in enumerate(clusters):
-            neighbor_ids = np.flatnonzero(round_trip[i] <= threshold)
-            neighbors = [
-                (int(j), float(round_trip[i, j])) for j in neighbor_ids if int(j) != i
-            ]
-            neighbors.sort(key=lambda item: item[1])
-            cluster.neighbors = neighbors
 
     # ------------------------------------------------------------------ #
     # online query
@@ -987,15 +953,12 @@ class NetClusIndex:
         for trajectory in trajectories:
             self._trajectory_rows[trajectory.traj_id] = len(self._trajectory_ids)
             self._trajectory_ids.append(trajectory.traj_id)
-        if len(trajectories) == 1:
-            for instance in self.instances:
-                self._register_trajectory(
-                    trajectories[0], instance.clusters, instance.node_to_cluster
-                )
-        else:
-            node_arrays = [t.nodes_array() for t in trajectories]
-            for instance in self.instances:
-                self._register_trajectories(instance, trajectories, node_arrays)
+        traj_ids = [trajectory.traj_id for trajectory in trajectories]
+        node_arrays = [t.nodes_array() for t in trajectories]
+        for instance in self.instances:
+            register_trajectory_batch(
+                instance, self.network.num_nodes, traj_ids, node_arrays
+            )
         if self._tracks_visits:
             touched: set[int] = set()
             num_nodes = len(self._node_visit_counts)
@@ -1153,61 +1116,6 @@ class NetClusIndex:
             }
             for cluster_id in affected:
                 self._reelect(instance.clusters[cluster_id])
-
-    def _register_trajectories(
-        self,
-        instance: NetClusInstance,
-        trajectories: Sequence[Trajectory],
-        node_arrays: Sequence[np.ndarray],
-    ) -> None:
-        """Batch-register trajectories into one instance.
-
-        Builds dense node→cluster and node→round-trip lookup arrays once per
-        instance, then reduces the *whole batch's* (trajectory, node) pairs
-        to per-(cluster, trajectory) minimum legs with a single lexsort +
-        grouped minimum, instead of per-node dictionary probes per call.
-        Produces exactly the same trajectory lists (values and insertion
-        order) as :meth:`_register_trajectory` called per trajectory.
-        """
-        cluster_of, round_trip_of = instance.node_lookup_arrays(
-            self.network.num_nodes
-        )
-        all_nodes = np.concatenate(node_arrays)
-        positions = np.repeat(
-            np.arange(len(node_arrays)), [len(nodes) for nodes in node_arrays]
-        )
-        # node ids outside the network are unclustered, exactly as the
-        # sequential path's node_to_cluster.get(node) treats them — they must
-        # not wrap around (negative) or overflow the dense lookup arrays
-        in_range = (all_nodes >= 0) & (all_nodes < len(cluster_of))
-        cluster_ids = np.full(len(all_nodes), -1, dtype=np.int64)
-        legs = np.full(len(all_nodes), np.inf, dtype=np.float64)
-        cluster_ids[in_range] = cluster_of[all_nodes[in_range]]
-        legs[in_range] = round_trip_of[all_nodes[in_range]]
-        valid = (cluster_ids >= 0) & np.isfinite(legs)
-        cluster_ids, legs, positions = cluster_ids[valid], legs[valid], positions[valid]
-        if len(cluster_ids) == 0:
-            return
-        # group by (cluster, batch position): position-minor order reproduces
-        # the insertion order of the sequential per-trajectory registration
-        order = np.lexsort((positions, cluster_ids))
-        cluster_ids, legs, positions = (
-            cluster_ids[order],
-            legs[order],
-            positions[order],
-        )
-        boundary = np.r_[
-            True,
-            (cluster_ids[1:] != cluster_ids[:-1]) | (positions[1:] != positions[:-1]),
-        ]
-        starts = np.flatnonzero(boundary)
-        min_legs = np.minimum.reduceat(legs, starts)
-        clusters = instance.clusters
-        traj_ids = [trajectory.traj_id for trajectory in trajectories]
-        for cluster_id, position, leg in zip(
-            cluster_ids[starts].tolist(), positions[starts].tolist(), min_legs.tolist()
-        ):
-            clusters[cluster_id].trajectory_list[traj_ids[position]] = leg
 
     def _shortest_path_engine(self) -> ShortestPathEngine:
         """The shared shortest-path engine (built once, reused by updates)."""

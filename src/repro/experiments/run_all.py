@@ -121,6 +121,10 @@ def _run_table11(scale: str, seed: int, context) -> None:
         table11_index_construction.run(context=context),
         title="Table 11 — index construction details",
     )
+    stages = table11_index_construction.stage_rows(context)
+    if stages:
+        print()
+        print_table(stages, title="Table 11b — offline phase by pipeline stage")
 
 
 def _run_table12(scale: str, seed: int, context) -> None:
@@ -182,6 +186,13 @@ def main(argv: list[str] | None = None) -> None:
         "present (fingerprint-checked), built and saved otherwise — skips "
         "the offline phase on repeat runs",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the NetClus offline phase (per-instance "
+        "clustering fan-out; the built index is identical to --workers 1)",
+    )
     args = parser.parse_args(argv)
 
     selected = args.only if args.only else list(EXPERIMENTS)
@@ -198,6 +209,7 @@ def main(argv: list[str] | None = None) -> None:
         seed=args.seed,
         engine=args.engine,
         index_path=args.index_cache,
+        workers=args.workers,
     )
     for name in selected:
         description, runner = EXPERIMENTS[name]

@@ -172,12 +172,17 @@ def build_context(
     bundle: DatasetBundle | None = None,
     engine: str = "dense",
     index_path: str | Path | None = None,
+    workers: int = 1,
 ) -> ExperimentContext:
     """Build an :class:`ExperimentContext` (Beijing-like by default).
 
     ``engine`` selects the coverage + greedy engine for every driver that
     goes through the context: ``"dense"`` (the paper's matrices) or
     ``"sparse"`` (CSR/CSC coverage with CELF lazy greedy).
+
+    ``workers`` parallelises the NetClus offline phase over a process pool
+    (per-instance clustering); the built index is identical to a
+    sequential build, only faster on multi-core machines.
 
     ``index_path`` persists the NetClus index across runs: when the
     directory holds a saved index it is loaded instead of rebuilt (the
@@ -223,6 +228,7 @@ def build_context(
             tau_min_km=tau_min_km,
             tau_max_km=tau_max_km,
             num_sketches=num_sketches,
+            workers=workers,
         )
         if index_path is not None:
             save_index(netclus, index_path, dataset=bundle.trajectories)

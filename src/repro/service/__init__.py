@@ -16,7 +16,10 @@ in-memory :class:`~repro.core.netclus.NetClusIndex` into a service:
   owning a loaded (or lazily built) index: ``batch_query`` with shared-work
   amortisation across same-(τ, ψ) specs, an LRU result cache that
   auto-invalidates off :attr:`NetClusIndex.version` when the index is
-  mutated, and warm-start reuse of one greedy run across k values.
+  mutated, and warm-start reuse of one greedy run across k values.  The
+  service is safe for concurrent callers: queries share a readers-writer
+  lock, :meth:`PlacementService.apply_updates` mutates exclusively, and
+  the cache/counters are mutex-guarded.
 * ``python -m repro.service`` — the ``build`` / ``query`` / ``update`` /
   ``inspect`` CLI.
 
@@ -32,6 +35,7 @@ from repro.service.serialization import (
     graph_fingerprint,
     load_index,
     load_manifest,
+    payload_digest,
     save_index,
     trajectory_fingerprint,
 )
@@ -46,6 +50,7 @@ __all__ = [
     "load_manifest",
     "graph_fingerprint",
     "trajectory_fingerprint",
+    "payload_digest",
     "FORMAT_VERSION",
     "SUPPORTED_FORMAT_VERSIONS",
     "IndexFormatError",

@@ -87,8 +87,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
         tau_min_km=args.tau_min,
         tau_max_km=args.tau_max,
         max_instances=args.max_instances,
+        representative_strategy=args.representative_strategy,
+        workers=args.workers,
     )
     directory = save_index(index, args.out, dataset=bundle.trajectories)
+    for stat in index.build_stats:
+        workers = f" ({stat.workers} workers)" if stat.workers > 1 else ""
+        print(f"  stage {stat.stage:<16} {stat.seconds:7.2f}s{workers}")
     print(
         f"Saved {index.num_instances} instances "
         f"({index.storage_bytes() / 1e6:.2f} MB payload estimate, built in "
@@ -250,6 +255,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         f"build params     : gamma={params['gamma']}, "
         f"tau=[{params['tau_min_km']}, {params['tau_max_km']}] km"
     )
+    max_instances = params.get("max_instances")
+    print(
+        f"representatives  : {params.get('representative_strategy', 'closest')}, "
+        f"instance cap "
+        f"{'none (full ladder)' if max_instances is None else max_instances}"
+    )
     print(
         f"size             : {manifest['num_instances']} instances, "
         f"{manifest['num_trajectories']} trajectories, "
@@ -262,6 +273,17 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"graph sha256     : {prints['graph'][:16]}…")
     print(f"trajectories sha : {prints['trajectories'][:16]}…")
     print(f"payload sha256   : {prints['payload_sha256'][:16]}…")
+    build_stats = manifest.get("build_stats", [])
+    if build_stats:
+        print()
+        print("offline pipeline :")
+        for stat in build_stats:
+            workers = (
+                f" ({stat.get('workers', 1)} workers)"
+                if stat.get("workers", 1) > 1
+                else ""
+            )
+            print(f"  {stat['stage']:<16} {stat['seconds']:7.2f}s{workers}")
     print()
     header = (
         f"{'inst':>4} {'radius_km':>10} {'tau range (km)':>18} "
@@ -307,6 +329,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     build.add_argument("--tau-max", type=float, default=8.0, help="τ_max in km")
     build.add_argument(
         "--max-instances", type=int, default=None, help="cap the instance ladder"
+    )
+    build.add_argument(
+        "--representative-strategy",
+        default="closest",
+        choices=["closest", "most_frequent"],
+        help="how clusters elect their representative site: nearest to the "
+        "center (the paper's choice) or most visited by trajectories",
+    )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the offline phase (per-instance clustering "
+        "fan-out; the built index is identical to --workers 1)",
     )
     build.add_argument("--out", required=True, help="output index directory")
     build.set_defaults(func=_cmd_build)

@@ -23,11 +23,21 @@ shared work:
 ``stats`` counts every resolution/build/run and every cache hit, which is
 both the service's observability surface and how the batch-amortisation
 contract is asserted in the test suite.
+
+The service is **safe for concurrent callers**: ``batch_query`` runs under
+a shared readers-writer lock (many batches in parallel), dynamic updates
+go through :meth:`PlacementService.apply_updates` which takes the lock
+exclusively — so a reader always observes either the pre- or the
+post-update index, never a half-applied batch — and the LRU cache and
+counters are mutex-guarded.  The lazy index build runs at most once no
+matter how many threads race the first query.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -35,7 +45,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.greedy import IncGreedy, LazyGreedy
-from repro.core.netclus import ClusteredCoverage, NetClusIndex
+from repro.core.netclus import ClusteredCoverage, NetClusIndex, UpdateBatch
 from repro.core.preference import is_registered
 from repro.core.query import TOPSQuery, TOPSResult
 from repro.core.variants import solve_tops_cost
@@ -49,9 +59,61 @@ from repro.utils.validation import require
 __all__ = ["PlacementService", "ServiceStats"]
 
 
+class _ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    exclusively.  Arriving writers block new readers (no writer
+    starvation), which matches the service's profile — many concurrent
+    ``batch_query`` readers, occasional ``apply_updates`` writers.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self):
+        """Hold the lock as one of possibly many concurrent readers."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        """Hold the lock exclusively (no readers, no other writer)."""
+        with self._condition:
+            self._writers_waiting += 1
+            while self._writer_active or self._active_readers:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+
 @dataclass
 class ServiceStats:
-    """Work counters of a :class:`PlacementService` (monotonic until reset)."""
+    """Work counters of a :class:`PlacementService` (monotonic until reset).
+
+    Increments go through :meth:`bump`, which serialises concurrent
+    counting — the counters stay exact under parallel ``batch_query``
+    callers.
+    """
 
     queries_served: int = 0
     cache_hits: int = 0
@@ -60,6 +122,15 @@ class ServiceStats:
     coverage_builds: int = 0
     greedy_runs: int = 0
     index_builds: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **counts: int) -> None:
+        """Atomically add the given amounts to the named counters."""
+        with self._lock:
+            for name, amount in counts.items():
+                setattr(self, name, getattr(self, name) + amount)
 
     def as_dict(self) -> dict[str, int]:
         """The counters as a plain dict (reporting/CLI)."""
@@ -139,6 +210,13 @@ class PlacementService:
         self._cache: OrderedDict[QuerySpec, TOPSResult] = OrderedDict()
         self._cache_version: int | None = None
         self.stats = ServiceStats()
+        # concurrency: readers (batch_query) share the index lock, writers
+        # (apply_updates) take it exclusively; the cache has its own mutex
+        # (it mutates on reads too — LRU recency), and the lazy index build
+        # runs at most once behind its own lock
+        self._index_lock = _ReadWriteLock()
+        self._cache_lock = threading.RLock()
+        self._build_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # construction / persistence
@@ -188,10 +266,17 @@ class PlacementService:
 
     @property
     def index(self) -> NetClusIndex:
-        """The underlying NetClus index (building it now if lazy)."""
+        """The underlying NetClus index (building it now if lazy).
+
+        The lazy build is serialised: concurrent first-time callers block
+        until one of them has built the index, which every caller then
+        shares (``stats.index_builds`` stays 1).
+        """
         if self._index is None:
-            self._index = self._builder()
-            self.stats.index_builds += 1
+            with self._build_lock:
+                if self._index is None:
+                    self._index = self._builder()
+                    self.stats.bump(index_builds=1)
         return self._index
 
     def save(self, path: str | Path, dataset: TrajectoryDataset | None = None) -> Path:
@@ -199,9 +284,40 @@ class PlacementService:
 
         Pass the *dataset* the index was built on to additionally record a
         trajectory-content fingerprint in the manifest (see
-        :func:`~repro.service.serialization.save_index`).
+        :func:`~repro.service.serialization.save_index`).  Takes the index
+        read lock, so a save never captures a mid-update index.
         """
-        return save_index(self.index, path, dataset=dataset)
+        index = self.index
+        with self._index_lock.read_locked():
+            return save_index(index, path, dataset=dataset)
+
+    # ------------------------------------------------------------------ #
+    # dynamic updates
+    # ------------------------------------------------------------------ #
+    def apply_updates(self, batch: UpdateBatch) -> int:
+        """Apply an :class:`~repro.core.netclus.UpdateBatch` to the index.
+
+        The concurrency-safe mutation surface of the service: the batch is
+        applied under the exclusive index lock, so in-flight
+        ``batch_query`` calls finish against the pre-update index and
+        every call starting afterwards sees the fully updated one —
+        readers can never observe a half-applied batch.  The result cache
+        is dropped in the same critical section.  Returns the number of
+        update items applied.
+
+        Mutating through ``service.index.apply_updates(...)`` directly
+        remains *correct* for the cache (it is version-stamped) but
+        bypasses the locking — concurrent readers may then race the
+        mutation.  Multi-threaded deployments should mutate only through
+        this method.
+        """
+        index = self.index
+        with self._index_lock.write_locked():
+            applied = index.apply_updates(batch)
+            with self._cache_lock:
+                self._cache.clear()
+                self._cache_version = index.version
+        return applied
 
     def invalidate_cache(self) -> None:
         """Drop every cached result (manual override).
@@ -211,20 +327,23 @@ class PlacementService:
         as soon as a query observes a mutated index.  The method remains
         for callers that want to force a drop (e.g. to free memory).
         """
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
 
     def _sync_cache_version(self) -> None:
         """Drop the cache if the index was mutated since it was populated."""
         if self._index is None:
             return
-        if self._cache and self._cache_version != self._index.version:
-            self._cache.clear()
-        self._cache_version = self._index.version
+        with self._cache_lock:
+            if self._cache and self._cache_version != self._index.version:
+                self._cache.clear()
+            self._cache_version = self._index.version
 
     @property
     def cache_len(self) -> int:
         """Number of results currently cached."""
-        return len(self._cache)
+        with self._cache_lock:
+            return len(self._cache)
 
     # ------------------------------------------------------------------ #
     # querying
@@ -256,44 +375,55 @@ class PlacementService:
         as a serialisable spec; it is answered directly via ``index.query``
         with the original ψ object: correct, but outside the cache and the
         batch amortisation.
+
+        ``batch_query`` is safe to call from many threads at once: the
+        whole batch is served under the shared index read lock, so every
+        member sees one consistent index-version snapshot — a concurrent
+        :meth:`apply_updates` waits for in-flight batches and is observed
+        only by batches starting after it, never mid-batch.
         """
-        self.stats.queries_served += len(specs)
-        self._sync_cache_version()
-        results: list[TOPSResult | None] = [None] * len(specs)
-        resolved: list[QuerySpec | None] = [None] * len(specs)
-        for position, spec in enumerate(specs):
-            if isinstance(spec, TOPSQuery) and not is_registered(spec.preference):
-                # unregistered ψ: answer outside the spec machinery
-                results[position] = self.index.query(spec, engine=self.engine)
-                self.stats.instance_resolutions += 1
-                self.stats.coverage_builds += 1
-                self.stats.greedy_runs += 1
-            else:
-                resolved[position] = self._coerce(spec)
-
-        pending: list[int] = []
-        for position, spec in enumerate(resolved):
-            if spec is None:
-                continue
-            if use_cache and spec in self._cache:
-                self._cache.move_to_end(spec)
-                self.stats.cache_hits += 1
-                results[position] = self._cache[spec]
-            else:
-                if use_cache:
-                    self.stats.cache_misses += 1
-                pending.append(position)
-
-        groups = self._prepare_groups(resolved, pending)
-        for group in groups.values():
-            self._answer_group(resolved, group, results)
-
-        if use_cache and self.cache_size > 0:
-            # stamp the entries stored below with the version they were
-            # computed at (the index may have been built lazily mid-batch)
+        self.stats.bump(queries_served=len(specs))
+        index = self.index  # resolve the lazy build outside the read lock
+        with self._index_lock.read_locked():
             self._sync_cache_version()
-            for position in pending:
-                self._cache_store(resolved[position], results[position])
+            results: list[TOPSResult | None] = [None] * len(specs)
+            resolved: list[QuerySpec | None] = [None] * len(specs)
+            for position, spec in enumerate(specs):
+                if isinstance(spec, TOPSQuery) and not is_registered(spec.preference):
+                    # unregistered ψ: answer outside the spec machinery
+                    results[position] = index.query(spec, engine=self.engine)
+                    self.stats.bump(
+                        instance_resolutions=1, coverage_builds=1, greedy_runs=1
+                    )
+                else:
+                    resolved[position] = self._coerce(spec)
+
+            pending: list[int] = []
+            with self._cache_lock:
+                for position, spec in enumerate(resolved):
+                    if spec is None:
+                        continue
+                    if use_cache and spec in self._cache:
+                        self._cache.move_to_end(spec)
+                        self.stats.bump(cache_hits=1)
+                        results[position] = self._cache[spec]
+                    else:
+                        if use_cache:
+                            self.stats.bump(cache_misses=1)
+                        pending.append(position)
+
+            groups = self._prepare_groups(resolved, pending)
+            for group in groups.values():
+                self._answer_group(resolved, group, results)
+
+            if use_cache and self.cache_size > 0:
+                # stamp the entries stored below with the version they were
+                # computed at; under the read lock the version cannot move,
+                # so the stamp and the computed results always agree
+                self._sync_cache_version()
+                with self._cache_lock:
+                    for position in pending:
+                        self._cache_store(resolved[position], results[position])
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
@@ -324,7 +454,7 @@ class PlacementService:
             if key not in groups:
                 if spec.tau_km not in instances:
                     instances[spec.tau_km] = self.index.instance_for(spec.tau_km)
-                    self.stats.instance_resolutions += 1
+                    self.stats.bump(instance_resolutions=1)
                 with Timer() as timer:
                     prepared = self.index.prepare_coverage(
                         spec.tau_km,
@@ -332,7 +462,7 @@ class PlacementService:
                         engine=self.engine,
                         instance=instances[spec.tau_km],
                     )
-                self.stats.coverage_builds += 1
+                self.stats.bump(coverage_builds=1)
                 groups[key] = _PreparedGroup(prepared=prepared, build_seconds=timer.elapsed)
             groups[key].members.append(position)
         return groups
@@ -387,7 +517,7 @@ class PlacementService:
             columns, utilities, gains = greedy.select(
                 lead.k, existing_columns=existing_columns, capacities=capacities
             )
-        self.stats.greedy_runs += 1
+        self.stats.bump(greedy_runs=1)
         for position in positions:
             spec = resolved[position]
             prefix = columns[: spec.k]
@@ -411,7 +541,7 @@ class PlacementService:
         coverage = group.prepared.coverage
         costs = np.full(coverage.num_sites, float(spec.site_cost))
         result = solve_tops_cost(coverage, spec.budget, costs)
-        self.stats.greedy_runs += 1
+        self.stats.bump(greedy_runs=1)
         metadata = dict(result.metadata)
         metadata.update(self._group_metadata(group))
         return TOPSResult(

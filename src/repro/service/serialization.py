@@ -8,9 +8,11 @@ An index directory holds exactly two files:
   flattened CSR-style form (see ``docs/index-format.md`` for the full key
   listing).
 * ``manifest.json`` — human-readable metadata: format version, build
-  parameters (γ, τ_min, τ_max), the index's dynamic-update ``version``
-  counter, per-instance statistics, and three fingerprints — the SHA-256 of
-  the payload file, of the road network, and of the trajectory registry.
+  parameters (γ, τ_min, τ_max, representative strategy, instance cap), the
+  index's dynamic-update ``version`` counter, the staged build pipeline's
+  per-stage :class:`~repro.core.build.BuildStats` records, per-instance
+  statistics, and three fingerprints — the SHA-256 of the payload file, of
+  the road network, and of the trajectory registry.
 
 Loading refuses to proceed on any fingerprint or version mismatch
 (:class:`IndexFormatError`), so a stale or corrupted index can never silently
@@ -40,6 +42,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.build import BuildStats
 from repro.core.netclus import NetClusCluster, NetClusIndex, NetClusInstance
 from repro.network.graph import RoadNetwork
 from repro.trajectory.model import TrajectoryDataset
@@ -55,6 +58,7 @@ __all__ = [
     "graph_fingerprint",
     "trajectory_fingerprint",
     "dataset_fingerprint",
+    "payload_digest",
 ]
 
 #: the version written by :func:`save_index`; bump on any layout change
@@ -65,6 +69,10 @@ SUPPORTED_FORMAT_VERSIONS = (1, 2)
 FORMAT_NAME = "netclus-index"
 MANIFEST_FILE = "manifest.json"
 PAYLOAD_FILE = "payload.npz"
+#: index of the ``build_seconds`` entry inside each ``i<id>_meta`` payload
+#: array — the one slot timing-insensitive comparisons zero out (see
+#: :func:`payload_digest` and ``tools/check_build_parity.py``)
+META_BUILD_SECONDS_SLOT = 2
 
 
 class IndexFormatError(RuntimeError):
@@ -183,12 +191,7 @@ def save_index(
     if dataset is not None:
         trajectory_content = dataset_fingerprint(dataset)
     directory.mkdir(parents=True, exist_ok=True)
-    payload = _network_arrays(index.network)
-    payload["sites"] = np.asarray(sorted(index.sites), dtype=np.int64)
-    payload["trajectory_ids"] = np.asarray(index.trajectory_ids, dtype=np.int64)
-    payload.update(_visit_arrays(index))
-    for instance in index.instances:
-        payload.update(_instance_arrays(instance))
+    payload = _payload_arrays(index)
     payload_path = directory / PAYLOAD_FILE
     with open(payload_path, "wb") as handle:
         np.savez_compressed(handle, **payload)
@@ -201,8 +204,14 @@ def save_index(
             "tau_min_km": index.tau_min_km,
             "tau_max_km": index.tau_max_km,
             "representative_strategy": index.representative_strategy,
+            "max_instances": index.max_instances,
         },
         "index_version": index.version,
+        **(
+            {"build_stats": [stat.as_dict() for stat in index.build_stats]}
+            if index.build_stats
+            else {}
+        ),
         "num_instances": index.num_instances,
         "num_trajectories": index.num_trajectories,
         "num_sites": len(index.sites),
@@ -237,6 +246,42 @@ def save_index(
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return directory
+
+
+def _payload_arrays(index: NetClusIndex) -> dict[str, np.ndarray]:
+    """Every payload array of *index*, exactly as ``save_index`` writes them."""
+    payload = _network_arrays(index.network)
+    payload["sites"] = np.asarray(sorted(index.sites), dtype=np.int64)
+    payload["trajectory_ids"] = np.asarray(index.trajectory_ids, dtype=np.int64)
+    payload.update(_visit_arrays(index))
+    for instance in index.instances:
+        payload.update(_instance_arrays(instance))
+    return payload
+
+
+def payload_digest(index: NetClusIndex, include_timings: bool = True) -> str:
+    """Canonical SHA-256 over the serialized payload arrays of *index*.
+
+    Hashes every array ``save_index`` would write (key + raw bytes, in key
+    order) without touching the filesystem, so two indexes digest equally
+    iff their serialized payloads are byte-identical.  With
+    ``include_timings=False`` the per-instance ``build_seconds`` slot of
+    each ``i<id>_meta`` array is zeroed first — the one payload entry that
+    legitimately differs between two builds of the same data (e.g. the
+    ``workers=1`` vs ``workers=N`` parity check).
+    """
+    arrays = _payload_arrays(index)
+    if not include_timings:
+        for key, value in arrays.items():
+            if key.endswith("_meta"):
+                value = value.copy()
+                value[META_BUILD_SECONDS_SLOT] = 0.0
+                arrays[key] = value
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        digest.update(key.encode())
+        digest.update(np.ascontiguousarray(arrays[key]).tobytes())
+    return digest.hexdigest()
 
 
 def _network_arrays(network: RoadNetwork) -> dict[str, np.ndarray]:
@@ -466,6 +511,14 @@ def load_index(
         version=int(manifest.get("index_version", 0)),
         node_visit_counts=node_visit_counts,
         trajectory_nodes=trajectory_nodes,
+        build_stats=[
+            BuildStats.from_dict(entry) for entry in manifest.get("build_stats", [])
+        ],
+        max_instances=(
+            int(params["max_instances"])
+            if params.get("max_instances") is not None
+            else None
+        ),
     )
 
 

@@ -1,0 +1,180 @@
+"""Concurrency tests for :class:`PlacementService`.
+
+The service contract under parallel callers:
+
+* ``batch_query`` may run from many threads at once;
+* dynamic updates through :meth:`PlacementService.apply_updates` are
+  exclusive — a reader observes either the pre- or the post-update index,
+  never a mix, and the result cache can never serve a pre-update answer
+  to a post-update query (no stale-cache reads);
+* the lazy index build happens exactly once however many threads race it.
+
+The hammer test drives both sides at once and checks every observed
+result against the two legitimate index states, which it computes up
+front from deep copies.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.netclus import NetClusIndex, UpdateBatch
+from repro.datasets import beijing_like
+from repro.service.placement import PlacementService
+from repro.service.specs import QuerySpec
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return beijing_like(scale="tiny", seed=42)
+
+
+@pytest.fixture(scope="module")
+def base_index(bundle):
+    return NetClusIndex.build(
+        bundle.network, bundle.trajectories, bundle.sites, tau_max_km=4.0
+    )
+
+
+SPECS = [
+    QuerySpec(k=3, tau_km=0.8),
+    QuerySpec(k=5, tau_km=0.8),
+    QuerySpec(k=4, tau_km=1.6),
+]
+
+
+def _expected_answers(index: NetClusIndex, batch: UpdateBatch | None):
+    """Reference results for every spec against a private index copy."""
+    private = copy.deepcopy(index)
+    if batch is not None:
+        private.apply_updates(batch)
+    service = PlacementService(private, engine="sparse", cache_size=0)
+    return [tuple(result.sites) for result in service.batch_query(SPECS)]
+
+
+def _update_batch_changing_selections(index: NetClusIndex) -> UpdateBatch:
+    """Removing the top pick of the k=3 query must change its selection."""
+    service = PlacementService(copy.deepcopy(index), engine="sparse")
+    top_site = service.batch_query([SPECS[0]])[0].sites[0]
+    return UpdateBatch(remove_sites=(int(top_site),))
+
+
+class TestQueryUpdateHammer:
+    def test_no_stale_or_torn_reads(self, base_index):
+        index = copy.deepcopy(base_index)
+        batch = _update_batch_changing_selections(index)
+        expected_before = _expected_answers(index, None)
+        expected_after = _expected_answers(index, batch)
+        assert expected_before != expected_after, "update must change selections"
+
+        service = PlacementService(index, engine="sparse", cache_size=64)
+        update_done_at: list[float] = []
+        failures: list[str] = []
+        start_barrier = threading.Barrier(9)
+
+        def reader(worker_id: int) -> None:
+            start_barrier.wait()
+            for iteration in range(12):
+                started = time.monotonic()
+                sites = [
+                    tuple(result.sites) for result in service.batch_query(SPECS)
+                ]
+                if sites not in (expected_before, expected_after):
+                    failures.append(
+                        f"reader {worker_id} iter {iteration}: torn result {sites}"
+                    )
+                if (
+                    update_done_at
+                    and started > update_done_at[0]
+                    and sites != expected_after
+                ):
+                    failures.append(
+                        f"reader {worker_id} iter {iteration}: stale post-update read"
+                    )
+
+        def writer() -> None:
+            start_barrier.wait()
+            time.sleep(0.01)  # let readers populate and hit the cache first
+            service.apply_updates(batch)
+            update_done_at.append(time.monotonic())
+
+        with ThreadPoolExecutor(max_workers=9) as pool:
+            futures = [pool.submit(reader, worker_id) for worker_id in range(8)]
+            futures.append(pool.submit(writer))
+            for future in futures:
+                future.result()
+
+        assert not failures, failures
+        assert update_done_at, "the writer must have run"
+        # the post-update queries repopulated the cache with fresh answers
+        final = [tuple(result.sites) for result in service.batch_query(SPECS)]
+        assert final == expected_after
+
+    def test_apply_updates_returns_item_count_and_bumps_version(self, base_index):
+        index = copy.deepcopy(base_index)
+        service = PlacementService(index, engine="sparse")
+        before = index.version
+        site = sorted(index.sites)[-1]
+        applied = service.apply_updates(UpdateBatch(remove_sites=(site,)))
+        assert applied == 1
+        assert index.version == before + 1
+
+    def test_cache_dropped_inside_update_critical_section(self, base_index):
+        service = PlacementService(copy.deepcopy(base_index), engine="sparse")
+        service.batch_query(SPECS)
+        assert service.cache_len == len(SPECS)
+        batch = UpdateBatch(remove_sites=(sorted(service.index.sites)[0],))
+        service.apply_updates(batch)
+        assert service.cache_len == 0
+
+
+class TestConcurrentCacheAndBuild:
+    def test_lazy_build_runs_exactly_once(self, bundle):
+        built = []
+
+        def builder() -> NetClusIndex:
+            built.append(threading.get_ident())
+            return NetClusIndex.build(
+                bundle.network, bundle.trajectories, bundle.sites, tau_max_km=2.0,
+                max_instances=2,
+            )
+
+        service = PlacementService(builder=builder, engine="sparse")
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(
+                    lambda _: service.query(SPECS[0]).sites, range(6)
+                )
+            )
+        assert len(built) == 1
+        assert service.stats.index_builds == 1
+        assert len(set(results)) == 1
+
+    def test_parallel_readers_share_consistent_cache(self, base_index):
+        service = PlacementService(copy.deepcopy(base_index), engine="sparse")
+        reference = tuple(service.query(SPECS[1]).sites)
+
+        def read(_: int):
+            return tuple(service.query(SPECS[1]).sites)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(read, range(64)))
+        assert set(results) == {reference}
+        stats = service.stats
+        # every query either hit the cache or recomputed the same answer
+        assert stats.cache_hits + stats.cache_misses == stats.queries_served
+
+    def test_counter_bumps_are_atomic(self, base_index):
+        service = PlacementService(copy.deepcopy(base_index), engine="sparse")
+
+        def hammer(_: int) -> None:
+            service.stats.bump(queries_served=1)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(500)))
+        assert service.stats.queries_served == 500

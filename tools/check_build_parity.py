@@ -1,0 +1,96 @@
+"""CI gate: a parallel build must serialize byte-identically to a sequential one.
+
+Builds the NetClus index for the small Beijing-like workload twice —
+``workers=1`` (the exact sequential path) and ``workers=2`` (the
+multiprocessing fan-out) — and byte-compares the serialized payloads:
+
+* every payload array ``save_index`` writes is compared byte for byte
+  (via the canonical :func:`repro.service.serialization.payload_digest`,
+  with the per-instance ``build_seconds`` timing slots zeroed — the one
+  entry that legitimately differs between two builds of the same data);
+* both indexes are additionally saved to disk and their ``payload.npz``
+  entries re-loaded and compared, so the check covers the actual on-disk
+  writer, not just the in-memory flattening.
+
+Exits non-zero on any divergence.  Run from the repository root::
+
+    python tools/check_build_parity.py [--scale tiny|small|medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.netclus import NetClusIndex  # noqa: E402
+from repro.datasets import beijing_like  # noqa: E402
+from repro.service.serialization import (  # noqa: E402
+    META_BUILD_SECONDS_SLOT,
+    payload_digest,
+    save_index,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    bundle = beijing_like(scale=args.scale, seed=42)
+    print(f"Building {bundle.name} with workers=1 and workers={args.workers}...")
+    kwargs = dict(gamma=0.75, tau_min_km=0.4, tau_max_km=8.0)
+    sequential = NetClusIndex.build(
+        bundle.network, bundle.trajectories, bundle.sites, workers=1, **kwargs
+    )
+    parallel = NetClusIndex.build(
+        bundle.network,
+        bundle.trajectories,
+        bundle.sites,
+        workers=args.workers,
+        **kwargs,
+    )
+
+    digest_sequential = payload_digest(sequential, include_timings=False)
+    digest_parallel = payload_digest(parallel, include_timings=False)
+    if digest_sequential != digest_parallel:
+        print(
+            f"FAIL: payload digests diverge "
+            f"({digest_sequential[:16]} != {digest_parallel[:16]})"
+        )
+        return 1
+    print(f"payload digest   : {digest_sequential[:16]}… (identical)")
+
+    # second opinion through the real on-disk writer
+    with tempfile.TemporaryDirectory() as tmp:
+        sequential_dir = save_index(sequential, Path(tmp) / "sequential")
+        parallel_dir = save_index(parallel, Path(tmp) / "parallel")
+        with np.load(sequential_dir / "payload.npz") as left, np.load(
+            parallel_dir / "payload.npz"
+        ) as right:
+            if sorted(left.files) != sorted(right.files):
+                print("FAIL: payload key sets differ")
+                return 1
+            for key in left.files:
+                a, b = left[key], right[key]
+                if key.endswith("_meta"):
+                    a, b = a.copy(), b.copy()
+                    # build_seconds is timing, not state
+                    a[META_BUILD_SECONDS_SLOT] = b[META_BUILD_SECONDS_SLOT] = 0.0
+                if a.tobytes() != b.tobytes():
+                    print(f"FAIL: payload entry {key!r} differs")
+                    return 1
+    print(f"payload.npz      : {len(sequential.instances)} instances, all entries equal")
+    print("OK: parallel build is serialization-identical to the sequential path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
