@@ -10,12 +10,16 @@ pool.  The contract is twofold:
   (:func:`repro.service.serialization.payload_digest` with timings
   excluded), asserted here before any timing is reported;
 * **speedup** — on the medium scalability workload
-  (``beijing_like(scale="medium")``) a ``workers=4`` build should be ≥ 2×
+  (``beijing_like(scale="medium")``) a parallel build should be ≥ 2×
   faster wall-clock than ``workers=1`` — *given the cores to run on*.
-  The measurement is recorded in ``benchmarks/BENCH_parallel_build.json``
+  The worker count defaults to ``min(4, usable CPUs)`` (resolved through
+  :func:`repro.utils.parallel.resolve_workers`), so a two-core container
+  no longer oversubscribes a four-process pool onto two hyperthreads —
+  the configuration that honestly recorded a 0.82× "speedup".  The
+  measurement is recorded in ``benchmarks/BENCH_parallel_build.json``
   either way; the assertion engages only when the host offers at least
-  four usable CPUs (a shared two-hyperthread container cannot express a
-  four-way speedup no matter what the code does, and the recorded
+  four usable CPUs (a starved container cannot express a four-way
+  speedup no matter what the code does, and the recorded
   ``parallel_efficiency`` calibration shows why).
 
 ``test_parallel_build_smoke`` is the fast CI check (tiny workload,
@@ -29,7 +33,6 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing
-import os
 import time
 from pathlib import Path
 
@@ -39,6 +42,7 @@ from repro.datasets import beijing_like
 from repro.experiments.reporting import print_table
 from repro.experiments.runner import DEFAULT_TAU_RANGE
 from repro.service.serialization import payload_digest
+from repro.utils.parallel import capped_cpu_workers, resolve_workers, usable_cpu_count
 
 BENCH_JSON = Path(__file__).parent / "BENCH_parallel_build.json"
 
@@ -46,12 +50,9 @@ BENCH_JSON = Path(__file__).parent / "BENCH_parallel_build.json"
 TARGET_SPEEDUP = 2.0
 
 
-def _usable_cpus() -> int:
-    """CPUs this process may actually schedule on (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+def _default_workers() -> int:
+    """The benchmark's worker count: 4-way, never above the usable CPUs."""
+    return capped_cpu_workers(4)
 
 
 def _build(bundle, workers: int) -> tuple[NetClusIndex, float]:
@@ -134,7 +135,7 @@ def _compare_builds(bundle, workers: int, rounds: int = 3) -> dict:
         "workload": bundle.name,
         "num_instances": sequential_index.num_instances,
         "workers": workers,
-        "usable_cpus": _usable_cpus(),
+        "usable_cpus": usable_cpu_count(),
         "sequential_s": sequential_seconds,
         "parallel_s": parallel_seconds,
         "speedup": sequential_seconds / parallel_seconds,
@@ -156,12 +157,13 @@ def test_parallel_build_smoke(tiny_bundle):
 
 
 def test_parallel_build_medium(benchmark):
-    """workers=4 on the medium scalability workload; ≥ 2× given ≥ 4 CPUs."""
+    """min(4, usable-CPU) workers on the medium workload; ≥ 2× given ≥ 4 CPUs."""
     bundle = beijing_like(scale="medium", seed=42)
+    workers = _default_workers()
     row = benchmark.pedantic(
-        lambda: _compare_builds(bundle, workers=4), rounds=1, iterations=1
+        lambda: _compare_builds(bundle, workers=workers), rounds=1, iterations=1
     )
-    row["parallel_efficiency"] = _parallel_efficiency(4)
+    row["parallel_efficiency"] = _parallel_efficiency(workers)
     row["target_speedup"] = TARGET_SPEEDUP
     print()
     print_table([row], title="Parallel build — medium scalability workload")
@@ -180,16 +182,22 @@ def main(argv=None) -> int:
         action="store_true",
         help="tiny workload, workers=2, parity only (the CI configuration)",
     )
-    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--workers",
+        type=resolve_workers,
+        default=None,
+        help="pool size (default: min(4, usable CPUs); accepts 'auto')",
+    )
     args = parser.parse_args(argv)
+    workers = _default_workers() if args.workers is None else args.workers
     if args.smoke:
         bundle = beijing_like(scale="tiny", seed=42)
         row = _compare_builds(bundle, workers=2, rounds=1)
         print_table([row], title="Parallel build — smoke (tiny workload)")
     else:
         bundle = beijing_like(scale="medium", seed=42)
-        row = _compare_builds(bundle, workers=args.workers)
-        row["parallel_efficiency"] = _parallel_efficiency(args.workers)
+        row = _compare_builds(bundle, workers=workers)
+        row["parallel_efficiency"] = _parallel_efficiency(workers)
         row["target_speedup"] = TARGET_SPEEDUP
         print_table([row], title="Parallel build — medium scalability workload")
         BENCH_JSON.write_text(json.dumps(row, indent=2) + "\n")

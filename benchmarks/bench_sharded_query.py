@@ -1,0 +1,198 @@
+"""Benchmark — trajectory-sharded query path vs the single-shard baseline.
+
+The sharded query path (``repro.core.shards``) splits every coverage into
+S disjoint trajectory shards whose marginal-gain work a
+:class:`~repro.service.PlacementService` evaluates on a persistent worker
+pool (``query_workers``).  The contract is twofold:
+
+* **parity** — sharded answers are byte-identical to ``shards=1``: site
+  selections compare element-for-element and per-trajectory utility
+  vectors byte-compare equal.  Asserted here on every measured
+  configuration (and by ``tools/check_shard_parity.py`` in CI).
+* **speedup** — on the medium scalability workload a sharded service
+  should answer a query batch ≥ 2× faster than the unsharded baseline —
+  *given the cores to run on*.  The shard and worker counts default to
+  ``min(4, usable CPUs)``; the measurement is recorded in
+  ``benchmarks/BENCH_sharded_query.json`` either way, and the assertion
+  engages only when the host offers at least four usable CPUs (honest
+  sub-target numbers are recorded on starved hardware, like the
+  two-hyperthread CI container).
+
+``test_sharded_query_smoke`` is the fast CI check (tiny workload,
+shards=2 parity on both engines); running the module as a script
+(``python benchmarks/bench_sharded_query.py [--smoke]``) performs the
+same measurements without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import beijing_like
+from repro.experiments.reporting import print_table
+from repro.experiments.runner import DEFAULT_TAU_RANGE
+from repro.service.placement import PlacementService
+from repro.service.specs import QuerySpec
+from repro.utils.parallel import capped_cpu_workers, resolve_workers, usable_cpu_count
+
+BENCH_JSON = Path(__file__).parent / "BENCH_sharded_query.json"
+
+#: batch-query speedup the medium workload must reach on ≥ 4 usable CPUs
+TARGET_SPEEDUP = 2.0
+
+
+def _default_shards() -> int:
+    """Shard/worker count for the benchmark: 4-way, never above usable CPUs."""
+    return capped_cpu_workers(4)
+
+
+def _query_batch() -> list[QuerySpec]:
+    """A k-heavy batch at two τ, the shape a served index sees."""
+    return [
+        QuerySpec(k=20, tau_km=0.8),
+        QuerySpec(k=20, tau_km=0.8, preference="linear"),
+        QuerySpec(k=20, tau_km=1.6),
+    ]
+
+
+def _measure(index, engine: str, shards: int, workers, specs, repeats: int = 3):
+    """Best-of-*repeats* batch latency through one service configuration."""
+    service = PlacementService(
+        index, engine=engine, shards=shards, query_workers=workers
+    )
+    best_seconds = float("inf")
+    best_stage = {}
+    results = None
+    for _ in range(repeats):
+        service.stats.reset()
+        start = time.perf_counter()
+        results = service.batch_query(specs, use_cache=False)
+        elapsed = time.perf_counter() - start
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+            best_stage = service.stats.stage_seconds()
+    service.close()
+    return results, best_seconds, best_stage
+
+
+def _assert_parity(baseline, sharded, label: str) -> None:
+    """Sharded answers must byte-compare equal to the unsharded baseline."""
+    for want, got in zip(baseline, sharded):
+        assert got.sites == want.sites, (
+            f"{label}: selection diverged {got.sites} != {want.sites}"
+        )
+        assert (
+            np.asarray(got.per_trajectory_utility).tobytes()
+            == np.asarray(want.per_trajectory_utility).tobytes()
+        ), f"{label}: per-trajectory utilities diverged"
+
+
+def _compare(bundle, shards: int, workers, repeats: int = 3) -> dict:
+    """Measure shards=1 vs shards=S on both engines over one shared index."""
+    problem = bundle.problem()
+    index = problem.build_netclus_index(
+        gamma=0.75,
+        tau_min_km=DEFAULT_TAU_RANGE[0],
+        tau_max_km=DEFAULT_TAU_RANGE[1],
+    )
+    specs = _query_batch()
+    rows = []
+    for engine in ("sparse", "dense"):
+        baseline, baseline_seconds, baseline_stage = _measure(
+            index, engine, 1, 1, specs, repeats
+        )
+        sharded, sharded_seconds, sharded_stage = _measure(
+            index, engine, shards, workers, specs, repeats
+        )
+        _assert_parity(baseline, sharded, f"engine={engine} shards={shards}")
+        rows.append(
+            {
+                "engine": engine,
+                "shards": shards,
+                "unsharded_s": baseline_seconds,
+                "sharded_s": sharded_seconds,
+                "speedup": baseline_seconds / sharded_seconds,
+                "greedy_speedup": (
+                    baseline_stage["greedy_seconds"] / sharded_stage["greedy_seconds"]
+                    if sharded_stage.get("greedy_seconds")
+                    else 0.0
+                ),
+                "stage_seconds": {k: round(v, 4) for k, v in sharded_stage.items()},
+            }
+        )
+    return {
+        "workload": bundle.name,
+        "num_trajectories": bundle.num_trajectories,
+        "shards": shards,
+        "query_workers": resolve_workers(workers),
+        "usable_cpus": usable_cpu_count(),
+        "specs": [spec.to_dict() for spec in specs],
+        "rows": rows,
+        # headline number: the best total batch speedup across engines
+        "speedup": max(row["speedup"] for row in rows),
+        "target_speedup": TARGET_SPEEDUP,
+    }
+
+
+def test_sharded_query_smoke(tiny_bundle):
+    """Fast CI check: shards=2 parity on the tiny workload, both engines."""
+    record = _compare(tiny_bundle, shards=2, workers=2, repeats=1)
+    print()
+    print_table(record["rows"], title="Sharded query — smoke (tiny workload)")
+    # parity is asserted inside _compare; the tiny workload is too small
+    # (and CI hardware too variable) for a wall-clock assertion
+
+
+def test_sharded_query_medium(benchmark):
+    """min(4, usable-CPU) shards on the medium workload; ≥ 2× given ≥ 4 CPUs."""
+    bundle = beijing_like(scale="medium", seed=42)
+    shards = _default_shards()
+    record = benchmark.pedantic(
+        lambda: _compare(bundle, shards=shards, workers="auto"),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_table(record["rows"], title="Sharded query — medium scalability workload")
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    if record["usable_cpus"] >= 4:
+        assert record["speedup"] >= TARGET_SPEEDUP, record
+    else:  # not enough cores to express the speedup; parity still held
+        assert record["speedup"] > 0.0
+
+
+def main(argv=None) -> int:
+    """Script entry point: ``--smoke`` for the CI-sized run."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, shards=2, parity only (the CI configuration)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: min(4, usable CPUs))",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        bundle = beijing_like(scale="tiny", seed=42)
+        record = _compare(bundle, shards=args.shards or 2, workers=2, repeats=1)
+        print_table(record["rows"], title="Sharded query — smoke (tiny workload)")
+    else:
+        bundle = beijing_like(scale="medium", seed=42)
+        record = _compare(bundle, shards=args.shards or _default_shards(), workers="auto")
+        print_table(record["rows"], title="Sharded query — medium scalability workload")
+        BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"Recorded in {BENCH_JSON} (speedup {record['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

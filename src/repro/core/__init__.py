@@ -11,6 +11,7 @@ from repro.core.preference import (
 from repro.core.query import TOPSQuery, TOPSResult
 from repro.core.distances import DistanceOracle
 from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.shards import ShardedCoverage, shard_of
 from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.fm_greedy import FMGreedy
 from repro.core.optimal import OptimalSolver
@@ -38,6 +39,8 @@ __all__ = [
     "DistanceOracle",
     "CoverageIndex",
     "SparseCoverageIndex",
+    "ShardedCoverage",
+    "shard_of",
     "IncGreedy",
     "LazyGreedy",
     "FMGreedy",

@@ -57,6 +57,7 @@ from repro.core.netclus import (
 from repro.network.graph import RoadNetwork
 from repro.network.shortest_path import ShortestPathEngine
 from repro.trajectory.model import TrajectoryDataset
+from repro.utils.parallel import resolve_workers
 from repro.utils.timer import Timer
 from repro.utils.validation import require, require_positive
 
@@ -204,7 +205,7 @@ def build_index(
     gdsp_chunk_size: int = 512,
     max_instances: int | None = None,
     representative_strategy: str = "closest",
-    workers: int = 1,
+    workers: int | str = 1,
     mp_start_method: str | None = None,
 ) -> NetClusIndex:
     """Run the staged offline build pipeline; see the module docstring.
@@ -212,7 +213,9 @@ def build_index(
     Parameters mirror :meth:`NetClusIndex.build` (which delegates here).
     ``workers=1`` runs the exact sequential path; ``workers > 1`` fans the
     independent per-instance clustering (and neighbour sweeps) out over a
-    ``multiprocessing`` pool and produces an identical index.  A worker
+    ``multiprocessing`` pool and produces an identical index; ``"auto"``
+    resolves to the usable-CPU count
+    (:func:`repro.utils.parallel.resolve_workers`).  A worker
     that raises propagates its exception out of this function before any
     index object exists — a failed parallel build never yields a
     half-built index.
@@ -224,8 +227,7 @@ def build_index(
         representative_strategy in ("closest", "most_frequent"),
         "representative_strategy must be 'closest' or 'most_frequent'",
     )
-    require(int(workers) >= 1, "workers must be >= 1")
-    workers = int(workers)
+    workers = resolve_workers(workers)
     site_set = set(int(s) for s in sites)
     for site in site_set:
         require(network.has_node(site), f"site {site} is not a network node")

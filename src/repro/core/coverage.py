@@ -28,10 +28,17 @@ greedy solvers and the TOPS variant drivers:
 * ``marginal_gains(utilities)`` / ``marginal_gain(col, utilities, capacity)``;
 * ``absorb(utilities, col, capacity)`` — per-trajectory utilities after
   adding a site;
+* ``gain_updates(rows, old_values, new_values)`` — the incremental
+  greedy's per-site gain-decrease kernel when the given trajectories
+  improve from ``old`` to ``new`` utility;
 * ``utility_of`` / ``per_trajectory_utility`` / ``columns_for_labels``;
 * ``utilities_for_selection(columns, capacity, seed_columns)`` — replay a
   selection order (used by the placement service to answer every ``k' ≤ k``
   from a single greedy run at the largest ``k``).
+
+:class:`~repro.core.shards.ShardedCoverage` implements the same protocol
+over disjoint trajectory shards (one dense/sparse part each), which is how
+the distributed query path reuses the greedy solvers unchanged.
 """
 
 from __future__ import annotations
@@ -43,7 +50,32 @@ import numpy as np
 from repro.core.preference import PreferenceFunction
 from repro.utils.validation import require
 
-__all__ = ["CoverageIndex", "SparseCoverageIndex"]
+__all__ = ["CoverageIndex", "SparseCoverageIndex", "GAIN_RTOL", "tie_break_candidates"]
+
+#: relative tolerance under which two marginal gains (or site weights) are
+#: treated as tied.  Float summation is not associative, so the same
+#: mathematical gain computed by different engines — dense vs sparse, or a
+#: sharded coordinator summing per-shard partials in shard order — can
+#: differ in the last few ulps; without a tolerance those phantom
+#: differences would decide selections instead of the paper's documented
+#: (weight, then site) tie-break.  1e-9 is ~6 orders of magnitude above
+#: accumulated summation noise and far below any genuine gain gap.
+GAIN_RTOL = 1e-9
+
+
+def tie_break_candidates(values: np.ndarray) -> np.ndarray:
+    """Indices whose value ties the maximum within :data:`GAIN_RTOL`.
+
+    The shared "who is really the argmax" rule of every greedy selection
+    rule in the library: candidates within a relative tolerance of the
+    best value are all considered tied, and the caller applies its
+    deterministic tie-break (site weight / site index) to them.  Using one
+    rule everywhere is what makes selections identical across the dense,
+    sparse and sharded engines.
+    """
+    best = np.max(values)
+    tolerance = GAIN_RTOL * max(1.0, abs(float(best)))
+    return np.flatnonzero(values >= best - tolerance)
 
 
 class CoverageIndex:
@@ -149,8 +181,7 @@ class CoverageIndex:
 
     def columns_for_labels(self, labels: Sequence[int]) -> list[int]:
         """Map site labels (node ids) back to column indices."""
-        label_to_col = {int(label): idx for idx, label in enumerate(self.site_labels)}
-        return [label_to_col[int(label)] for label in labels]
+        return labels_to_columns(self.site_labels, labels)
 
     def storage_bytes(self) -> int:
         """Bytes held by the coverage structures (memory-footprint study)."""
@@ -191,6 +222,21 @@ class CoverageIndex:
             return np.maximum(utilities, column)
         return serve_top_capacity(utilities, slice(None), column, capacity)
 
+    def gain_updates(
+        self, rows: np.ndarray, old_values: np.ndarray, new_values: np.ndarray
+    ) -> np.ndarray:
+        """Per-site marginal-gain decrease when *rows* improve old → new.
+
+        For each site ``i`` the residual gain of trajectory ``j`` drops
+        from ``max(0, ψ_ji − old_j)`` to ``max(0, ψ_ji − new_j)``; the
+        returned vector is that drop summed over the given rows — the
+        update kernel of Algorithm 1's incremental strategy.
+        """
+        affected = self.scores[np.asarray(rows, dtype=np.int64), :]
+        old_alpha = np.maximum(affected - np.asarray(old_values)[:, np.newaxis], 0.0)
+        new_alpha = np.maximum(affected - np.asarray(new_values)[:, np.newaxis], 0.0)
+        return (old_alpha - new_alpha).sum(axis=0)
+
     def utilities_for_selection(
         self,
         columns: Sequence[int],
@@ -199,6 +245,18 @@ class CoverageIndex:
     ) -> np.ndarray:
         """Per-trajectory utilities after absorbing *columns* in order."""
         return replay_selection(self, columns, capacity, seed_columns)
+
+
+# ---------------------------------------------------------------------- #
+def labels_to_columns(site_labels: np.ndarray, labels: Sequence[int]) -> list[int]:
+    """Map site labels (node ids) back to column indices.
+
+    The shared implementation behind every coverage class's
+    ``columns_for_labels``; raises ``KeyError`` for a label the coverage
+    does not know.
+    """
+    label_to_col = {int(label): idx for idx, label in enumerate(site_labels)}
+    return [label_to_col[int(label)] for label in labels]
 
 
 # ---------------------------------------------------------------------- #
@@ -520,6 +578,38 @@ class SparseCoverageIndex:
             return updated
         return serve_top_capacity(utilities, rows, values, capacity)
 
+    def gain_updates(
+        self, rows: np.ndarray, old_values: np.ndarray, new_values: np.ndarray
+    ) -> np.ndarray:
+        """Per-site marginal-gain decrease when *rows* improve old → new.
+
+        Sparse counterpart of :meth:`CoverageIndex.gain_updates`: only the
+        stored (row, site) entries of the affected rows are touched, via
+        their CSR slices.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        old_values = np.asarray(old_values, dtype=np.float64)
+        new_values = np.asarray(new_values, dtype=np.float64)
+        starts = self._csr_indptr[rows]
+        stops = self._csr_indptr[rows + 1]
+        counts = stops - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(self.num_sites, dtype=np.float64)
+        # flatten the per-row CSR slices into one entry list
+        offsets = np.repeat(starts - np.r_[0, np.cumsum(counts)[:-1]], counts)
+        entry_indices = np.arange(total, dtype=np.int64) + offsets
+        entry_cols = self._csr_cols[entry_indices]
+        entry_scores = self._csr_data[entry_indices]
+        entry_old = np.repeat(old_values, counts)
+        entry_new = np.repeat(new_values, counts)
+        drop = np.maximum(entry_scores - entry_old, 0.0) - np.maximum(
+            entry_scores - entry_new, 0.0
+        )
+        return np.bincount(
+            entry_cols, weights=drop, minlength=self.num_sites
+        ).astype(np.float64)
+
     def utilities_for_selection(
         self,
         columns: Sequence[int],
@@ -544,8 +634,7 @@ class SparseCoverageIndex:
 
     def columns_for_labels(self, labels: Sequence[int]) -> list[int]:
         """Map site labels (node ids) back to column indices."""
-        label_to_col = {int(label): idx for idx, label in enumerate(self.site_labels)}
-        return [label_to_col[int(label)] for label in labels]
+        return labels_to_columns(self.site_labels, labels)
 
     def storage_bytes(self) -> int:
         """Bytes held by the sparse coverage structures."""

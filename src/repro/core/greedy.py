@@ -17,13 +17,16 @@ are provided:
   the ``k·n`` gains the other strategies touch.
 
 All strategies return identical selections (ties broken by site weight, then
-by the larger site label, per the paper).  The incremental/recompute
-strategies need a dense :class:`~repro.core.coverage.CoverageIndex`;
-``"lazy"`` additionally runs on a
-:class:`~repro.core.coverage.SparseCoverageIndex`, which is the fast path
-for realistic (sparse) coverage.  The class also supports an initial seed of
-*existing services* (Section 7.3) and per-site capacities (used by the
-TOPS-CAPACITY driver in ``repro.core.variants``).
+by the larger site label, per the paper).  Every strategy runs purely
+through the *coverage protocol* (``marginal_gains`` / ``site_column`` /
+``absorb`` / ``gain_updates``), so the same solvers drive a dense
+:class:`~repro.core.coverage.CoverageIndex`, a
+:class:`~repro.core.coverage.SparseCoverageIndex` (``"lazy"`` only — the
+fast path for realistic coverage), and a trajectory-sharded
+:class:`~repro.core.shards.ShardedCoverage`, whose gain coordinator sums
+per-shard marginal-gain vectors with identical selections.  The class also
+supports an initial seed of *existing services* (Section 7.3) and per-site
+capacities (used by the TOPS-CAPACITY driver in ``repro.core.variants``).
 """
 
 from __future__ import annotations
@@ -33,7 +36,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.coverage import CoverageIndex, SparseCoverageIndex, serve_top_capacity
+from repro.core.coverage import (
+    GAIN_RTOL,
+    CoverageIndex,
+    SparseCoverageIndex,
+    tie_break_candidates,
+)
 from repro.core.query import TOPSQuery, TOPSResult
 from repro.utils.timer import Timer
 from repro.utils.validation import require
@@ -108,11 +116,9 @@ class IncGreedy:
             return LazyGreedy(self.coverage).select(
                 k, existing_columns=existing_columns, capacities=capacities
             )
-        scores = self.coverage.scores
-        num_trajectories, num_sites = scores.shape
-        utilities = np.zeros(num_trajectories, dtype=np.float64)
+        utilities = np.zeros(self.coverage.num_trajectories, dtype=np.float64)
         if existing_columns:
-            utilities = np.max(scores[:, list(existing_columns)], axis=1)
+            utilities = self.coverage.per_trajectory_utility(list(existing_columns))
         forbidden = set(int(c) for c in existing_columns)
 
         if self.update_strategy == "recompute" or capacities is not None:
@@ -127,17 +133,21 @@ class IncGreedy:
         forbidden: set[int],
         capacities: np.ndarray | None,
     ) -> tuple[list[int], np.ndarray, list[float]]:
-        scores = self.coverage.scores
-        weights = self.coverage.site_weights
-        num_sites = scores.shape[1]
+        coverage = self.coverage
+        weights = coverage.site_weights
+        num_sites = coverage.num_sites
         selected: list[int] = []
         gains: list[float] = []
         for _ in range(min(k, num_sites - len(forbidden))):
-            residual = np.maximum(scores - utilities[:, np.newaxis], 0.0)
             if capacities is None:
-                marginal = residual.sum(axis=0)
+                marginal = coverage.marginal_gains(utilities)
             else:
-                marginal = _capacity_limited_marginals(residual, capacities)
+                marginal = np.asarray(
+                    [
+                        coverage.marginal_gain(col, utilities, int(capacities[col]))
+                        for col in range(num_sites)
+                    ]
+                )
             if forbidden:
                 marginal[list(forbidden)] = -np.inf
             best = _argmax_with_tie_break(marginal, weights)
@@ -146,12 +156,8 @@ class IncGreedy:
             selected.append(int(best))
             forbidden.add(int(best))
             gains.append(float(marginal[best]))
-            if capacities is None:
-                utilities = np.maximum(utilities, scores[:, best])
-            else:
-                utilities = _apply_capacity_assignment(
-                    utilities, scores[:, best], int(capacities[best])
-                )
+            capacity = None if capacities is None else int(capacities[best])
+            utilities = coverage.absorb(utilities, int(best), capacity)
         return selected, utilities, gains
 
     # ------------------------------------------------------------------ #
@@ -163,13 +169,17 @@ class IncGreedy:
         ``alpha[j, i] = max(0, ψ(T_j, s_i) − U_j)`` is represented by the
         current ``utilities`` vector; per-site marginal utilities are kept in
         ``marginal`` and decremented when a covered trajectory's utility
-        improves.
+        improves.  Runs entirely through the coverage protocol
+        (``marginal_gains`` / ``site_column`` / ``gain_updates``), so the
+        same loop drives a plain dense index and a trajectory-sharded one
+        (:class:`~repro.core.shards.ShardedCoverage` coordinates the
+        per-shard evaluation).
         """
-        scores = self.coverage.scores
-        weights = self.coverage.site_weights
-        num_trajectories, num_sites = scores.shape
+        coverage = self.coverage
+        weights = coverage.site_weights
+        num_sites = coverage.num_sites
         # U_1(s_i) = w_i adjusted for any existing-service seed utilities
-        marginal = np.maximum(scores - utilities[:, np.newaxis], 0.0).sum(axis=0)
+        marginal = coverage.marginal_gains(utilities)
         selected: list[int] = []
         gains: list[float] = []
         for _ in range(min(k, num_sites - len(forbidden))):
@@ -183,23 +193,19 @@ class IncGreedy:
             selected.append(int(best))
             forbidden.add(int(best))
             gains.append(best_gain)
-            covered = self.coverage.trajectories_covered(best)
+            covered, new_util = coverage.site_column(best)
             if len(covered) == 0:
                 continue
-            new_util = scores[covered, best]
             improved_mask = new_util > utilities[covered]
             improved = covered[improved_mask]
             if len(improved) == 0:
                 continue
             old_values = utilities[improved]
-            new_values = scores[improved, best]
+            new_values = new_util[improved_mask]
             # update marginal utility of every site covering an improved
             # trajectory: its residual gain for T_j drops from
             # max(0, ψ_ji − old) to max(0, ψ_ji − new)
-            affected_scores = scores[improved, :]
-            old_alpha = np.maximum(affected_scores - old_values[:, np.newaxis], 0.0)
-            new_alpha = np.maximum(affected_scores - new_values[:, np.newaxis], 0.0)
-            marginal -= (old_alpha - new_alpha).sum(axis=0)
+            marginal -= coverage.gain_updates(improved, old_values, new_values)
             utilities[improved] = new_values
         return selected, utilities, gains
 
@@ -319,19 +325,48 @@ class LazyGreedy:
         while heap and len(selected) < limit:
             neg_gain, neg_weight, neg_col = heapq.heappop(heap)
             col = int(-neg_col)
-            if stamp[col] == iteration:
-                gain = float(-neg_gain)
-                if gain <= 0.0 and selected:
-                    break
-                selected.append(col)
-                gains.append(gain)
-                utilities = coverage.absorb(utilities, col, capacity_of(col))
-                iteration += 1
-            else:
+            if stamp[col] != iteration:
                 gain = coverage.marginal_gain(col, utilities, capacity_of(col))
                 evaluations += 1
                 stamp[col] = iteration
                 heapq.heappush(heap, (-gain, neg_weight, neg_col))
+                continue
+            gain = float(-neg_gain)
+            if gain <= 0.0 and selected:
+                break
+            # the fresh top is the exact argmax up to float noise; collect
+            # every entry whose cached upper bound ties it within GAIN_RTOL
+            # (a true tie always has cached >= true >= top - tol) so the
+            # winner comes from the same (gain, weight, site) rule the
+            # eager strategies apply — never from last-ulp summation noise
+            tolerance = GAIN_RTOL * max(1.0, abs(gain))
+            ties = [(gain, float(-neg_weight), col)]
+            outbid = []
+            while heap and float(-heap[0][0]) >= gain - tolerance:
+                other_neg_gain, other_neg_weight, other_neg_col = heapq.heappop(heap)
+                other = int(-other_neg_col)
+                if stamp[other] != iteration:
+                    fresh = coverage.marginal_gain(other, utilities, capacity_of(other))
+                    evaluations += 1
+                    stamp[other] = iteration
+                    if fresh >= gain - tolerance:
+                        ties.append((fresh, float(-other_neg_weight), other))
+                    else:
+                        outbid.append((-fresh, other_neg_weight, other_neg_col))
+                else:
+                    ties.append(
+                        (float(-other_neg_gain), float(-other_neg_weight), other)
+                    )
+            winner_gain, winner = _lazy_tie_winner(ties)
+            for tied_gain, tied_weight, tied_col in ties:
+                if tied_col != winner:
+                    heapq.heappush(heap, (-tied_gain, -tied_weight, -tied_col))
+            for entry in outbid:
+                heapq.heappush(heap, entry)
+            selected.append(winner)
+            gains.append(winner_gain)
+            utilities = coverage.absorb(utilities, winner, capacity_of(winner))
+            iteration += 1
         self.last_num_evaluations = evaluations
         return selected, utilities, gains
 
@@ -384,44 +419,36 @@ def greedy_max_coverage_columns(
     return chosen, utilities
 
 
+def _lazy_tie_winner(ties: list[tuple[float, float, int]]) -> tuple[float, int]:
+    """The canonical winner of a CELF tie set: gain, then weight, then site.
+
+    Mirrors :func:`_argmax_with_tie_break` on the (gain, weight, column)
+    triples the lazy loop collected, so the lazy strategy resolves ties
+    exactly like the eager ones.
+    """
+    tie_gains = np.asarray([entry[0] for entry in ties])
+    tie_weights = np.asarray([entry[1] for entry in ties])
+    tie_cols = np.asarray([entry[2] for entry in ties])
+    candidates = tie_break_candidates(tie_gains)
+    heaviest = candidates[tie_break_candidates(tie_weights[candidates])]
+    pick = heaviest[np.argmax(tie_cols[heaviest])]
+    return float(tie_gains[pick]), int(tie_cols[pick])
+
+
 def _argmax_with_tie_break(marginal: np.ndarray, weights: np.ndarray) -> int:
-    """Paper's tie-break: largest marginal, then largest weight, then largest index."""
-    best_gain = np.max(marginal)
-    candidates = np.flatnonzero(marginal == best_gain)
+    """Paper's tie-break: largest marginal, then largest weight, then largest index.
+
+    Gains (and weights) are compared through
+    :func:`~repro.core.coverage.tie_break_candidates`, i.e. within a small
+    relative tolerance: two sites whose gains agree mathematically but
+    differ in the last ulps (different engines sum in different orders)
+    are a *tie* and fall through to the deterministic weight/index rule,
+    never to float noise.
+    """
+    candidates = tie_break_candidates(marginal)
     if len(candidates) == 1:
         return int(candidates[0])
-    candidate_weights = weights[candidates]
-    best_weight = np.max(candidate_weights)
-    heaviest = candidates[candidate_weights == best_weight]
+    heaviest = candidates[tie_break_candidates(weights[candidates])]
     return int(heaviest.max())
 
 
-def _capacity_limited_marginals(residual: np.ndarray, capacities: np.ndarray) -> np.ndarray:
-    """Marginal utility when each site can serve at most ``cap`` trajectories.
-
-    For every site column, sum its largest ``cap`` residual gains
-    (Section 7.2: α_i = min(|TC|, cap) largest marginal utilities).
-    """
-    num_trajectories, num_sites = residual.shape
-    marginal = np.empty(num_sites)
-    for col in range(num_sites):
-        cap = int(capacities[col])
-        if cap <= 0:
-            marginal[col] = 0.0
-            continue
-        column = residual[:, col]
-        if cap >= num_trajectories:
-            marginal[col] = column.sum()
-        else:
-            top = np.partition(column, num_trajectories - cap)[num_trajectories - cap :]
-            marginal[col] = top.sum()
-    return marginal
-
-
-def _apply_capacity_assignment(
-    utilities: np.ndarray, site_scores: np.ndarray, capacity: int
-) -> np.ndarray:
-    """Serve the ``capacity`` trajectories with the largest gains from a new site."""
-    if capacity >= len(site_scores):
-        return np.maximum(utilities, site_scores)
-    return serve_top_capacity(utilities, slice(None), site_scores, capacity)

@@ -20,6 +20,7 @@ from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.netclus import NetClusIndex
 from repro.core.optimal import OptimalSolver
 from repro.core.query import TOPSQuery, TOPSResult
+from repro.core.shards import ShardedCoverage
 from repro.network.graph import RoadNetwork
 from repro.trajectory.model import TrajectoryDataset
 from repro.utils.timer import Timer
@@ -94,15 +95,29 @@ class TOPSProblem:
         return self._detour_matrix
 
     def coverage(
-        self, query: TOPSQuery, engine: str = "dense"
-    ) -> CoverageIndex | SparseCoverageIndex:
+        self, query: TOPSQuery, engine: str = "dense", shards: int = 1
+    ) -> CoverageIndex | SparseCoverageIndex | ShardedCoverage:
         """Coverage structures (TC, SC, weights) for the query's (τ, ψ).
 
         ``engine="sparse"`` stores only the covered (trajectory, site) pairs
         in CSR/CSC form — the fast representation for realistic τ, consumed
-        by the CELF lazy greedy.
+        by the CELF lazy greedy.  ``shards > 1`` partitions the
+        trajectories into disjoint shards (one dense/sparse part each)
+        behind a :class:`~repro.core.shards.ShardedCoverage` gain
+        coordinator — selections are identical for any shard count.
         """
         require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        require(int(shards) >= 1, "shards must be >= 1")
+        if int(shards) > 1:
+            return ShardedCoverage.from_detours(
+                self.detour_matrix(),
+                query.tau_km,
+                query.preference,
+                num_shards=int(shards),
+                engine=engine,
+                site_labels=self.sites,
+                trajectory_ids=self.trajectories.ids(),
+            )
         index_cls = SparseCoverageIndex if engine == "sparse" else CoverageIndex
         return index_cls(
             self.detour_matrix(),
@@ -190,14 +205,15 @@ class TOPSProblem:
         num_sketches: int = 30,
         max_instances: int | None = None,
         representative_strategy: str = "closest",
-        workers: int = 1,
+        workers: int | str = 1,
     ) -> NetClusIndex:
         """Build a NetClus index over this problem's data (offline phase).
 
         Parameters are forwarded to :meth:`NetClusIndex.build`; distances
         (``tau_min_km``, ``tau_max_km``) are in kilometres.  ``workers``
         fans the independent per-instance clusterings out over a process
-        pool (the resulting index is identical to a ``workers=1`` build).
+        pool (the resulting index is identical to a ``workers=1`` build;
+        ``"auto"`` resolves to the usable-CPU count).
         The returned index answers any ``(k, τ, ψ)`` with τ in the
         supported range without touching this problem's detour matrix
         again; persist it with :func:`repro.service.save_index`.
@@ -220,19 +236,28 @@ class TOPSProblem:
         self,
         engine: str = "sparse",
         cache_size: int = 128,
+        shards: int | None = None,
+        query_workers: int | str = 1,
         **build_kwargs,
     ):
         """A lazily-built :class:`~repro.service.PlacementService` over this problem.
 
         *build_kwargs* are forwarded to :meth:`build_netclus_index`.  The
         offline phase runs on the first query (or ``service.save``), so
-        constructing the service is free; see :mod:`repro.service` for the
-        batch-query and persistence surface.
+        constructing the service is free; ``shards``/``query_workers``
+        configure the trajectory-sharded query path (results are identical
+        for any setting); see :mod:`repro.service` for the batch-query and
+        persistence surface.
         """
         from repro.service.placement import PlacementService
 
         return PlacementService.from_problem(
-            self, engine=engine, cache_size=cache_size, **build_kwargs
+            self,
+            engine=engine,
+            cache_size=cache_size,
+            shards=shards,
+            query_workers=query_workers,
+            **build_kwargs,
         )
 
     # ------------------------------------------------------------------ #

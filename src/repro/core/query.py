@@ -79,3 +79,18 @@ class TOPSResult:
     def covered_count(self, threshold: float = 0.0) -> int:
         """Number of trajectories with utility strictly above *threshold*."""
         return int(np.sum(np.asarray(self.per_trajectory_utility) > threshold))
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage timing breakdown carried in the metadata.
+
+        Collects every ``*_seconds`` metadata entry (e.g. the placement
+        service's ``coverage_build_seconds`` / ``greedy_run_seconds``,
+        :meth:`~repro.core.problem.TOPSProblem.solve`'s
+        ``preprocess_seconds``); empty when the producing solver recorded
+        no stage timings.
+        """
+        return {
+            key: float(value)
+            for key, value in self.metadata.items()
+            if key.endswith("_seconds") and isinstance(value, (int, float))
+        }

@@ -1,0 +1,508 @@
+"""Trajectory-sharded coverage: the distributed greedy query path.
+
+The TOPS utility is additive over disjoint trajectory sets::
+
+    U(Q) = Σ_j max_{s in Q} ψ(T_j, s) = Σ_shards Σ_{j in shard} max_s ψ(T_j, s)
+
+so a coverage over ``m`` trajectories can be partitioned by *rows* into S
+disjoint shards — one :class:`~repro.core.coverage.CoverageIndex` or
+:class:`~repro.core.coverage.SparseCoverageIndex` per shard, all sharing
+the same site columns — and every greedy quantity recovered exactly by a
+*gain coordinator* that combines per-shard results:
+
+* marginal-gain vectors are the shard-order sum of per-shard vectors;
+* per-trajectory utilities scatter each shard's utilities into the global
+  vector (``max`` operations — bit-exact regardless of sharding);
+* a site's covered rows are the merge of the shards' covered rows in
+  global row order, so capacity tie-breaks (served lowest-row first) are
+  unchanged.
+
+:class:`ShardedCoverage` implements the full coverage protocol consumed by
+:class:`~repro.core.greedy.IncGreedy`/:class:`~repro.core.greedy.LazyGreedy`,
+:class:`~repro.core.fm_greedy.FMGreedy` and the TOPS variant drivers, so
+sharded selections are identical to the unsharded path — only the work is
+split into S independent pieces that an optional executor (the placement
+service's persistent query pool) can evaluate concurrently.
+
+Shard layout
+------------
+A trajectory's shard is a pure function of its id
+(:func:`shard_of` — a splitmix64 mix of the id modulo S), never of its
+row position.  The layout is therefore deterministic across processes and
+sessions, balanced even for sequential id ranges, and *stable under
+dynamic updates*: a trajectory added through
+:meth:`~repro.core.netclus.NetClusIndex.apply_updates` hashes to the same
+shard any fresh layout would assign it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.coverage import (
+    CoverageIndex,
+    SparseCoverageIndex,
+    _top_capacity_sum,
+    labels_to_columns,
+    replay_selection,
+    serve_top_capacity,
+)
+from repro.utils.validation import require
+
+__all__ = ["shard_of", "shard_assignments", "shard_layout", "ShardedCoverage"]
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_SEED = np.uint64(0x9E3779B97F4A7C15)
+
+
+def shard_assignments(traj_ids: Sequence[int] | np.ndarray, num_shards: int) -> np.ndarray:
+    """Shard id of every trajectory id (vectorised :func:`shard_of`).
+
+    The assignment is the splitmix64 finaliser of the id, modulo
+    ``num_shards`` — a fixed, seedless mixing so that the layout is a pure
+    function of (id, S): deterministic across sessions and balanced even
+    when ids are a dense ``0..m-1`` range.
+    """
+    require(int(num_shards) >= 1, "num_shards must be >= 1")
+    ids = np.asarray(traj_ids, dtype=np.int64).view(np.uint64)
+    z = (ids + _SEED) & _MASK64
+    z = ((z ^ (z >> np.uint64(30))) * _MIX1) & _MASK64
+    z = ((z ^ (z >> np.uint64(27))) * _MIX2) & _MASK64
+    z = z ^ (z >> np.uint64(31))
+    return (z % np.uint64(num_shards)).astype(np.int64)
+
+
+def shard_of(traj_id: int, num_shards: int) -> int:
+    """The shard a single trajectory id belongs to (see :func:`shard_assignments`)."""
+    return int(shard_assignments(np.asarray([traj_id]), num_shards)[0])
+
+
+def shard_layout(
+    trajectory_ids: Sequence[int] | np.ndarray, num_shards: int
+) -> list[np.ndarray]:
+    """Global row indices of each shard, ascending, for a registry of ids.
+
+    ``trajectory_ids`` fixes the global row order (registry order);
+    ``shard_layout(ids, S)[s]`` are the rows whose trajectory hashes to
+    shard ``s``.  Every row lands in exactly one shard; with ``S == 1``
+    the single shard is the identity layout.
+    """
+    assignments = shard_assignments(trajectory_ids, num_shards)
+    return [
+        np.flatnonzero(assignments == shard) for shard in range(int(num_shards))
+    ]
+
+
+def _build_parts(build_part: Callable, tasks: Sequence, executor) -> list:
+    """Construct the per-shard parts, on *executor* when one is given.
+
+    Part construction is independent per shard (each sees only its own
+    rows), so the builds fan out like gain evaluations do; results come
+    back in shard order regardless of completion order.
+    """
+    if executor is not None and len(tasks) > 1:
+        return list(executor.map(build_part, tasks))
+    return [build_part(task) for task in tasks]
+
+
+class ShardedCoverage:
+    """A coverage index partitioned into per-shard parts, one per trajectory shard.
+
+    Implements the same coverage protocol as
+    :class:`~repro.core.coverage.CoverageIndex` /
+    :class:`~repro.core.coverage.SparseCoverageIndex` —
+    ``site_column`` / ``marginal_gains`` / ``marginal_gain`` / ``absorb`` /
+    ``gain_updates`` / ``utilities_for_selection`` and the lookup helpers —
+    over S disjoint row partitions.  All per-trajectory state (the
+    utilities vector the greedy threads through every call) stays *global*;
+    only the gain evaluation fans out per shard and is recombined by the
+    coordinator in fixed shard order, so results do not depend on how many
+    workers evaluate the shards.
+
+    Parameters
+    ----------
+    parts:
+        One coverage index per shard, each over its shard's rows only and
+        all sharing identical site columns/labels.
+    shard_rows:
+        Per shard, the ascending global row indices its part covers; the
+        shards must partition ``0..m-1``.
+    tau_km, preference, site_labels, trajectory_ids:
+        The global query parameters / registries (``trajectory_ids`` in
+        global row order).
+    executor:
+        Optional ``concurrent.futures``-style executor with a ``map``
+        method; when set (the placement service's persistent query pool),
+        per-shard gain evaluations run on it.  ``None`` evaluates shards
+        in-line.  The executor only changes *where* shard work runs, never
+        the combined result.
+    """
+
+    def __init__(
+        self,
+        parts: Sequence[CoverageIndex | SparseCoverageIndex],
+        shard_rows: Sequence[np.ndarray],
+        tau_km: float,
+        preference,
+        site_labels: Sequence[int] | None = None,
+        trajectory_ids: Sequence[int] | None = None,
+        executor=None,
+    ) -> None:
+        require(len(parts) >= 1, "ShardedCoverage needs at least one shard part")
+        require(len(parts) == len(shard_rows), "parts / shard_rows length mismatch")
+        self.parts = list(parts)
+        self.shard_rows = [np.asarray(rows, dtype=np.int64) for rows in shard_rows]
+        self.tau_km = float(tau_km)
+        self.preference = preference
+        self.num_sites = int(self.parts[0].num_sites)
+        for part, rows in zip(self.parts, self.shard_rows):
+            require(part.num_sites == self.num_sites, "shard site-column mismatch")
+            require(
+                part.num_trajectories == len(rows),
+                "shard part row-count mismatch",
+            )
+        self.num_trajectories = int(sum(len(rows) for rows in self.shard_rows))
+        if site_labels is None:
+            site_labels = self.parts[0].site_labels
+        self.site_labels = np.asarray(site_labels, dtype=np.int64)
+        if trajectory_ids is None:
+            trajectory_ids = np.empty(self.num_trajectories, dtype=np.int64)
+            for part, rows in zip(self.parts, self.shard_rows):
+                trajectory_ids[rows] = part.trajectory_ids
+        self.trajectory_ids = np.asarray(trajectory_ids, dtype=np.int64)
+        self.executor = executor
+
+        # global row -> (owning shard, local row) for delegation
+        self._shard_of_row = np.full(self.num_trajectories, -1, dtype=np.int64)
+        self._local_of_row = np.full(self.num_trajectories, -1, dtype=np.int64)
+        for shard, rows in enumerate(self.shard_rows):
+            self._shard_of_row[rows] = shard
+            self._local_of_row[rows] = np.arange(len(rows), dtype=np.int64)
+        require(
+            bool(np.all(self._shard_of_row >= 0)),
+            "shard_rows must partition every trajectory row",
+        )
+        self._site_weights: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Number of trajectory shards S."""
+        return len(self.parts)
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the per-shard parts hold their scores in sparse form."""
+        return bool(getattr(self.parts[0], "is_sparse", False))
+
+    @property
+    def engine(self) -> str:
+        """``"dense"`` or ``"sparse"`` — the representation of the parts."""
+        return "sparse" if self.is_sparse else "dense"
+
+    def shard_sizes(self) -> list[int]:
+        """Trajectories per shard, in shard order."""
+        return [int(len(rows)) for rows in self.shard_rows]
+
+    # ------------------------------------------------------------------ #
+    def _map_shards(self, task: Callable[[int], np.ndarray | float]) -> list:
+        """Evaluate *task* for every shard, on the executor when present.
+
+        Results come back indexed by shard regardless of completion order,
+        so the coordinator's shard-order combination is deterministic for
+        any worker count.
+        """
+        if self.executor is not None and self.num_shards > 1:
+            return list(self.executor.map(task, range(self.num_shards)))
+        return [task(shard) for shard in range(self.num_shards)]
+
+    # ------------------------------------------------------------------ #
+    # coverage protocol — gain evaluation (the distributed hot path)
+    # ------------------------------------------------------------------ #
+    @property
+    def site_weights(self) -> np.ndarray:
+        """``w_i = Σ_j ψ(T_j, s_i)`` — shard-order sum of the parts' weights."""
+        if self._site_weights is None:
+            total = np.zeros(self.num_sites, dtype=np.float64)
+            for part in self.parts:
+                total += part.site_weights
+            self._site_weights = total
+        return self._site_weights
+
+    def marginal_gains(self, utilities: np.ndarray) -> np.ndarray:
+        """Marginal utility of every site: per-shard vectors summed in shard order."""
+        partials = self._map_shards(
+            lambda shard: self.parts[shard].marginal_gains(
+                utilities[self.shard_rows[shard]]
+            )
+        )
+        total = np.zeros(self.num_sites, dtype=np.float64)
+        for partial in partials:
+            total += partial
+        return total
+
+    def marginal_gain(
+        self, col: int, utilities: np.ndarray, capacity: int | None = None
+    ) -> float:
+        """Marginal utility of one site, optionally capacity-limited.
+
+        Uncapacitated gains are additive over shards; a capacity limit is
+        global (a site serves its largest ``cap`` gains across *all*
+        trajectories), so the capacitated path gathers the site's covered
+        rows from every shard before taking the top-``cap`` sum.
+        """
+        if capacity is None:
+            # single-column work is tiny (O(nnz(col)/S) per shard), so the
+            # executor's dispatch overhead would dominate — evaluate inline
+            return float(
+                sum(
+                    part.marginal_gain(col, utilities[rows])
+                    for part, rows in zip(self.parts, self.shard_rows)
+                )
+            )
+        rows, values = self.site_column(col)
+        residual = np.maximum(values - utilities[rows], 0.0)
+        return _top_capacity_sum(residual, capacity)
+
+    def gain_updates(
+        self, rows: np.ndarray, old_values: np.ndarray, new_values: np.ndarray
+    ) -> np.ndarray:
+        """Per-site marginal-gain decrease when *rows* improve old → new.
+
+        The incremental greedy's update kernel
+        (:meth:`~repro.core.coverage.CoverageIndex.gain_updates`), fanned
+        out per shard and summed in shard order.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        owners = self._shard_of_row[rows]
+        locals_ = self._local_of_row[rows]
+
+        def shard_task(shard: int) -> np.ndarray | None:
+            mask = owners == shard
+            if not np.any(mask):
+                return None
+            return self.parts[shard].gain_updates(
+                locals_[mask], old_values[mask], new_values[mask]
+            )
+
+        total = np.zeros(self.num_sites, dtype=np.float64)
+        for partial in self._map_shards(shard_task):
+            if partial is not None:
+                total += partial
+        return total
+
+    # ------------------------------------------------------------------ #
+    # coverage protocol — per-trajectory state (exact, order-independent)
+    # ------------------------------------------------------------------ #
+    def site_column(self, col: int) -> tuple[np.ndarray, np.ndarray]:
+        """The covered rows of one site column (global row order) and their ψ-scores."""
+        row_chunks: list[np.ndarray] = []
+        value_chunks: list[np.ndarray] = []
+        for part, shard_rows in zip(self.parts, self.shard_rows):
+            local_rows, values = part.site_column(col)
+            row_chunks.append(shard_rows[local_rows])
+            value_chunks.append(values)
+        rows = np.concatenate(row_chunks)
+        values = np.concatenate(value_chunks)
+        order = np.argsort(rows, kind="stable")
+        return rows[order], values[order]
+
+    def absorb(
+        self, utilities: np.ndarray, col: int, capacity: int | None = None
+    ) -> np.ndarray:
+        """Per-trajectory utilities after adding the site in *col* (copy).
+
+        Uncapacitated absorption is a per-row ``max`` — each shard updates
+        its own rows.  With a capacity the served set is global (the
+        ``cap`` largest gains across every shard, ties to the lowest
+        global row), so the column is gathered in global row order first —
+        the same tie-break the unsharded engines apply.
+        """
+        if capacity is None:
+            updated = utilities.copy()
+            for part, shard_rows in zip(self.parts, self.shard_rows):
+                local_rows, values = part.site_column(col)
+                target = shard_rows[local_rows]
+                updated[target] = np.maximum(updated[target], values)
+            return updated
+        rows, values = self.site_column(col)
+        if capacity >= len(rows):
+            updated = utilities.copy()
+            updated[rows] = np.maximum(updated[rows], values)
+            return updated
+        return serve_top_capacity(utilities, rows, values, capacity)
+
+    def utilities_for_selection(
+        self,
+        columns: Sequence[int],
+        capacity: int | None = None,
+        seed_columns: Sequence[int] = (),
+    ) -> np.ndarray:
+        """Per-trajectory utilities after absorbing *columns* in order."""
+        return replay_selection(self, columns, capacity, seed_columns)
+
+    def per_trajectory_utility(self, site_columns: Sequence[int]) -> np.ndarray:
+        """Per-trajectory utility under the given site columns (global order)."""
+        utilities = np.zeros(self.num_trajectories, dtype=np.float64)
+        partials = self._map_shards(
+            lambda shard: self.parts[shard].per_trajectory_utility(site_columns)
+        )
+        for shard_rows, partial in zip(self.shard_rows, partials):
+            utilities[shard_rows] = partial
+        return utilities
+
+    def utility_of(self, site_columns: Sequence[int]) -> float:
+        """Utility ``U(Q)`` of the sites given by their column indices."""
+        return float(np.sum(self.per_trajectory_utility(site_columns)))
+
+    # ------------------------------------------------------------------ #
+    # coverage protocol — lookups / bookkeeping
+    # ------------------------------------------------------------------ #
+    def trajectories_covered(self, site_column: int) -> np.ndarray:
+        """Row indices (global) of trajectories covered by the site (TC)."""
+        rows, _ = self.site_column(site_column)
+        return rows
+
+    def sites_covering(self, trajectory_row: int) -> np.ndarray:
+        """Column indices of sites covering the trajectory (SC) — delegated."""
+        shard = int(self._shard_of_row[trajectory_row])
+        return self.parts[shard].sites_covering(int(self._local_of_row[trajectory_row]))
+
+    def covered_pairs(self) -> int:
+        """Total number of (trajectory, site) covered pairs across shards."""
+        return int(sum(part.covered_pairs() for part in self.parts))
+
+    def coverage_mask(self) -> np.ndarray:
+        """Boolean ``(m, n)`` coverage mask (densified; debugging aid)."""
+        mask = np.zeros((self.num_trajectories, self.num_sites), dtype=bool)
+        for part, shard_rows in zip(self.parts, self.shard_rows):
+            mask[shard_rows, :] = part.coverage_mask()
+        return mask
+
+    def columns_for_labels(self, labels: Sequence[int]) -> list[int]:
+        """Map site labels (node ids) back to column indices."""
+        return labels_to_columns(self.site_labels, labels)
+
+    def storage_bytes(self) -> int:
+        """Bytes held by the shard parts plus the row-mapping arrays."""
+        total = sum(part.storage_bytes() for part in self.parts)
+        total += sum(rows.nbytes for rows in self.shard_rows)
+        total += self._shard_of_row.nbytes + self._local_of_row.nbytes
+        return int(total)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_detours(
+        cls,
+        detours: np.ndarray,
+        tau_km: float,
+        preference,
+        num_shards: int,
+        engine: str = "dense",
+        site_labels: Sequence[int] | None = None,
+        trajectory_ids: Sequence[int] | None = None,
+        executor=None,
+    ) -> "ShardedCoverage":
+        """Shard a dense ``(m, n)`` detour matrix by trajectory id.
+
+        Each shard's part is built from its rows of the matrix — a
+        :class:`CoverageIndex` (``engine="dense"``) or
+        :class:`SparseCoverageIndex` (``engine="sparse"``) per shard.
+        """
+        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        detours = np.asarray(detours, dtype=np.float64)
+        num_trajectories = detours.shape[0]
+        if trajectory_ids is None:
+            trajectory_ids = np.arange(num_trajectories, dtype=np.int64)
+        trajectory_ids = np.asarray(trajectory_ids, dtype=np.int64)
+        layout = shard_layout(trajectory_ids, num_shards)
+        part_cls = SparseCoverageIndex if engine == "sparse" else CoverageIndex
+
+        def build_part(rows: np.ndarray):
+            return part_cls(
+                detours[rows, :],
+                tau_km,
+                preference,
+                site_labels=site_labels,
+                trajectory_ids=trajectory_ids[rows],
+            )
+
+        parts = _build_parts(build_part, layout, executor)
+        return cls(
+            parts,
+            layout,
+            tau_km,
+            preference,
+            site_labels=site_labels,
+            trajectory_ids=trajectory_ids,
+            executor=executor,
+        )
+
+    @classmethod
+    def from_coverage_lists(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        detours: np.ndarray,
+        num_trajectories: int,
+        num_sites: int,
+        tau_km: float,
+        preference,
+        num_shards: int,
+        site_labels: Sequence[int] | None = None,
+        trajectory_ids: Sequence[int] | None = None,
+        executor=None,
+    ) -> "ShardedCoverage":
+        """Shard (trajectory, site, detour) coverage triples by trajectory id.
+
+        The sparse counterpart of :meth:`from_detours`: each shard keeps
+        only its rows' triples (remapped to shard-local rows) and builds a
+        :class:`SparseCoverageIndex` via ``from_coverage_lists`` — the
+        duplicate-min reduction is per (row, site) pair, so partitioning
+        rows never changes any stored estimate.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        detours = np.asarray(detours, dtype=np.float64)
+        if trajectory_ids is None:
+            trajectory_ids = np.arange(num_trajectories, dtype=np.int64)
+        trajectory_ids = np.asarray(trajectory_ids, dtype=np.int64)
+        layout = shard_layout(trajectory_ids, num_shards)
+        local_of_row = np.empty(num_trajectories, dtype=np.int64)
+        shard_of_row = np.empty(num_trajectories, dtype=np.int64)
+        for shard, shard_rows in enumerate(layout):
+            local_of_row[shard_rows] = np.arange(len(shard_rows), dtype=np.int64)
+            shard_of_row[shard_rows] = shard
+        entry_shards = shard_of_row[rows] if len(rows) else np.empty(0, dtype=np.int64)
+
+        def build_part(shard_and_rows):
+            shard, shard_rows = shard_and_rows
+            keep = entry_shards == shard
+            return SparseCoverageIndex.from_coverage_lists(
+                local_of_row[rows[keep]],
+                cols[keep],
+                detours[keep],
+                num_trajectories=len(shard_rows),
+                num_sites=num_sites,
+                tau_km=tau_km,
+                preference=preference,
+                site_labels=site_labels,
+                trajectory_ids=trajectory_ids[shard_rows],
+            )
+
+        parts = _build_parts(build_part, list(enumerate(layout)), executor)
+        return cls(
+            parts,
+            layout,
+            tau_km,
+            preference,
+            site_labels=site_labels,
+            trajectory_ids=trajectory_ids,
+            executor=executor,
+        )

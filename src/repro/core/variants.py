@@ -14,15 +14,18 @@
   (greedy on the negated-detour preference with τ = ∞).
 
 All drivers operate through the coverage protocol shared by
-:class:`~repro.core.coverage.CoverageIndex` and
-:class:`~repro.core.coverage.SparseCoverageIndex`, so they work unchanged on
-the flat site space (Inc-Greedy), on NetClus's clustered space (pass the
-coverage index built from estimated detours), and on either the dense or the
-sparse engine.  With a sparse index the greedy-based drivers automatically
-use the CELF lazy greedy (:class:`~repro.core.greedy.LazyGreedy`), which
-returns the same selections.  The one exception is
-:func:`solve_tops_min_inconvenience`, whose τ = ∞ objective needs the full
-detour matrix and therefore requires the dense index.
+:class:`~repro.core.coverage.CoverageIndex`,
+:class:`~repro.core.coverage.SparseCoverageIndex` and the
+trajectory-sharded :class:`~repro.core.shards.ShardedCoverage`, so they
+work unchanged on the flat site space (Inc-Greedy), on NetClus's clustered
+space (pass the coverage index built from estimated detours), on either
+the dense or the sparse engine, and on any shard count — sharded
+selections are identical to unsharded ones.  With a sparse index the
+greedy-based drivers automatically use the CELF lazy greedy
+(:class:`~repro.core.greedy.LazyGreedy`), which returns the same
+selections.  The one exception is :func:`solve_tops_min_inconvenience`,
+whose τ = ∞ objective needs the full detour matrix and therefore requires
+the plain (unsharded) dense index.
 """
 
 from __future__ import annotations
@@ -31,9 +34,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.coverage import (
+    GAIN_RTOL,
+    CoverageIndex,
+    SparseCoverageIndex,
+    tie_break_candidates,
+)
 from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.query import TOPSQuery, TOPSResult
+from repro.core.shards import ShardedCoverage
 from repro.utils.timer import Timer
 from repro.utils.validation import require, require_positive, require_probability
 
@@ -46,7 +55,7 @@ __all__ = [
 ]
 
 
-AnyCoverage = CoverageIndex | SparseCoverageIndex
+AnyCoverage = CoverageIndex | SparseCoverageIndex | ShardedCoverage
 
 
 def _greedy_solver(coverage: AnyCoverage) -> IncGreedy | LazyGreedy:
@@ -85,7 +94,9 @@ def solve_tops_cost(
             residual = coverage.marginal_gains(utilities)
             ratio = residual / costs
             ratio[list(set(range(coverage.num_sites)) - available)] = -np.inf
-            best = int(np.argmax(ratio))
+            # lowest site index among ratio ties (within the shared gain
+            # tolerance, so every engine resolves ties identically)
+            best = int(tie_break_candidates(ratio)[0])
             if ratio[best] <= 0.0:
                 break
             if spent + costs[best] <= budget:
@@ -93,13 +104,16 @@ def solve_tops_cost(
                 spent += float(costs[best])
                 utilities = coverage.absorb(utilities, best)
             available.discard(best)
-        # Khuller et al. safeguard: compare with the best single affordable site
+        # Khuller et al. safeguard: compare with the best single affordable
+        # site; the single site must beat the greedy total by more than the
+        # gain tolerance so near-ulp weight noise never flips the outcome
         affordable = np.flatnonzero(costs <= budget)
         if len(affordable):
             single_utilities = coverage.site_weights[affordable]
-            best_single = int(affordable[np.argmax(single_utilities)])
+            best_single = int(affordable[tie_break_candidates(single_utilities)[0]])
             single_total = float(single_utilities.max())
-            if single_total > float(utilities.sum()):
+            greedy_total = float(utilities.sum())
+            if single_total > greedy_total + GAIN_RTOL * max(1.0, abs(single_total)):
                 selected = [best_single]
                 utilities = coverage.per_trajectory_utility([best_single])
                 spent = float(costs[best_single])
@@ -188,7 +202,7 @@ def solve_tops_market_share(
             residual = coverage.marginal_gains(utilities)
             if selected:
                 residual[selected] = -np.inf
-            best = int(np.argmax(residual))
+            best = int(tie_break_candidates(residual)[0])
             if residual[best] <= 0.0:
                 break
             selected.append(best)
@@ -224,9 +238,10 @@ def solve_tops_min_inconvenience(
     from repro.core.greedy import greedy_max_coverage_columns
 
     require(
-        not getattr(coverage, "is_sparse", False),
-        "TOPS3 (min inconvenience) needs the dense detour matrix; "
-        "build the coverage with the dense engine",
+        not getattr(coverage, "is_sparse", False)
+        and not isinstance(coverage, ShardedCoverage),
+        "TOPS3 (min inconvenience) needs the full dense detour matrix; "
+        "build the coverage with the dense engine and shards=1",
     )
     with Timer() as timer:
         detours = np.where(np.isfinite(coverage.detours), coverage.detours, np.nan)

@@ -35,6 +35,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.reporting import print_table
 from repro.experiments.runner import build_context
+from repro.utils.parallel import resolve_workers
 from repro.utils.timer import Timer
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -73,10 +74,19 @@ def _run_fig08(scale: str, seed: int, context) -> None:
 
 
 def _run_fig10(scale: str, seed: int, context) -> None:
-    panels = fig10_scalability.run(scale=scale, seed=seed, engine=context.engine)
+    # the shard panel reuses the context's index (same bundle + τ range),
+    # so --index-cache skips its offline build too
+    panels = fig10_scalability.run(
+        scale=scale, seed=seed, engine=context.engine, index=context.netclus
+    )
     print_table(panels["varying_sites"], title="Fig. 10a — scalability vs #sites")
     print()
     print_table(panels["varying_trajectories"], title="Fig. 10b — scalability vs #trajectories")
+    print()
+    print_table(
+        panels["varying_shards"],
+        title="Fig. 10c — sharded query path vs shard count (repro extension)",
+    )
 
 
 def _run_fig11(scale: str, seed: int, context) -> None:
@@ -188,10 +198,11 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=resolve_workers,
         default=1,
         help="processes for the NetClus offline phase (per-instance "
-        "clustering fan-out; the built index is identical to --workers 1)",
+        "clustering fan-out; the built index is identical to --workers 1); "
+        "a positive integer or 'auto' (the usable-CPU count)",
     )
     args = parser.parse_args(argv)
 

@@ -30,6 +30,7 @@ from repro.service.serialization import (
     load_manifest,
     save_index,
 )
+from repro.utils.parallel import resolve_workers
 from repro.utils.timer import Timer
 
 __all__ = ["ExperimentContext", "build_context", "DEFAULT_GAMMA", "DEFAULT_TAU_RANGE"]
@@ -172,7 +173,7 @@ def build_context(
     bundle: DatasetBundle | None = None,
     engine: str = "dense",
     index_path: str | Path | None = None,
-    workers: int = 1,
+    workers: int | str = 1,
 ) -> ExperimentContext:
     """Build an :class:`ExperimentContext` (Beijing-like by default).
 
@@ -182,7 +183,9 @@ def build_context(
 
     ``workers`` parallelises the NetClus offline phase over a process pool
     (per-instance clustering); the built index is identical to a
-    sequential build, only faster on multi-core machines.
+    sequential build, only faster on multi-core machines.  ``"auto"``
+    resolves to the usable-CPU count
+    (:func:`repro.utils.parallel.resolve_workers`).
 
     ``index_path`` persists the NetClus index across runs: when the
     directory holds a saved index it is loaded instead of rebuilt (the
@@ -228,7 +231,7 @@ def build_context(
             tau_min_km=tau_min_km,
             tau_max_km=tau_max_km,
             num_sketches=num_sketches,
-            workers=workers,
+            workers=resolve_workers(workers),
         )
         if index_path is not None:
             save_index(netclus, index_path, dataset=bundle.trajectories)

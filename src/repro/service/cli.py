@@ -6,7 +6,10 @@ Four subcommands::
     python -m repro.service build --dataset beijing --scale tiny --out city.ncx
 
     # online phase: answer a JSON/CSV batch of query specs from the index
-    python -m repro.service query --index city.ncx --specs specs.json
+    # (optionally over S trajectory shards evaluated by a worker pool —
+    #  selections are identical for any --shards / --query-workers)
+    python -m repro.service query --index city.ncx --specs specs.json \\
+        --shards 4 --query-workers auto
 
     # dynamic updates: absorb trajectory/site deltas as one batch, save back
     python -m repro.service update --index city.ncx \\
@@ -48,6 +51,7 @@ from repro.datasets.base import DatasetBundle
 from repro.service.placement import PlacementService
 from repro.service.serialization import load_manifest, save_index
 from repro.service.specs import QuerySpec
+from repro.utils.parallel import resolve_workers
 
 __all__ = ["main"]
 
@@ -66,6 +70,9 @@ def _dataset_builders() -> dict[str, Callable[..., DatasetBundle]]:
 # build
 # ---------------------------------------------------------------------- #
 def _cmd_build(args: argparse.Namespace) -> int:
+    if args.shards is not None and int(args.shards) < 1:
+        # fail before the (potentially long) offline build runs
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     builders = _dataset_builders()
     if args.dataset == "beijing":
         bundle = builders["beijing"](scale=args.scale or "small", seed=args.seed)
@@ -88,8 +95,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
         tau_max_km=args.tau_max,
         max_instances=args.max_instances,
         representative_strategy=args.representative_strategy,
-        workers=args.workers,
+        workers=args.workers,  # already resolved by the argparse type
     )
+    if args.shards is not None:
+        index.shards = int(args.shards)
     directory = save_index(index, args.out, dataset=bundle.trajectories)
     for stat in index.build_stats:
         workers = f" ({stat.workers} workers)" if stat.workers > 1 else ""
@@ -125,7 +134,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     specs = _load_specs(Path(args.specs))
     if not specs:
         raise SystemExit(f"{args.specs}: no query specs found")
-    service = PlacementService.from_path(args.index, engine=args.engine)
+    service = PlacementService.from_path(
+        args.index,
+        engine=args.engine,
+        shards=args.shards,
+        query_workers=args.query_workers,  # already resolved by the argparse type
+    )
     results = service.batch_query(specs)
 
     rows = []
@@ -159,6 +173,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"\n{stats.queries_served} specs | {stats.instance_resolutions} instance "
         f"resolutions | {stats.coverage_builds} coverage builds | "
         f"{stats.greedy_runs} greedy runs | {stats.cache_hits} cache hits"
+    )
+    print(
+        f"shards {service.effective_shards} x {service.query_workers} workers | "
+        f"stage seconds: coverage {stats.coverage_build_seconds:.3f} | "
+        f"greedy {stats.greedy_seconds:.3f} | replay {stats.replay_seconds:.3f}"
     )
     return 0
 
@@ -261,6 +280,15 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         f"instance cap "
         f"{'none (full ladder)' if max_instances is None else max_instances}"
     )
+    shards = int(manifest.get("shards", 1))
+    if shards > 1:
+        sizes = manifest.get("shard_sizes", [])
+        layout = (
+            ", ".join(str(s) for s in sizes) if sizes else "sizes not recorded"
+        )
+        print(f"shard layout     : {shards} shards (trajectories: {layout})")
+    else:
+        print("shard layout     : 1 shard (unsharded query path)")
     print(
         f"size             : {manifest['num_instances']} instances, "
         f"{manifest['num_trajectories']} trajectories, "
@@ -298,7 +326,35 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             f"{f'[{low:.2f}, {high:.2f})':>18} {entry['num_clusters']:>9} "
             f"{entry['num_representatives']:>6} {entry['build_seconds']:>8.2f}"
         )
+    if args.timings:
+        _print_probe_timings(args.index, manifest, shards)
     return 0
+
+
+def _print_probe_timings(index_path: str, manifest: dict, shards: int) -> None:
+    """Load the index and report per-stage timings of one probe batch.
+
+    The probe runs a small k-sweep at a mid-range τ through a
+    :class:`PlacementService` configured with the manifest's shard layout,
+    then prints the service's per-stage query timings (coverage build /
+    greedy / prefix replay) — the live counterpart of the static manifest
+    numbers above.
+    """
+    params = manifest["build_params"]
+    tau = min(2.0 * float(params["tau_min_km"]), float(params["tau_max_km"]))
+    service = PlacementService.from_path(
+        index_path, shards=shards if shards > 1 else None, query_workers="auto"
+    )
+    specs = [QuerySpec(k=k, tau_km=tau) for k in (3, 5, 8)]
+    service.batch_query(specs, use_cache=False)
+    stats = service.stats
+    print()
+    print(
+        f"query timings    : probe batch ({len(specs)} specs at tau={tau:g} km, "
+        f"{service.effective_shards} shard(s) x {service.query_workers} workers)"
+    )
+    for stage, seconds in stats.stage_seconds().items():
+        print(f"  {stage:<24} {seconds:8.4f}s")
 
 
 # ---------------------------------------------------------------------- #
@@ -339,10 +395,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     build.add_argument(
         "--workers",
-        type=int,
+        type=resolve_workers,
         default=1,
         help="processes for the offline phase (per-instance clustering "
-        "fan-out; the built index is identical to --workers 1)",
+        "fan-out; the built index is identical to --workers 1); a positive "
+        "integer or 'auto' (the usable-CPU count)",
+    )
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="default trajectory-shard count stamped on the index for the "
+        "sharded query path (recorded in the manifest; selections are "
+        "identical for any value)",
     )
     build.add_argument("--out", required=True, help="output index directory")
     build.set_defaults(func=_cmd_build)
@@ -351,6 +416,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     query.add_argument("--index", required=True, help="index directory (from build)")
     query.add_argument("--specs", required=True, help="JSON array or CSV of specs")
     query.add_argument("--engine", default="sparse", choices=["dense", "sparse"])
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="trajectory-shard count for the query path (default: the "
+        "index's saved layout; results are identical for any value)",
+    )
+    query.add_argument(
+        "--query-workers",
+        type=resolve_workers,
+        default="auto",
+        help="threads of the shard-evaluation pool; a positive integer or "
+        "'auto' (the usable-CPU count, the default — so an index saved "
+        "with a shard layout is served with a matching pool)",
+    )
     query.add_argument("--output", default=None, help="write results JSON here")
     query.set_defaults(func=_cmd_query)
 
@@ -384,6 +464,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     inspect = sub.add_parser("inspect", help="print an index manifest")
     inspect.add_argument("--index", required=True, help="index directory")
     inspect.add_argument("--json", action="store_true", help="raw manifest JSON")
+    inspect.add_argument(
+        "--timings",
+        action="store_true",
+        help="additionally load the index and report per-stage query "
+        "timings of a small probe batch (coverage build / greedy / replay)",
+    )
     inspect.set_defaults(func=_cmd_inspect)
 
     args = parser.parse_args(argv)

@@ -19,10 +19,18 @@ shared work:
    dynamic updates (``service.index.add_site(...)``,
    :meth:`~NetClusIndex.apply_updates`, ...), so a served selection can
    never be stale.
+4. **Sharded gain evaluation** — with ``shards=S`` every coverage is
+   built as a :class:`~repro.core.shards.ShardedCoverage` (S disjoint
+   trajectory shards, deterministic by trajectory id) and
+   ``query_workers=N`` evaluates the per-shard marginal-gain work on a
+   persistent thread pool.  Sharding never changes results — selections
+   and utilities are identical to the unsharded path — it only splits the
+   gain evaluation into concurrently evaluable pieces.
 
-``stats`` counts every resolution/build/run and every cache hit, which is
-both the service's observability surface and how the batch-amortisation
-contract is asserted in the test suite.
+``stats`` counts every resolution/build/run and every cache hit, and
+accumulates per-stage query timings (coverage build / greedy run / prefix
+replay seconds), which is both the service's observability surface and how
+the batch-amortisation contract is asserted in the test suite.
 
 The service is **safe for concurrent callers**: ``batch_query`` runs under
 a shared readers-writer lock (many batches in parallel), dynamic updates
@@ -37,6 +45,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,6 +62,7 @@ from repro.network.graph import RoadNetwork
 from repro.service.serialization import load_index, save_index
 from repro.service.specs import QuerySpec
 from repro.trajectory.model import TrajectoryDataset
+from repro.utils.parallel import resolve_workers
 from repro.utils.timer import Timer
 from repro.utils.validation import require
 
@@ -112,7 +122,11 @@ class ServiceStats:
 
     Increments go through :meth:`bump`, which serialises concurrent
     counting — the counters stay exact under parallel ``batch_query``
-    callers.
+    callers.  Besides the integer work counters, the stats accumulate the
+    per-stage query timings of every batch: seconds spent building
+    coverages (instance resolution + estimate materialisation), running
+    greedy selections, and replaying shared-run prefixes for smaller-k
+    members.
     """
 
     queries_served: int = 0
@@ -122,17 +136,21 @@ class ServiceStats:
     coverage_builds: int = 0
     greedy_runs: int = 0
     index_builds: int = 0
+    #: per-stage query timings (seconds, accumulated across batches)
+    coverage_build_seconds: float = 0.0
+    greedy_seconds: float = 0.0
+    replay_seconds: float = 0.0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
-    def bump(self, **counts: int) -> None:
+    def bump(self, **counts: int | float) -> None:
         """Atomically add the given amounts to the named counters."""
         with self._lock:
             for name, amount in counts.items():
                 setattr(self, name, getattr(self, name) + amount)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | float]:
         """The counters as a plain dict (reporting/CLI)."""
         return {
             "queries_served": self.queries_served,
@@ -142,6 +160,17 @@ class ServiceStats:
             "coverage_builds": self.coverage_builds,
             "greedy_runs": self.greedy_runs,
             "index_builds": self.index_builds,
+            "coverage_build_seconds": self.coverage_build_seconds,
+            "greedy_seconds": self.greedy_seconds,
+            "replay_seconds": self.replay_seconds,
+        }
+
+    def stage_seconds(self) -> dict[str, float]:
+        """The per-stage query timings only (reporting/CLI)."""
+        return {
+            "coverage_build_seconds": self.coverage_build_seconds,
+            "greedy_seconds": self.greedy_seconds,
+            "replay_seconds": self.replay_seconds,
         }
 
     def reset(self) -> None:
@@ -176,6 +205,17 @@ class PlacementService:
         matrices).  Selections are identical either way.
     cache_size:
         Capacity of the LRU result cache (0 disables caching).
+    shards:
+        Trajectory-shard count for every coverage the service builds
+        (``None`` = the index's own default, which is 1 unless the saved
+        index carries a shard layout).  Sharding never changes results;
+        with ``shards > 1`` the gain evaluation splits into S independent
+        pieces that ``query_workers`` can evaluate concurrently.
+    query_workers:
+        Workers of the persistent shard-evaluation thread pool — a
+        positive integer or ``"auto"`` (the usable-CPU count).  Only
+        engaged when the effective shard count exceeds 1; ``1`` evaluates
+        shards in-line.
 
     Examples
     --------
@@ -196,6 +236,8 @@ class PlacementService:
         builder: Callable[[], NetClusIndex] | None = None,
         engine: str = "sparse",
         cache_size: int = 128,
+        shards: int | None = None,
+        query_workers: int | str = 1,
     ) -> None:
         require(
             (index is not None) or (builder is not None),
@@ -203,20 +245,29 @@ class PlacementService:
         )
         require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
         require(cache_size >= 0, "cache_size must be non-negative")
+        if shards is not None:
+            require(int(shards) >= 1, "shards must be >= 1")
+            shards = int(shards)
         self._index = index
         self._builder = builder
         self.engine = engine
         self.cache_size = cache_size
+        self.shards = shards
+        self.query_workers = resolve_workers(query_workers)
         self._cache: OrderedDict[QuerySpec, TOPSResult] = OrderedDict()
         self._cache_version: int | None = None
         self.stats = ServiceStats()
         # concurrency: readers (batch_query) share the index lock, writers
         # (apply_updates) take it exclusively; the cache has its own mutex
         # (it mutates on reads too — LRU recency), and the lazy index build
-        # runs at most once behind its own lock
+        # runs at most once behind its own lock.  The shard-evaluation
+        # executor is created lazily (at most once) and persists across
+        # queries.
         self._index_lock = _ReadWriteLock()
         self._cache_lock = threading.RLock()
         self._build_lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # construction / persistence
@@ -228,6 +279,8 @@ class PlacementService:
         *,
         engine: str = "sparse",
         cache_size: int = 128,
+        shards: int | None = None,
+        query_workers: int | str = 1,
         **build_kwargs,
     ) -> "PlacementService":
         """A service that lazily builds its index from a ``TOPSProblem``.
@@ -241,6 +294,8 @@ class PlacementService:
             builder=lambda: problem.build_netclus_index(**build_kwargs),
             engine=engine,
             cache_size=cache_size,
+            shards=shards,
+            query_workers=query_workers,
         )
 
     @classmethod
@@ -252,16 +307,21 @@ class PlacementService:
         *,
         engine: str = "sparse",
         cache_size: int = 128,
+        shards: int | None = None,
+        query_workers: int | str = 1,
     ) -> "PlacementService":
         """A service over a persisted index directory (see ``save``).
 
         Fingerprints are verified on load; a *network*/*dataset* that does
-        not match what the index was built on is refused.
+        not match what the index was built on is refused.  ``shards=None``
+        inherits the saved index's shard layout (manifest ``shards`` key).
         """
         return cls(
             index=load_index(path, network=network, dataset=dataset),
             engine=engine,
             cache_size=cache_size,
+            shards=shards,
+            query_workers=query_workers,
         )
 
     @property
@@ -278,6 +338,46 @@ class PlacementService:
                     self._index = self._builder()
                     self.stats.bump(index_builds=1)
         return self._index
+
+    @property
+    def effective_shards(self) -> int:
+        """The shard count every coverage is built with (resolves the index default)."""
+        if self.shards is not None:
+            return self.shards
+        return int(getattr(self.index, "shards", 1))
+
+    def _shard_executor(self) -> ThreadPoolExecutor | None:
+        """The persistent shard-evaluation pool (created at most once).
+
+        ``None`` when sharding or the worker count makes a pool pointless;
+        the pool is shared by every query and survives across batches — a
+        served process pays the thread start-up exactly once.
+        """
+        if self.query_workers <= 1 or self.effective_shards <= 1:
+            return None
+        if self._executor is None:
+            with self._executor_lock:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=min(self.query_workers, self.effective_shards),
+                        thread_name_prefix="shard-eval",
+                    )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the shard-evaluation pool down (idempotent).
+
+        Takes the index lock exclusively, so an in-flight ``batch_query``
+        (a reader holding the pool) finishes before the pool shuts down —
+        concurrent queries can never observe a dead executor.  Queries
+        remain valid afterwards: the next sharded query simply re-creates
+        the pool.
+        """
+        with self._index_lock.write_locked():
+            with self._executor_lock:
+                if self._executor is not None:
+                    self._executor.shutdown(wait=True)
+                    self._executor = None
 
     def save(self, path: str | Path, dataset: TrajectoryDataset | None = None) -> Path:
         """Persist the index to *path* (a directory); returns the path.
@@ -390,10 +490,27 @@ class PlacementService:
             resolved: list[QuerySpec | None] = [None] * len(specs)
             for position, spec in enumerate(specs):
                 if isinstance(spec, TOPSQuery) and not is_registered(spec.preference):
-                    # unregistered ψ: answer outside the spec machinery
-                    results[position] = index.query(spec, engine=self.engine)
+                    # unregistered ψ: answer outside the spec machinery,
+                    # but with the same shard layout + worker pool and the
+                    # same per-stage timing accounting as spec queries
+                    with Timer() as build_timer:
+                        prepared = index.prepare_coverage(
+                            spec.tau_km,
+                            spec.preference,
+                            engine=self.engine,
+                            shards=self.effective_shards,
+                            executor=self._shard_executor(),
+                        )
+                    with Timer() as run_timer:
+                        results[position] = index.query(
+                            spec, engine=self.engine, prepared=prepared
+                        )
                     self.stats.bump(
-                        instance_resolutions=1, coverage_builds=1, greedy_runs=1
+                        instance_resolutions=1,
+                        coverage_builds=1,
+                        greedy_runs=1,
+                        coverage_build_seconds=build_timer.elapsed,
+                        greedy_seconds=run_timer.elapsed,
                     )
                 else:
                     resolved[position] = self._coerce(spec)
@@ -448,6 +565,7 @@ class PlacementService:
         """
         groups: dict[tuple, _PreparedGroup] = {}
         instances: dict[float, object] = {}
+        executor = self._shard_executor()
         for position in pending:
             spec = resolved[position]
             key = spec.coverage_key
@@ -461,8 +579,12 @@ class PlacementService:
                         spec.preference_fn(),
                         engine=self.engine,
                         instance=instances[spec.tau_km],
+                        shards=self.effective_shards,
+                        executor=executor,
                     )
-                self.stats.bump(coverage_builds=1)
+                self.stats.bump(
+                    coverage_builds=1, coverage_build_seconds=timer.elapsed
+                )
                 groups[key] = _PreparedGroup(prepared=prepared, build_seconds=timer.elapsed)
             groups[key].members.append(position)
         return groups
@@ -517,31 +639,34 @@ class PlacementService:
             columns, utilities, gains = greedy.select(
                 lead.k, existing_columns=existing_columns, capacities=capacities
             )
-        self.stats.bump(greedy_runs=1)
-        for position in positions:
-            spec = resolved[position]
-            prefix = columns[: spec.k]
-            if len(prefix) == len(columns):
-                spec_utilities = utilities
-            else:
-                spec_utilities = coverage.utilities_for_selection(
-                    prefix, capacity=spec.capacity, seed_columns=existing_columns
+        self.stats.bump(greedy_runs=1, greedy_seconds=run_timer.elapsed)
+        with Timer() as replay_timer:
+            for position in positions:
+                spec = resolved[position]
+                prefix = columns[: spec.k]
+                if len(prefix) == len(columns):
+                    spec_utilities = utilities
+                else:
+                    spec_utilities = coverage.utilities_for_selection(
+                        prefix, capacity=spec.capacity, seed_columns=existing_columns
+                    )
+                results[position] = self._wrap_result(
+                    spec,
+                    group,
+                    prefix,
+                    spec_utilities,
+                    gains[: spec.k],
+                    run_seconds=run_timer.elapsed,
                 )
-            results[position] = self._wrap_result(
-                spec,
-                group,
-                prefix,
-                spec_utilities,
-                gains[: spec.k],
-                run_seconds=run_timer.elapsed,
-            )
+        self.stats.bump(replay_seconds=replay_timer.elapsed)
 
     def _run_budgeted(self, spec: QuerySpec, group: _PreparedGroup) -> TOPSResult:
         """TOPS-COST: the budgeted greedy with uniform per-site costs."""
         coverage = group.prepared.coverage
         costs = np.full(coverage.num_sites, float(spec.site_cost))
-        result = solve_tops_cost(coverage, spec.budget, costs)
-        self.stats.bump(greedy_runs=1)
+        with Timer() as run_timer:
+            result = solve_tops_cost(coverage, spec.budget, costs)
+        self.stats.bump(greedy_runs=1, greedy_seconds=run_timer.elapsed)
         metadata = dict(result.metadata)
         metadata.update(self._group_metadata(group))
         return TOPSResult(
@@ -565,6 +690,7 @@ class PlacementService:
         coverage = group.prepared.coverage
         sites = tuple(int(coverage.site_labels[c]) for c in columns)
         metadata = self._group_metadata(group)
+        metadata["greedy_run_seconds"] = run_seconds
         metadata["marginal_gains"] = [float(g) for g in gains]
         if spec.capacity is not None:
             metadata["capacity"] = spec.capacity
@@ -587,6 +713,7 @@ class PlacementService:
             "num_clusters": instance.num_clusters,
             "num_representatives": len(group.prepared.representative_sites),
             "engine": self.engine,
+            "shards": group.prepared.num_shards,
             "coverage_build_seconds": group.build_seconds,
         }
 

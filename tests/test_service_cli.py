@@ -347,3 +347,78 @@ class TestBuildPipelineFlags:
         assert payload_digest(left, include_timings=False) == payload_digest(
             right, include_timings=False
         )
+
+
+class TestShardedCLI:
+    """``build --shards``, ``query --shards/--query-workers``, sharded inspect."""
+
+    @pytest.fixture(scope="class")
+    def sharded_index(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-sharded") / "city.ncx"
+        code = main(
+            [
+                "build",
+                "--dataset", "beijing",
+                "--scale", "tiny",
+                "--tau-max", "2.0",
+                "--max-instances", "3",
+                "--workers", "auto",
+                "--shards", "3",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_shards_recorded_in_manifest(self, sharded_index):
+        manifest = json.loads((sharded_index / "manifest.json").read_text())
+        assert manifest["shards"] == 3
+        assert len(manifest["shard_sizes"]) == 3
+        assert sum(manifest["shard_sizes"]) == manifest["num_trajectories"]
+
+    def test_inspect_reports_shard_layout(self, sharded_index, capsys):
+        assert main(["inspect", "--index", str(sharded_index)]) == 0
+        out = capsys.readouterr().out
+        assert "shard layout" in out
+        assert "3 shards" in out
+
+    def test_inspect_timings_probe(self, sharded_index, capsys):
+        assert main(["inspect", "--index", str(sharded_index), "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "query timings" in out
+        assert "coverage_build_seconds" in out
+        assert "greedy_seconds" in out
+
+    def test_query_matches_unsharded_answers(self, sharded_index, tmp_path, capsys):
+        specs = tmp_path / "specs.json"
+        specs.write_text(json.dumps([{"k": 4, "tau_km": 0.8}, {"k": 7, "tau_km": 0.8}]))
+        out_sharded = tmp_path / "sharded.json"
+        out_plain = tmp_path / "plain.json"
+        assert main(
+            [
+                "query",
+                "--index", str(sharded_index),
+                "--specs", str(specs),
+                "--query-workers", "auto",
+                "--output", str(out_sharded),
+            ]
+        ) == 0
+        assert "stage seconds" in capsys.readouterr().out
+        assert main(
+            [
+                "query",
+                "--index", str(sharded_index),
+                "--specs", str(specs),
+                "--shards", "1",
+                "--output", str(out_plain),
+            ]
+        ) == 0
+        sharded_rows = json.loads(out_sharded.read_text())
+        plain_rows = json.loads(out_plain.read_text())
+        for got, want in zip(sharded_rows, plain_rows):
+            assert got["sites"] == want["sites"]
+            assert got["utility"] == want["utility"]
+
+    def test_unsharded_inspect_prints_single_shard(self, built_index, capsys):
+        assert main(["inspect", "--index", str(built_index)]) == 0
+        assert "1 shard (unsharded query path)" in capsys.readouterr().out

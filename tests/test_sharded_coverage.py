@@ -1,0 +1,537 @@
+"""Trajectory-sharded coverage: layout, protocol, and selection parity.
+
+The contract under test (the tentpole of the sharded query path): for any
+shard count S and any worker count, sharded selections, per-trajectory
+utilities, and summed marginal-gain vectors are identical to the unsharded
+path — on both engines, across all greedy strategies, the TOPS variant
+drivers, FM-greedy, the NetClus clustered space, dynamically updated
+indexes, and the placement service.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.fm_greedy import FMGreedy
+from repro.core.greedy import IncGreedy, LazyGreedy
+from repro.core.netclus import UpdateBatch
+from repro.core.preference import BinaryPreference, make_preference
+from repro.core.query import TOPSQuery
+from repro.core.shards import (
+    ShardedCoverage,
+    shard_assignments,
+    shard_layout,
+    shard_of,
+)
+from repro.core.variants import (
+    solve_tops_capacity,
+    solve_tops_cost,
+    solve_tops_market_share,
+    solve_tops_min_inconvenience,
+    solve_tops_with_existing,
+)
+from repro.service.placement import PlacementService
+from repro.service.serialization import load_index, load_manifest, save_index
+from repro.service.specs import QuerySpec
+from repro.trajectory.model import Trajectory
+from repro.utils.parallel import resolve_workers, usable_cpu_count
+
+SHARD_COUNTS = (2, 3, 4, 7)
+
+
+def _random_detours(rng, m=120, n=30, coverage_fraction=0.5, max_km=3.0):
+    detours = rng.uniform(0.0, max_km, size=(m, n))
+    detours[rng.random((m, n)) >= coverage_fraction] = np.inf
+    return detours
+
+
+# ---------------------------------------------------------------------- #
+# shard layout
+# ---------------------------------------------------------------------- #
+class TestShardLayout:
+    def test_every_trajectory_lands_in_exactly_one_shard(self):
+        ids = np.arange(500)
+        for shards in SHARD_COUNTS:
+            layout = shard_layout(ids, shards)
+            combined = np.sort(np.concatenate(layout))
+            assert np.array_equal(combined, np.arange(500))
+
+    def test_assignment_is_a_pure_function_of_id(self):
+        ids = [0, 1, 7, 123, 99991, 2**40 + 17]
+        for shards in SHARD_COUNTS:
+            first = [shard_of(i, shards) for i in ids]
+            second = shard_assignments(ids, shards).tolist()
+            assert first == second
+        # id order / surrounding ids never matter
+        assert shard_of(123, 4) == shard_assignments([5, 123, 7], 4)[1]
+
+    def test_layout_is_balanced_for_sequential_ids(self):
+        counts = np.bincount(shard_assignments(np.arange(10_000), 8), minlength=8)
+        assert counts.min() > 0.8 * counts.mean()
+        assert counts.max() < 1.2 * counts.mean()
+
+    def test_single_shard_is_identity(self):
+        layout = shard_layout(np.arange(37), 1)
+        assert len(layout) == 1
+        assert np.array_equal(layout[0], np.arange(37))
+
+    def test_rejects_non_positive_shard_counts(self):
+        with pytest.raises(ValueError):
+            shard_assignments([1, 2], 0)
+
+
+# ---------------------------------------------------------------------- #
+# coverage-protocol parity against the unsharded engines
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+@pytest.mark.parametrize("pref_name", ["binary", "linear", "exponential"])
+class TestProtocolParity:
+    def _pair(self, rng, engine, pref_name, shards):
+        detours = _random_detours(rng)
+        preference = make_preference(pref_name)
+        flat_cls = SparseCoverageIndex if engine == "sparse" else CoverageIndex
+        flat = flat_cls(detours, 1.2, preference)
+        sharded = ShardedCoverage.from_detours(
+            detours, 1.2, preference, num_shards=shards, engine=engine
+        )
+        return flat, sharded
+
+    def test_structure_and_weights(self, rng, engine, pref_name):
+        for shards in SHARD_COUNTS:
+            flat, sharded = self._pair(rng, engine, pref_name, shards)
+            assert sharded.num_shards == shards
+            assert sum(sharded.shard_sizes()) == flat.num_trajectories
+            assert sharded.covered_pairs() == flat.covered_pairs()
+            assert np.array_equal(sharded.coverage_mask(), flat.coverage_mask())
+            np.testing.assert_allclose(
+                sharded.site_weights, flat.site_weights, rtol=1e-12, atol=1e-12
+            )
+
+    def test_site_columns_merge_in_global_row_order(self, rng, engine, pref_name):
+        flat, sharded = self._pair(rng, engine, pref_name, 4)
+        for col in range(flat.num_sites):
+            flat_rows, flat_values = flat.site_column(col)
+            rows, values = sharded.site_column(col)
+            assert np.array_equal(rows, np.asarray(flat_rows))
+            np.testing.assert_array_equal(values, flat_values)
+            assert np.array_equal(
+                sharded.trajectories_covered(col), flat.trajectories_covered(col)
+            )
+
+    def test_sites_covering_delegates_to_the_owning_shard(self, rng, engine, pref_name):
+        flat, sharded = self._pair(rng, engine, pref_name, 3)
+        for row in range(0, flat.num_trajectories, 17):
+            assert np.array_equal(
+                np.sort(sharded.sites_covering(row)),
+                np.sort(np.asarray(flat.sites_covering(row))),
+            )
+
+    def test_summed_gains_match_unsharded_gains(self, rng, engine, pref_name):
+        for shards in SHARD_COUNTS:
+            flat, sharded = self._pair(rng, engine, pref_name, shards)
+            utilities = rng.uniform(0.0, 1.0, flat.num_trajectories)
+            np.testing.assert_allclose(
+                sharded.marginal_gains(utilities),
+                flat.marginal_gains(utilities),
+                rtol=1e-12,
+                atol=1e-12,
+            )
+            for col in (0, flat.num_sites // 2, flat.num_sites - 1):
+                assert sharded.marginal_gain(col, utilities) == pytest.approx(
+                    flat.marginal_gain(col, utilities), rel=1e-12
+                )
+                assert sharded.marginal_gain(col, utilities, 5) == pytest.approx(
+                    flat.marginal_gain(col, utilities, 5), rel=1e-12
+                )
+
+    def test_absorb_and_replay_are_bit_exact(self, rng, engine, pref_name):
+        flat, sharded = self._pair(rng, engine, pref_name, 4)
+        utilities = rng.uniform(0.0, 0.5, flat.num_trajectories)
+        for col in (1, flat.num_sites // 2):
+            assert np.array_equal(
+                sharded.absorb(utilities, col), flat.absorb(utilities, col)
+            )
+            assert np.array_equal(
+                sharded.absorb(utilities, col, 7), flat.absorb(utilities, col, 7)
+            )
+        columns = [0, 3, 9]
+        assert np.array_equal(
+            sharded.utilities_for_selection(columns, capacity=6, seed_columns=[2]),
+            flat.utilities_for_selection(columns, capacity=6, seed_columns=[2]),
+        )
+        assert np.array_equal(
+            sharded.per_trajectory_utility(columns),
+            flat.per_trajectory_utility(columns),
+        )
+        assert sharded.utility_of(columns) == flat.utility_of(columns)
+
+    def test_gain_updates_match(self, rng, engine, pref_name):
+        flat, sharded = self._pair(rng, engine, pref_name, 3)
+        utilities = rng.uniform(0.0, 0.4, flat.num_trajectories)
+        rows = np.sort(
+            rng.choice(flat.num_trajectories, size=20, replace=False)
+        ).astype(np.int64)
+        old = utilities[rows]
+        new = old + rng.uniform(0.01, 0.5, len(rows))
+        np.testing.assert_allclose(
+            sharded.gain_updates(rows, old, new),
+            flat.gain_updates(rows, old, new),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+
+def test_dense_and_sparse_gain_updates_agree(rng):
+    """The new sparse ``gain_updates`` kernel matches the dense one."""
+    detours = _random_detours(rng)
+    preference = make_preference("linear")
+    dense = CoverageIndex(detours, 1.2, preference)
+    sparse = SparseCoverageIndex(detours, 1.2, preference)
+    utilities = rng.uniform(0.0, 0.4, dense.num_trajectories)
+    rows = np.arange(0, dense.num_trajectories, 3, dtype=np.int64)
+    old = utilities[rows]
+    new = old + 0.25
+    np.testing.assert_allclose(
+        sparse.gain_updates(rows, old, new),
+        dense.gain_updates(rows, old, new),
+        rtol=1e-12,
+        atol=1e-12,
+    )
+    assert np.array_equal(
+        sparse.gain_updates(np.empty(0, dtype=np.int64), np.empty(0), np.empty(0)),
+        np.zeros(dense.num_sites),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# greedy selection parity (the acceptance criterion)
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("pref_name", ["binary", "linear", "exponential"])
+class TestSelectionParity:
+    def test_dense_strategies(self, rng, pref_name):
+        detours = _random_detours(rng)
+        preference = make_preference(pref_name)
+        flat = CoverageIndex(detours, 1.2, preference)
+        for shards in SHARD_COUNTS:
+            sharded = ShardedCoverage.from_detours(
+                detours, 1.2, preference, num_shards=shards, engine="dense"
+            )
+            for strategy in ("incremental", "recompute"):
+                expected = IncGreedy(flat, strategy).select(8)
+                actual = IncGreedy(sharded, strategy).select(8)
+                assert actual[0] == expected[0]
+                assert np.array_equal(actual[1], expected[1])
+
+    def test_sparse_lazy(self, rng, pref_name):
+        detours = _random_detours(rng)
+        preference = make_preference(pref_name)
+        flat = SparseCoverageIndex(detours, 1.2, preference)
+        for shards in SHARD_COUNTS:
+            sharded = ShardedCoverage.from_detours(
+                detours, 1.2, preference, num_shards=shards, engine="sparse"
+            )
+            expected = LazyGreedy(flat).select(8)
+            actual = LazyGreedy(sharded).select(8)
+            assert actual[0] == expected[0]
+            assert np.array_equal(actual[1], expected[1])
+
+    def test_capacities_and_existing_sites(self, rng, pref_name):
+        detours = _random_detours(rng)
+        preference = make_preference(pref_name)
+        flat = CoverageIndex(detours, 1.2, preference)
+        sharded = ShardedCoverage.from_detours(
+            detours, 1.2, preference, num_shards=4, engine="dense"
+        )
+        capacities = np.full(flat.num_sites, 11)
+        expected = IncGreedy(flat, "recompute").select(
+            6, existing_columns=[2, 5], capacities=capacities
+        )
+        actual = IncGreedy(sharded, "recompute").select(
+            6, existing_columns=[2, 5], capacities=capacities
+        )
+        assert actual[0] == expected[0]
+        assert np.array_equal(actual[1], expected[1])
+
+    def test_executor_does_not_change_selections(self, rng, pref_name):
+        detours = _random_detours(rng)
+        preference = make_preference(pref_name)
+        flat = SparseCoverageIndex(detours, 1.2, preference)
+        expected = LazyGreedy(flat).select(8)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            sharded = ShardedCoverage.from_detours(
+                detours, 1.2, preference, num_shards=4, engine="sparse", executor=pool
+            )
+            actual = LazyGreedy(sharded).select(8)
+        assert actual[0] == expected[0]
+        assert np.array_equal(actual[1], expected[1])
+
+
+# ---------------------------------------------------------------------- #
+# variant drivers
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+class TestVariantDriverParity:
+    def _pair(self, rng, engine, preference=None, shards=4):
+        detours = _random_detours(rng)
+        preference = preference or BinaryPreference()
+        flat_cls = SparseCoverageIndex if engine == "sparse" else CoverageIndex
+        flat = flat_cls(detours, 1.2, preference)
+        sharded = ShardedCoverage.from_detours(
+            detours, 1.2, preference, num_shards=shards, engine=engine
+        )
+        return flat, sharded
+
+    def test_tops_cost(self, rng, engine):
+        flat, sharded = self._pair(rng, engine)
+        costs = np.linspace(1.0, 3.0, flat.num_sites)
+        expected = solve_tops_cost(flat, budget=10.0, site_costs=costs)
+        actual = solve_tops_cost(sharded, budget=10.0, site_costs=costs)
+        assert actual.sites == expected.sites
+        assert actual.per_trajectory_utility == expected.per_trajectory_utility
+
+    def test_tops_capacity(self, rng, engine):
+        flat, sharded = self._pair(rng, engine, make_preference("linear"))
+        query = TOPSQuery(k=5, tau_km=1.2, preference=make_preference("linear"))
+        capacities = np.full(flat.num_sites, 9.0)
+        expected = solve_tops_capacity(flat, query, capacities)
+        actual = solve_tops_capacity(sharded, query, capacities)
+        assert actual.sites == expected.sites
+        assert actual.per_trajectory_utility == expected.per_trajectory_utility
+
+    def test_tops_with_existing(self, rng, engine):
+        flat, sharded = self._pair(rng, engine)
+        query = TOPSQuery(k=4, tau_km=1.2)
+        existing = [int(flat.site_labels[3]), int(flat.site_labels[8])]
+        expected = solve_tops_with_existing(flat, query, existing)
+        actual = solve_tops_with_existing(sharded, query, existing)
+        assert actual.sites == expected.sites
+        assert actual.per_trajectory_utility == expected.per_trajectory_utility
+
+    def test_tops_market_share(self, rng, engine):
+        flat, sharded = self._pair(rng, engine)
+        expected = solve_tops_market_share(flat, beta=0.6)
+        actual = solve_tops_market_share(sharded, beta=0.6)
+        assert actual.sites == expected.sites
+        assert actual.per_trajectory_utility == expected.per_trajectory_utility
+
+
+def test_min_inconvenience_refuses_sharded_coverage(rng):
+    detours = _random_detours(rng)
+    from repro.core.preference import InconveniencePreference
+
+    sharded = ShardedCoverage.from_detours(
+        detours, 1e9, InconveniencePreference(), num_shards=2, engine="dense"
+    )
+    with pytest.raises(ValueError, match="shards=1"):
+        solve_tops_min_inconvenience(sharded, TOPSQuery(k=3, tau_km=1e9))
+
+
+def test_fm_greedy_parity(rng):
+    detours = _random_detours(rng)
+    flat = SparseCoverageIndex(detours, 1.2, BinaryPreference())
+    sharded = ShardedCoverage.from_detours(
+        detours, 1.2, BinaryPreference(), num_shards=4, engine="sparse"
+    )
+    expected = FMGreedy(flat, num_sketches=12).solve(TOPSQuery(k=5, tau_km=1.2))
+    actual = FMGreedy(sharded, num_sketches=12).solve(TOPSQuery(k=5, tau_km=1.2))
+    assert actual.sites == expected.sites
+    assert actual.per_trajectory_utility == expected.per_trajectory_utility
+
+
+# ---------------------------------------------------------------------- #
+# NetClus clustered space
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+def test_netclus_query_parity_across_shard_counts(tiny_netclus, engine):
+    query = TOPSQuery(k=6, tau_km=0.9)
+    baseline = tiny_netclus.query(query, engine=engine)
+    assert baseline.metadata["shards"] == 1
+    for shards in SHARD_COUNTS:
+        prepared = tiny_netclus.prepare_coverage(
+            query.tau_km, query.preference, engine=engine, shards=shards
+        )
+        assert prepared.num_shards == shards
+        result = tiny_netclus.query(query, engine=engine, prepared=prepared)
+        assert result.sites == baseline.sites
+        assert result.per_trajectory_utility == baseline.per_trajectory_utility
+        assert result.metadata["shards"] == shards
+
+
+def test_netclus_index_default_shards(tiny_problem):
+    index = tiny_problem.build_netclus_index(tau_max_km=2.0, max_instances=2)
+    index.shards = 3
+    prepared = index.prepare_coverage(0.8, BinaryPreference(), engine="sparse")
+    assert prepared.num_shards == 3
+    explicit = index.prepare_coverage(
+        0.8, BinaryPreference(), engine="sparse", shards=1
+    )
+    assert explicit.num_shards == 1
+
+
+def test_problem_coverage_shards_parity(grid_problem, binary_query):
+    flat = grid_problem.coverage(binary_query, engine="sparse")
+    sharded = grid_problem.coverage(binary_query, engine="sparse", shards=4)
+    expected = LazyGreedy(flat).select(5)
+    actual = LazyGreedy(sharded).select(5)
+    assert actual[0] == expected[0]
+    assert np.array_equal(actual[1], expected[1])
+
+
+# ---------------------------------------------------------------------- #
+# dynamic updates
+# ---------------------------------------------------------------------- #
+def test_sharded_parity_survives_apply_updates(tiny_bundle):
+    problem = tiny_bundle.problem()
+    index = problem.build_netclus_index(tau_max_km=2.0, max_instances=3)
+    network = tiny_bundle.network
+    # a fresh trajectory along real edges plus site churn, as one batch
+    start = next(iter(index.sites))
+    neighbor = next(iter(network.successors(start)))
+    new_id = max(index.trajectory_ids) + 101
+    trajectory = Trajectory.from_nodes(new_id, [start, neighbor, start], network)
+    removable = sorted(index.sites)[:2]
+    index.apply_updates(
+        UpdateBatch(
+            add_trajectories=(trajectory,),
+            remove_sites=tuple(removable),
+        )
+    )
+    query = TOPSQuery(k=5, tau_km=0.8)
+    for engine in ("dense", "sparse"):
+        baseline = index.query(query, engine=engine, shards=1)
+        for shards in (2, 4):
+            result = index.query(query, engine=engine, shards=shards)
+            assert result.sites == baseline.sites
+            assert result.per_trajectory_utility == baseline.per_trajectory_utility
+    # the new trajectory hashes to the same shard any fresh layout assigns it
+    prepared = index.prepare_coverage(0.8, BinaryPreference(), "sparse", shards=4)
+    row = index.trajectory_ids.index(new_id)
+    owning_shard = int(prepared.coverage._shard_of_row[row])
+    assert owning_shard == shard_of(new_id, 4)
+
+
+# ---------------------------------------------------------------------- #
+# placement service
+# ---------------------------------------------------------------------- #
+def _mixed_specs():
+    return [
+        QuerySpec(k=3, tau_km=0.8),
+        QuerySpec(k=7, tau_km=0.8),  # shares the k=7 run
+        QuerySpec(k=4, tau_km=0.8, preference="linear"),
+        QuerySpec(k=3, tau_km=0.8, capacity=12),
+        QuerySpec(k=1, tau_km=0.8, budget=4.0),
+        QuerySpec(k=3, tau_km=1.6, existing_sites=(0,)),
+    ]
+
+
+class TestShardedService:
+    def test_batch_results_identical_to_unsharded(self, tiny_netclus):
+        specs = _mixed_specs()
+        plain = PlacementService(tiny_netclus, engine="sparse")
+        expected = plain.batch_query(specs)
+        for shards, workers in ((2, 1), (4, 2), (4, "auto")):
+            service = PlacementService(
+                tiny_netclus, engine="sparse", shards=shards, query_workers=workers
+            )
+            results = service.batch_query(specs)
+            for got, want in zip(results, expected):
+                assert got.sites == want.sites
+                assert got.per_trajectory_utility == want.per_trajectory_utility
+                assert got.metadata["shards"] == shards
+            service.close()
+
+    def test_effective_shards_inherits_index_default(self, tiny_problem):
+        index = tiny_problem.build_netclus_index(tau_max_km=2.0, max_instances=2)
+        index.shards = 4
+        service = PlacementService(index)
+        assert service.effective_shards == 4
+        override = PlacementService(index, shards=2)
+        assert override.effective_shards == 2
+
+    def test_executor_is_persistent_and_closeable(self, tiny_netclus):
+        service = PlacementService(
+            tiny_netclus, engine="sparse", shards=4, query_workers=2
+        )
+        service.batch_query([QuerySpec(k=3, tau_km=0.8)], use_cache=False)
+        first = service._executor
+        assert first is not None
+        service.batch_query([QuerySpec(k=4, tau_km=0.8)], use_cache=False)
+        assert service._executor is first  # reused, not rebuilt
+        service.close()
+        assert service._executor is None
+        # still serviceable after close
+        service.batch_query([QuerySpec(k=3, tau_km=0.8)], use_cache=False)
+        service.close()
+
+    def test_unsharded_service_never_builds_a_pool(self, tiny_netclus):
+        service = PlacementService(tiny_netclus, query_workers="auto")
+        service.batch_query([QuerySpec(k=3, tau_km=0.8)])
+        assert service._executor is None
+
+    def test_stage_timings_accumulate(self, tiny_netclus):
+        service = PlacementService(tiny_netclus, engine="sparse", shards=2)
+        service.batch_query([QuerySpec(k=3, tau_km=0.8)], use_cache=False)
+        stats = service.stats
+        assert stats.coverage_build_seconds > 0.0
+        assert stats.greedy_seconds > 0.0
+        assert set(stats.stage_seconds()) == {
+            "coverage_build_seconds",
+            "greedy_seconds",
+            "replay_seconds",
+        }
+        result = service.query(QuerySpec(k=2, tau_km=0.8), use_cache=False)
+        assert "coverage_build_seconds" in result.stage_seconds()
+        assert "greedy_run_seconds" in result.stage_seconds()
+        stats.reset()
+        assert stats.coverage_build_seconds == 0
+
+    def test_shards_round_trip_through_manifest(self, tiny_problem, tmp_path):
+        index = tiny_problem.build_netclus_index(tau_max_km=2.0, max_instances=2)
+        index.shards = 3
+        save_index(index, tmp_path / "sharded.ncx")
+        manifest = load_manifest(tmp_path / "sharded.ncx")
+        assert manifest["shards"] == 3
+        assert sum(manifest["shard_sizes"]) == index.num_trajectories
+        loaded = load_index(tmp_path / "sharded.ncx")
+        assert loaded.shards == 3
+        service = PlacementService.from_path(tmp_path / "sharded.ncx")
+        assert service.effective_shards == 3
+
+    def test_unsharded_manifest_has_no_shard_keys(self, tiny_problem, tmp_path):
+        index = tiny_problem.build_netclus_index(tau_max_km=2.0, max_instances=2)
+        save_index(index, tmp_path / "plain.ncx")
+        manifest = load_manifest(tmp_path / "plain.ncx")
+        assert "shards" not in manifest
+        assert "shard_sizes" not in manifest
+        assert load_index(tmp_path / "plain.ncx").shards == 1
+
+
+# ---------------------------------------------------------------------- #
+# workers="auto"
+# ---------------------------------------------------------------------- #
+class TestResolveWorkers:
+    def test_auto_resolves_to_usable_cpus(self):
+        assert resolve_workers("auto") == usable_cpu_count()
+        assert resolve_workers("AUTO") == usable_cpu_count()
+        assert usable_cpu_count() >= 1
+
+    def test_integers_pass_through(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers("2") == 2
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers("banana")
+
+    def test_auto_accepted_by_build(self, tiny_bundle):
+        problem = tiny_bundle.problem()
+        index = problem.build_netclus_index(
+            tau_max_km=1.0, max_instances=1, workers="auto"
+        )
+        assert index.num_instances == 1

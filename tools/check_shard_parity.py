@@ -1,0 +1,109 @@
+"""CI gate: the sharded query path must answer byte-identically to shards=1.
+
+Builds the NetClus index for the small Beijing-like workload once, then
+answers a mixed spec batch — plain k-sweeps, a non-binary ψ, capacity,
+budget, existing services — through two :class:`PlacementService`
+configurations: ``shards=1`` (the unsharded baseline) and ``shards=4``
+with a worker pool.  Every result is byte-compared:
+
+* the selected site tuples must be identical, element for element;
+* the per-trajectory utility vectors must be byte-identical
+  (``np.ndarray.tobytes`` comparison — not approximate equality);
+* both engines (``sparse`` and ``dense``) are checked.
+
+Exits non-zero on any divergence.  Run from the repository root::
+
+    python tools/check_shard_parity.py [--scale tiny|small|medium] [--shards 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import beijing_like  # noqa: E402
+from repro.service.placement import PlacementService  # noqa: E402
+from repro.service.specs import QuerySpec  # noqa: E402
+
+
+def _spec_batch() -> list[QuerySpec]:
+    """A batch covering every selection rule the service implements."""
+    return [
+        QuerySpec(k=3, tau_km=0.8),
+        QuerySpec(k=8, tau_km=0.8),
+        QuerySpec(k=5, tau_km=1.6),
+        QuerySpec(k=5, tau_km=0.8, preference="linear"),
+        QuerySpec(k=5, tau_km=0.8, preference="exponential"),
+        QuerySpec(k=4, tau_km=0.8, capacity=15),
+        QuerySpec(k=1, tau_km=0.8, budget=5.0),
+        QuerySpec(k=3, tau_km=1.6, existing_sites=(0, 5)),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--query-workers", default="auto")
+    args = parser.parse_args(argv)
+
+    bundle = beijing_like(scale=args.scale, seed=42)
+    problem = bundle.problem()
+    print(f"Building NetClus index for {bundle.name}...")
+    index = problem.build_netclus_index(gamma=0.75, tau_min_km=0.4, tau_max_km=8.0)
+    specs = _spec_batch()
+
+    failures = 0
+    for engine in ("sparse", "dense"):
+        baseline_service = PlacementService(index, engine=engine)
+        sharded_service = PlacementService(
+            index,
+            engine=engine,
+            shards=args.shards,
+            query_workers=args.query_workers,
+        )
+        baseline = baseline_service.batch_query(specs, use_cache=False)
+        sharded = sharded_service.batch_query(specs, use_cache=False)
+        sharded_service.close()
+        engine_failures_before = failures
+        for spec, want, got in zip(specs, baseline, sharded):
+            label = f"engine={engine} spec={spec.to_dict()}"
+            if got.sites != want.sites:
+                print(f"FAIL [{label}]: sites {got.sites} != {want.sites}")
+                failures += 1
+                continue
+            want_bytes = np.asarray(want.per_trajectory_utility).tobytes()
+            got_bytes = np.asarray(got.per_trajectory_utility).tobytes()
+            if got_bytes != want_bytes:
+                print(f"FAIL [{label}]: per-trajectory utilities diverge")
+                failures += 1
+                continue
+            if got.metadata.get("shards") != args.shards:
+                print(
+                    f"FAIL [{label}]: result reports shards="
+                    f"{got.metadata.get('shards')}, expected {args.shards}"
+                )
+                failures += 1
+        if failures == engine_failures_before:
+            print(
+                f"engine={engine:<6}: {len(specs)} specs byte-identical at "
+                f"shards={args.shards} (x{sharded_service.query_workers} workers)"
+            )
+    if failures:
+        print(f"FAIL: {failures} divergent result(s)")
+        return 1
+    print(
+        f"OK: shards={args.shards} answers are byte-identical to the "
+        "unsharded path on both engines"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
