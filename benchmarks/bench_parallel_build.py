@@ -174,8 +174,8 @@ def test_parallel_build_medium(benchmark):
         assert row["speedup"] > 0.0
 
 
-def main(argv=None) -> int:
-    """Script entry point: ``--smoke`` for the CI-sized run."""
+def build_parser() -> argparse.ArgumentParser:
+    """The script-entry CLI (see ``benchmarks/conftest.py``'s registry)."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument(
         "--smoke",
@@ -188,7 +188,12 @@ def main(argv=None) -> int:
         default=None,
         help="pool size (default: min(4, usable CPUs); accepts 'auto')",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Script entry point: ``--smoke`` for the CI-sized run."""
+    args = build_parser().parse_args(argv)
     workers = _default_workers() if args.workers is None else args.workers
     if args.smoke:
         bundle = beijing_like(scale="tiny", seed=42)

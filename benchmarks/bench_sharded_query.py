@@ -166,8 +166,8 @@ def test_sharded_query_medium(benchmark):
         assert record["speedup"] > 0.0
 
 
-def main(argv=None) -> int:
-    """Script entry point: ``--smoke`` for the CI-sized run."""
+def build_parser() -> argparse.ArgumentParser:
+    """The script-entry CLI (see ``benchmarks/conftest.py``'s registry)."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument(
         "--smoke",
@@ -180,7 +180,12 @@ def main(argv=None) -> int:
         default=None,
         help="shard count (default: min(4, usable CPUs))",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Script entry point: ``--smoke`` for the CI-sized run."""
+    args = build_parser().parse_args(argv)
     if args.smoke:
         bundle = beijing_like(scale="tiny", seed=42)
         record = _compare(bundle, shards=args.shards or 2, workers=2, repeats=1)

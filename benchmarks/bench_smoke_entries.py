@@ -1,0 +1,60 @@
+"""Registry checks for the shared ``--smoke`` script-entry convention.
+
+``benchmarks/conftest.py`` keeps ``SCRIPT_SMOKE_BENCHMARKS`` — the
+registry of benchmark modules that double as scripts with a CI-sized
+``--smoke`` run.  CI's bench-smoke job drives its script steps from that
+registry, and these tests pin the convention from the pytest side:
+
+* the registry and the modules on disk agree (a new ``bench_*.py`` with a
+  ``__main__`` entry must register; a registered module must exist), and
+* every registered module actually exposes ``build_parser()`` with a
+  ``--smoke`` flag and a callable ``main``.
+
+Both tests carry ``smoke`` in their names, so the CI ``-k smoke`` pass
+runs them — the pytest pass and the script steps can no longer silently
+diverge when new benchmark files land.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+
+def _conftest():
+    path = Path(__file__).with_name("conftest.py")
+    spec = importlib.util.spec_from_file_location("_bench_conftest", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_CONFTEST = _conftest()
+
+
+def test_smoke_registry_matches_modules_on_disk():
+    """Every script-entry benchmark is registered, and vice versa."""
+    on_disk = _CONFTEST.script_entry_modules()
+    registered = tuple(sorted(_CONFTEST.SCRIPT_SMOKE_BENCHMARKS))
+    assert registered == on_disk, (
+        "script-style benchmarks and conftest.SCRIPT_SMOKE_BENCHMARKS diverged: "
+        f"registered {registered}, on disk {on_disk} — register new script "
+        "benchmarks (with a --smoke flag) or drop stale entries"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_CONFTEST.SCRIPT_SMOKE_BENCHMARKS))
+def test_smoke_entry_contract(name):
+    """Registered modules expose build_parser() with --smoke and main()."""
+    module = _CONFTEST.load_script_benchmark(name)
+    assert callable(getattr(module, "main", None)), f"{name} has no main(argv)"
+    parser = getattr(module, "build_parser", None)
+    assert callable(parser), f"{name} has no build_parser()"
+    options = {
+        option
+        for action in parser()._actions
+        for option in action.option_strings
+    }
+    assert "--smoke" in options, f"{name}'s parser lost its --smoke flag"

@@ -20,8 +20,15 @@ in-memory :class:`~repro.core.netclus.NetClusIndex` into a service:
   service is safe for concurrent callers: queries share a readers-writer
   lock, :meth:`PlacementService.apply_updates` mutates exclusively, and
   the cache/counters are mutex-guarded.
-* ``python -m repro.service`` — the ``build`` / ``query`` / ``update`` /
-  ``inspect`` CLI.
+* :mod:`repro.service.server` — :class:`PlacementServer`, the asyncio
+  HTTP/1.1 front end over a service: ``POST /query`` with identical
+  in-flight specs coalesced onto one future, ``POST /update`` through the
+  writer lock, ``GET /metrics`` (Prometheus-style text) and ``GET
+  /healthz``; bounded admission with 503 backpressure, per-request
+  timeouts, and graceful drain on shutdown.  Blocking placement work runs
+  on a sized thread pool so the event loop never stalls.
+* ``python -m repro.service`` — the ``build`` / ``query`` / ``serve`` /
+  ``update`` / ``inspect`` CLI.
 
 See ``docs/architecture.md`` for where this layer sits and
 ``docs/index-format.md`` for the on-disk format specification.
@@ -39,10 +46,22 @@ from repro.service.serialization import (
     save_index,
     trajectory_fingerprint,
 )
+from repro.service.server import (
+    LatencyReservoir,
+    PlacementServer,
+    ServerHandle,
+    ServerStats,
+    serve_in_background,
+)
 from repro.service.specs import QuerySpec
 
 __all__ = [
     "PlacementService",
+    "PlacementServer",
+    "ServerHandle",
+    "ServerStats",
+    "LatencyReservoir",
+    "serve_in_background",
     "ServiceStats",
     "QuerySpec",
     "save_index",

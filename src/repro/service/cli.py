@@ -1,6 +1,6 @@
-"""``python -m repro.service`` — build, query, update and inspect indexes.
+"""``python -m repro.service`` — build, query, serve, update, inspect indexes.
 
-Four subcommands::
+Five subcommands::
 
     # offline phase: build a NetClus index for a dataset preset, save to disk
     python -m repro.service build --dataset beijing --scale tiny --out city.ncx
@@ -10,6 +10,10 @@ Four subcommands::
     #  selections are identical for any --shards / --query-workers)
     python -m repro.service query --index city.ncx --specs specs.json \\
         --shards 4 --query-workers auto
+
+    # serving phase: the asyncio HTTP front end (POST /query, POST /update,
+    # GET /metrics, GET /healthz) with coalescing + bounded admission
+    python -m repro.service serve --index city.ncx --port 8321 --max-inflight 64
 
     # dynamic updates: absorb trajectory/site deltas as one batch, save back
     python -m repro.service update --index city.ncx \\
@@ -178,6 +182,66 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"shards {service.effective_shards} x {service.query_workers} workers | "
         f"stage seconds: coverage {stats.coverage_build_seconds:.3f} | "
         f"greedy {stats.greedy_seconds:.3f} | replay {stats.replay_seconds:.3f}"
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# serve
+# ---------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import PlacementServer
+
+    service = PlacementService.from_path(
+        args.index,
+        engine=args.engine,
+        shards=args.shards,
+        query_workers=args.query_workers,  # already resolved by the argparse type
+    )
+    server = PlacementServer(
+        service,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        worker_threads=args.worker_threads,
+        request_timeout=args.request_timeout,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-Unix loops
+                pass
+        host, port = server.address
+        print(
+            f"Serving {args.index} on http://{host}:{port} "
+            f"(max-inflight {server.max_inflight}, "
+            f"{server.worker_threads} worker threads, "
+            f"request timeout {server.request_timeout:g}s)",
+            flush=True,
+        )
+        print(
+            "Endpoints: POST /query | POST /update | GET /metrics | GET /healthz",
+            flush=True,
+        )
+        await stop.wait()
+        print("Signal received — draining in-flight requests...", flush=True)
+        await server.shutdown(drain_timeout=args.drain_timeout)
+
+    asyncio.run(_serve())
+    stats = server.stats
+    print(
+        f"Served {stats.requests_total['query']} query / "
+        f"{stats.requests_total['update']} update requests "
+        f"({stats.coalesced_specs} specs coalesced, "
+        f"{stats.rejected_total} rejected); shut down cleanly."
     )
     return 0
 
@@ -433,6 +497,57 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     query.add_argument("--output", default=None, help="write results JSON here")
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve", help="serve an index over HTTP (asyncio front end)"
+    )
+    serve.add_argument("--index", required=True, help="index directory (from build)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="bound on concurrently admitted query/update requests; the "
+        "next request is answered 503 instead of queueing without bound",
+    )
+    serve.add_argument(
+        "--worker-threads",
+        type=int,
+        default=4,
+        help="thread-pool size for blocking placement work (the event loop "
+        "itself never computes a placement)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request budget in seconds before a 504 is answered",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to let in-flight requests finish on shutdown",
+    )
+    serve.add_argument("--engine", default="sparse", choices=["dense", "sparse"])
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="trajectory-shard count for the query path (default: the "
+        "index's saved layout; results are identical for any value)",
+    )
+    serve.add_argument(
+        "--query-workers",
+        type=resolve_workers,
+        default="auto",
+        help="threads of the shard-evaluation pool; a positive integer or "
+        "'auto' (the usable-CPU count)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     update = sub.add_parser(
         "update", help="apply trajectory/site deltas to an index as one batch"

@@ -151,19 +151,25 @@ class ServiceStats:
                 setattr(self, name, getattr(self, name) + amount)
 
     def as_dict(self) -> dict[str, int | float]:
-        """The counters as a plain dict (reporting/CLI)."""
-        return {
-            "queries_served": self.queries_served,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "instance_resolutions": self.instance_resolutions,
-            "coverage_builds": self.coverage_builds,
-            "greedy_runs": self.greedy_runs,
-            "index_builds": self.index_builds,
-            "coverage_build_seconds": self.coverage_build_seconds,
-            "greedy_seconds": self.greedy_seconds,
-            "replay_seconds": self.replay_seconds,
-        }
+        """The counters as one consistent plain dict (reporting/CLI/metrics).
+
+        Taken under the counter lock, so a concurrent :meth:`bump` can
+        never produce a torn snapshot — this is what the HTTP server's
+        ``/metrics`` endpoint renders while query threads are counting.
+        """
+        with self._lock:
+            return {
+                "queries_served": self.queries_served,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "instance_resolutions": self.instance_resolutions,
+                "coverage_builds": self.coverage_builds,
+                "greedy_runs": self.greedy_runs,
+                "index_builds": self.index_builds,
+                "coverage_build_seconds": self.coverage_build_seconds,
+                "greedy_seconds": self.greedy_seconds,
+                "replay_seconds": self.replay_seconds,
+            }
 
     def stage_seconds(self) -> dict[str, float]:
         """The per-stage query timings only (reporting/CLI)."""
@@ -338,6 +344,17 @@ class PlacementService:
                     self._index = self._builder()
                     self.stats.bump(index_builds=1)
         return self._index
+
+    @property
+    def index_version(self) -> int | None:
+        """Version of the owned index without forcing the lazy build.
+
+        ``None`` while a lazily-constructed service has not built its
+        index yet; the HTTP server reports this as version ``-1`` on
+        ``/healthz`` and ``/metrics`` rather than triggering a build
+        from an observability probe.
+        """
+        return None if self._index is None else int(self._index.version)
 
     @property
     def effective_shards(self) -> int:

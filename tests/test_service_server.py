@@ -1,0 +1,473 @@
+"""Tests for the asyncio HTTP serving front end (``repro.service.server``).
+
+Everything here drives a real server over real sockets: the
+:func:`~repro.service.server.serve_in_background` handle binds an
+ephemeral port on a dedicated event-loop thread and the tests speak plain
+``http.client`` to it — the same path the benchmark harness and the CI
+serving-smoke job exercise.
+
+The coalescing / backpressure / timeout / drain tests inject a
+:class:`GatedService` whose ``batch_query`` blocks on an event until the
+test releases it, which makes "while the first request is still
+computing" a deterministic state instead of a sleep-tuned race.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.placement import PlacementService
+from repro.service.server import (
+    LatencyReservoir,
+    PlacementServer,
+    serve_in_background,
+)
+from repro.service.specs import QuerySpec
+
+
+class GatedService(PlacementService):
+    """A placement service whose ``batch_query`` waits for a test-held gate.
+
+    ``calls`` counts the underlying ``batch_query`` invocations (the
+    coalescing assertions), and ``gate`` starts open so construction-time
+    queries run through.
+    """
+
+    def __init__(self, index, **kwargs) -> None:
+        super().__init__(index, **kwargs)
+        self.gate = threading.Event()
+        self.gate.set()
+        self.calls = 0
+        self._call_count_lock = threading.Lock()
+
+    def batch_query(self, specs, use_cache=True):
+        with self._call_count_lock:
+            self.calls += 1
+        assert self.gate.wait(timeout=20), "test gate never released"
+        return super().batch_query(specs, use_cache=use_cache)
+
+
+def request(
+    address: tuple[str, int],
+    method: str,
+    path: str,
+    payload=None,
+    timeout: float = 20.0,
+):
+    """One HTTP request; returns ``(status, headers, parsed-or-text body)``."""
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        is_json = content_type.startswith("application/json")
+        parsed = json.loads(raw) if is_json else raw.decode()
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        conn.close()
+
+
+def wait_until(predicate, timeout: float = 10.0, message: str = "condition"):
+    """Poll *predicate* until true (sub-ms requests make sleeps racy)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.fixture(scope="module")
+def served(tiny_netclus):
+    """A served (read-only) tiny index + a direct reference service."""
+    service = PlacementService(tiny_netclus)
+    reference = PlacementService(tiny_netclus)
+    with serve_in_background(service) as handle:
+        yield handle, service, reference
+
+
+# ---------------------------------------------------------------------- #
+# basic endpoints + parity
+# ---------------------------------------------------------------------- #
+def test_healthz(served):
+    handle, _, _ = served
+    status, _, body = request(handle.address, "GET", "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["draining"] is False
+
+
+def test_unknown_endpoint_404(served):
+    handle, _, _ = served
+    status, _, body = request(handle.address, "GET", "/nope")
+    assert status == 404
+    assert "no such endpoint" in body["error"]
+
+
+def test_wrong_method_405(served):
+    handle, _, _ = served
+    status, _, _ = request(handle.address, "POST", "/healthz")
+    assert status == 405
+    status, _, _ = request(handle.address, "GET", "/query")
+    assert status == 405
+
+
+def test_bad_json_400(served):
+    handle, _, _ = served
+    host, port = handle.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    conn.request("POST", "/query", body=b"{not json")
+    response = conn.getresponse()
+    assert response.status == 400
+    assert b"not valid JSON" in response.read()
+    conn.close()
+
+
+def test_bad_spec_400(served):
+    handle, _, _ = served
+    status, _, body = request(
+        handle.address, "POST", "/query", [{"k": 3, "tau_km": 0.8, "typo": 1}]
+    )
+    assert status == 400
+    assert "typo" in body["error"]
+    status, _, _ = request(handle.address, "POST", "/query", [])
+    assert status == 400
+
+
+def test_served_placements_byte_identical_to_direct_service(served):
+    """The acceptance bar: HTTP answers == in-process ``batch_query``."""
+    handle, _, reference = served
+    specs = [
+        QuerySpec(k=3, tau_km=0.8),
+        QuerySpec(k=6, tau_km=0.8),
+        QuerySpec(k=4, tau_km=1.6, preference="linear"),
+        QuerySpec(k=3, tau_km=0.8, capacity=25),
+        QuerySpec(k=1, tau_km=0.8, budget=3.0),
+    ]
+    status, _, body = request(
+        handle.address, "POST", "/query", [spec.to_dict() for spec in specs]
+    )
+    assert status == 200
+    direct = reference.batch_query(specs, use_cache=False)
+    assert len(body["results"]) == len(direct)
+    for served_entry, want, spec in zip(body["results"], direct, specs):
+        assert tuple(served_entry["sites"]) == want.sites
+        assert served_entry["utility"] == want.utility
+        assert (
+            np.asarray(served_entry["per_trajectory_utility"], dtype=np.float64).tobytes()
+            == np.asarray(want.per_trajectory_utility, dtype=np.float64).tobytes()
+        ), f"per-trajectory utilities diverged for {spec}"
+
+
+def test_query_accepts_object_envelope(served):
+    handle, _, _ = served
+    spec = {"k": 3, "tau_km": 0.8}
+    status, _, body = request(
+        handle.address, "POST", "/query", {"specs": [spec], "use_cache": False}
+    )
+    assert status == 200
+    assert len(body["results"]) == 1
+    assert body["results"][0]["spec"]["k"] == 3
+
+
+def test_metrics_exposes_service_and_server_counters(served):
+    handle, _, _ = served
+    # ensure there is traffic to report
+    request(handle.address, "POST", "/query", [{"k": 3, "tau_km": 0.8}])
+    status, headers, text = request(handle.address, "GET", "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    lines = text.splitlines()
+    assert any(line.startswith("netclus_service_queries_served") for line in lines)
+    assert 'netclus_server_requests_total{endpoint="query"}' in text
+    assert 'netclus_server_responses_total{status="200"}' in text
+    assert (
+        'netclus_server_request_latency_seconds{endpoint="query",quantile="0.99"}'
+        in text
+    )
+    assert "netclus_index_version" in text
+    # HELP/TYPE headers rendered once per metric name
+    helps = [line for line in lines if line.startswith("# HELP")]
+    assert len(helps) == len(set(helps))
+
+
+# ---------------------------------------------------------------------- #
+# coalescing
+# ---------------------------------------------------------------------- #
+def _background_query(handle, payload, results, key):
+    results[key] = request(handle.address, "POST", "/query", payload, timeout=30)
+
+
+def test_identical_concurrent_specs_coalesce_to_one_batch_query(tiny_netclus):
+    """Two concurrent requests for one spec run ONE underlying batch_query."""
+    service = GatedService(tiny_netclus)
+    spec = {"k": 4, "tau_km": 0.8}
+    with serve_in_background(service) as handle:
+        service.gate.clear()
+        results: dict[str, tuple] = {}
+        first = threading.Thread(
+            target=_background_query, args=(handle, [spec], results, "first")
+        )
+        first.start()
+        wait_until(lambda: service.calls == 1, message="first request to reach the service")
+        second = threading.Thread(
+            target=_background_query, args=(handle, [spec], results, "second")
+        )
+        second.start()
+        wait_until(
+            lambda: handle.server.stats.coalesced_specs >= 1,
+            message="second request to coalesce",
+        )
+        service.gate.set()
+        first.join(timeout=20)
+        second.join(timeout=20)
+
+        assert results["first"][0] == 200 and results["second"][0] == 200
+        assert results["first"][2]["results"][0]["sites"] == (
+            results["second"][2]["results"][0]["sites"]
+        )
+        # one underlying service call, one greedy run — the second request
+        # shared the first's future instead of queueing duplicate work
+        assert service.calls == 1
+        assert service.stats.greedy_runs == 1
+        assert service.stats.coverage_builds == 1
+        assert handle.server.stats.coalesced_specs == 1
+
+
+def test_duplicate_specs_within_one_request_coalesce(tiny_netclus):
+    service = GatedService(tiny_netclus)
+    spec = {"k": 3, "tau_km": 0.8}
+    with serve_in_background(service) as handle:
+        status, _, body = request(handle.address, "POST", "/query", [spec, spec, spec])
+        assert status == 200
+        assert service.calls == 1
+        assert handle.server.stats.coalesced_specs == 2
+        sites = [tuple(entry["sites"]) for entry in body["results"]]
+        assert sites[0] == sites[1] == sites[2]
+
+
+# ---------------------------------------------------------------------- #
+# backpressure
+# ---------------------------------------------------------------------- #
+def test_queue_full_rejects_503_without_corrupting_inflight_work(tiny_netclus):
+    service = GatedService(tiny_netclus)
+    reference = PlacementService(tiny_netclus)
+    slow_spec = {"k": 4, "tau_km": 0.8}
+    with serve_in_background(service, max_inflight=1) as handle:
+        service.gate.clear()
+        results: dict[str, tuple] = {}
+        first = threading.Thread(
+            target=_background_query, args=(handle, [slow_spec], results, "slow")
+        )
+        first.start()
+        wait_until(lambda: service.calls == 1, message="slow request to be admitted")
+
+        status, headers, body = request(
+            handle.address, "POST", "/query", [{"k": 2, "tau_km": 1.6}]
+        )
+        assert status == 503
+        assert "over capacity" in body["error"]
+        assert headers.get("Retry-After") == "1"
+        assert handle.server.stats.rejected_total == 1
+        # health/metrics stay reachable while queries are saturated
+        assert request(handle.address, "GET", "/healthz")[0] == 200
+        assert request(handle.address, "GET", "/metrics")[0] == 200
+
+        service.gate.set()
+        first.join(timeout=20)
+        # the in-flight request finished unharmed and correct
+        assert results["slow"][0] == 200
+        want = reference.query(QuerySpec(**slow_spec), use_cache=False)
+        assert tuple(results["slow"][2]["results"][0]["sites"]) == want.sites
+
+        # capacity is released: the previously rejected spec now answers
+        status, _, _ = request(handle.address, "POST", "/query", [{"k": 2, "tau_km": 1.6}])
+        assert status == 200
+
+
+# ---------------------------------------------------------------------- #
+# per-request timeout
+# ---------------------------------------------------------------------- #
+def test_request_timeout_answers_504_and_computation_survives(tiny_netclus):
+    service = GatedService(tiny_netclus)
+    spec = {"k": 3, "tau_km": 0.8}
+    with serve_in_background(service, request_timeout=0.2) as handle:
+        service.gate.clear()
+        status, _, body = request(handle.address, "POST", "/query", [spec], timeout=30)
+        assert status == 504
+        assert "exceeded" in body["error"]
+        assert handle.server.stats.timeouts_total == 1
+
+        # the computation was not abandoned: once the gate opens it
+        # completes, clears the in-flight table and warms the cache
+        service.gate.set()
+        wait_until(lambda: service.stats.greedy_runs >= 1, message="background completion")
+        wait_until(
+            lambda: not handle.server._inflight_specs,
+            message="in-flight table to clear",
+        )
+        status, _, body = request(handle.address, "POST", "/query", [spec])
+        assert status == 200
+        wait_until(lambda: service.stats.cache_hits >= 1, message="cache hit")
+
+
+# ---------------------------------------------------------------------- #
+# updates through the writer lock
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def mutable_served(tiny_problem):
+    """A freshly built (mutable) served index — mutation tests only."""
+    index = tiny_problem.build_netclus_index(gamma=0.75, tau_min_km=0.4, tau_max_km=4.0)
+    service = PlacementService(index)
+    with serve_in_background(service) as handle:
+        yield handle, service
+
+
+def test_update_bumps_version_and_later_queries_see_it(mutable_served):
+    handle, service = mutable_served
+    spec = {"k": 5, "tau_km": 0.8}
+    status, _, before = request(handle.address, "POST", "/query", [spec])
+    assert status == 200
+    victim = before["results"][0]["sites"][0]
+
+    status, _, body = request(
+        handle.address, "POST", "/update", {"remove_sites": [victim]}
+    )
+    assert status == 200
+    assert body["applied"] == 1
+    assert body["index_version"] == body["index_version_before"] + 1
+    assert service.index.version == body["index_version"]
+
+    status, _, health = request(handle.address, "GET", "/healthz")
+    assert health["index_version"] == body["index_version"]
+
+    status, _, after = request(handle.address, "POST", "/query", [spec])
+    assert status == 200
+    assert victim not in after["results"][0]["sites"]
+    assert after["index_version"] == body["index_version"]
+
+
+def test_update_add_trajectory_over_http(mutable_served, tiny_problem):
+    handle, service = mutable_served
+    # a valid two-node walk along an existing edge of the network
+    network = service.index.network
+    node = next(n for n in network.node_ids() if network.successors(n))
+    neighbor = next(iter(network.successors(node)))
+    new_id = max(service.index.trajectory_ids) + 1
+    status, _, body = request(
+        handle.address,
+        "POST",
+        "/update",
+        {"add_trajectories": [{"traj_id": new_id, "nodes": [node, neighbor]}]},
+    )
+    assert status == 200
+    assert body["applied"] == 1
+    assert new_id in service.index.trajectory_ids
+
+
+def test_update_rejects_bad_deltas(mutable_served):
+    handle, _ = mutable_served
+    status, _, body = request(handle.address, "POST", "/update", {"bogus": [1]})
+    assert status == 400
+    assert "unknown update fields" in body["error"]
+    status, _, body = request(handle.address, "POST", "/update", {})
+    assert status == 400
+    assert "empty update" in body["error"]
+    # a site the index does not know: validated up front, nothing applied
+    status, _, body = request(
+        handle.address, "POST", "/update", {"remove_sites": [99999]}
+    )
+    assert status == 400
+
+
+# ---------------------------------------------------------------------- #
+# graceful drain
+# ---------------------------------------------------------------------- #
+def test_shutdown_drains_inflight_requests(tiny_netclus):
+    service = GatedService(tiny_netclus)
+    spec = {"k": 3, "tau_km": 1.6}
+    handle = serve_in_background(service)
+    service.gate.clear()
+    results: dict[str, tuple] = {}
+    slow = threading.Thread(
+        target=_background_query, args=(handle, [spec], results, "slow")
+    )
+    slow.start()
+    wait_until(lambda: service.calls == 1, message="request to be in flight")
+
+    closer = threading.Thread(target=handle.close)
+    closer.start()
+    wait_until(lambda: handle.server.draining, message="drain to begin")
+    service.gate.set()
+    slow.join(timeout=20)
+    closer.join(timeout=20)
+
+    # the in-flight request completed despite the concurrent shutdown
+    assert results["slow"][0] == 200
+    assert results["slow"][2]["results"][0]["sites"]
+    # and the socket is really gone afterwards
+    with pytest.raises(ConnectionRefusedError):
+        http.client.HTTPConnection(*handle.address, timeout=2).request("GET", "/healthz")
+
+
+def test_close_is_idempotent(tiny_netclus):
+    handle = serve_in_background(PlacementService(tiny_netclus))
+    handle.close()
+    handle.close()
+
+
+# ---------------------------------------------------------------------- #
+# latency reservoir
+# ---------------------------------------------------------------------- #
+def test_latency_reservoir_quantiles():
+    reservoir = LatencyReservoir(capacity=100)
+    assert reservoir.quantile(0.5) == 0.0
+    for value in range(1, 101):
+        reservoir.record(value / 100.0)
+    assert reservoir.count == 100
+    assert reservoir.quantile(0.5) == pytest.approx(0.5)
+    assert reservoir.quantile(0.99) == pytest.approx(0.99)
+    assert reservoir.quantile(1.0) == pytest.approx(1.0)
+    snapshot = reservoir.snapshot()
+    assert snapshot["count"] == 100
+    assert snapshot["p50"] == pytest.approx(0.5)
+
+
+def test_latency_reservoir_windows_over_capacity():
+    reservoir = LatencyReservoir(capacity=10)
+    for _ in range(50):
+        reservoir.record(1.0)
+    for _ in range(10):
+        reservoir.record(5.0)  # the window now holds only these
+    assert reservoir.count == 60
+    assert reservoir.quantile(0.5) == 5.0
+    assert reservoir.quantile(0.99) == 5.0
+
+
+def test_latency_reservoir_validates():
+    with pytest.raises(ValueError):
+        LatencyReservoir(capacity=0)
+    with pytest.raises(ValueError):
+        LatencyReservoir().quantile(1.5)
+
+
+# ---------------------------------------------------------------------- #
+# construction validation
+# ---------------------------------------------------------------------- #
+def test_server_validates_parameters(tiny_netclus):
+    service = PlacementService(tiny_netclus)
+    with pytest.raises(ValueError):
+        PlacementServer(service, max_inflight=0)
+    with pytest.raises(ValueError):
+        PlacementServer(service, worker_threads=0)
+    with pytest.raises(ValueError):
+        PlacementServer(service, request_timeout=0.0)
