@@ -12,6 +12,7 @@ from repro.core.query import TOPSQuery, TOPSResult
 from repro.core.distances import DistanceOracle
 from repro.core.coverage import CoverageIndex, SparseCoverageIndex
 from repro.core.shards import ShardedCoverage, shard_of
+from repro.core.covcache import CoverageCache, CoveragePart
 from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.fm_greedy import FMGreedy
 from repro.core.optimal import OptimalSolver
@@ -41,6 +42,8 @@ __all__ = [
     "SparseCoverageIndex",
     "ShardedCoverage",
     "shard_of",
+    "CoverageCache",
+    "CoveragePart",
     "IncGreedy",
     "LazyGreedy",
     "FMGreedy",

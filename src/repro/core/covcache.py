@@ -1,0 +1,725 @@
+"""Persistent, incrementally maintained coverage parts (the format-v3 cache).
+
+``BENCH_sharded_query.json`` shows coverage *construction* — not greedy —
+dominating steady-state query latency, so this module makes the per-(τ, ψ)
+coverage a first-class artifact instead of a per-query throwaway:
+
+* :class:`CoverageCache` — attached to a
+  :class:`~repro.core.netclus.NetClusIndex` via
+  :meth:`~repro.core.netclus.NetClusIndex.enable_coverage_cache` — holds one
+  :class:`CoveragePart` per ``(τ, ψ-spec)`` key;
+* each part stores the *canonical coverage entries* of the clustered space
+  (the min-reduced, column-major sorted ``(row, column, d̂r ≤ τ)`` triples)
+  plus the representative layout and the
+  :attr:`~repro.core.netclus.NetClusIndex.version` it is valid at;
+* dense, sparse and sharded structures are *materialised views* over the
+  canonical entries, built on demand and kept per ``(engine, shards)``;
+* :meth:`CoverageCache.begin_delta` / :meth:`CoverageCache.finish_delta`
+  bracket :meth:`~repro.core.netclus.NetClusIndex.apply_updates`: instead of
+  invalidating, the parts are *patched* — only the trajectory rows and
+  representative columns the :class:`~repro.core.netclus.UpdateBatch`
+  touched are recomputed, and every previously materialised view is rebuilt
+  from the patched entries so the very next query runs greedy with zero
+  coverage-build work.
+
+Parity is the repo's standard bar — byte-identical selections and
+per-trajectory utilities against a cold build — and rests on three facts:
+
+1. every registered ψ is exactly 0 beyond τ and the covered mask is
+   geometric (``d̂r ≤ τ``), so the ≤ τ entry set determines scores, mask,
+   selections and utilities for *both* engines (a dense matrix rebuilt
+   from the entries carries ``inf`` where a cold build kept an unusable
+   estimate > τ — invisible to every score-level consumer);
+2. entry values are recomputed with the *same float expression* as the
+   cold path (``leg + center_distance + rep_leg``, evaluated left to
+   right over the same per-cluster arrays), so patched entries are
+   bit-equal to freshly computed ones;
+3. ``min``-reduction over duplicate ``(row, column)`` pairs is associative,
+   so reducing carried + recomputed groups equals reducing the cold
+   emission stream.
+
+Parts are persisted as optional payloads of index format v3 (see
+``docs/index-format.md``); a part whose recorded ``index_version`` no
+longer matches the index is *refused* — dropped with a clean fallback to a
+cold rebuild — never served stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.preference import PreferenceFunction, is_registered, make_preference
+from repro.utils.timer import Timer
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (netclus imports us)
+    from repro.core.netclus import ClusteredCoverage, NetClusIndex, UpdateBatch
+
+__all__ = [
+    "CoverageCache",
+    "CoveragePart",
+    "coverage_cache_key",
+    "canonical_entries",
+]
+
+#: default maximum number of (τ, ψ) parts kept (least recently used wins)
+DEFAULT_PART_LIMIT = 8
+
+
+def coverage_cache_key(
+    tau_km: float, preference: PreferenceFunction
+) -> tuple[float, str, tuple[tuple[str, float], ...]] | None:
+    """The cache key of one ``(τ, ψ)`` pair, or ``None`` if not cacheable.
+
+    Only registered preferences can be keyed (and persisted): an
+    unregistered ψ subclass cannot be named in a manifest, so it bypasses
+    the cache entirely rather than aliasing a registered one.
+    """
+    if not is_registered(preference):
+        return None
+    name, params = preference.spec()
+    return (
+        float(tau_km),
+        str(name),
+        tuple(sorted((str(k), float(v)) for k, v in params.items())),
+    )
+
+
+def canonical_entries(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    estimates: np.ndarray,
+    tau_km: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonicalise coverage triples: ≤ τ, finite, min-reduced, column-major.
+
+    The exact filtering + ``np.lexsort((rows, cols))`` + ``minimum.reduceat``
+    pipeline of :meth:`SparseCoverageIndex.from_coverage_lists`, so feeding
+    the canonical form back through that constructor reproduces the cold
+    structures byte for byte (the lexsort is stable and the input already
+    sorted, making it the identity).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    estimates = np.asarray(estimates, dtype=np.float64)
+    keep = np.isfinite(estimates) & (estimates <= float(tau_km))
+    rows, cols, estimates = rows[keep], cols[keep], estimates[keep]
+    if len(rows):
+        order = np.lexsort((rows, cols))
+        rows, cols, estimates = rows[order], cols[order], estimates[order]
+        boundary = np.empty(len(rows), dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        starts = np.flatnonzero(boundary)
+        rows, cols = rows[starts], cols[starts]
+        estimates = np.minimum.reduceat(estimates, starts)
+    return rows, cols, estimates
+
+
+@dataclass
+class CoveragePart:
+    """Canonical coverage entries of one ``(τ, ψ)`` pair + materialised views.
+
+    The triple arrays are always in canonical form (see
+    :func:`canonical_entries`); ``materialised`` maps ``(engine, shards)``
+    to a ready-to-query :class:`~repro.core.netclus.ClusteredCoverage`
+    built over them.  ``index_version`` is the
+    :attr:`~repro.core.netclus.NetClusIndex.version` the entries are valid
+    at — a mismatch means the part must be refused, never served.
+    """
+
+    tau_km: float
+    preference_name: str
+    preference_params: tuple[tuple[str, float], ...]
+    instance_id: int
+    index_version: int
+    num_trajectories: int
+    rows: np.ndarray
+    cols: np.ndarray
+    estimates: np.ndarray
+    rep_sites: list[int]
+    rep_clusters: list[int]
+    materialised: dict[tuple[str, int], "ClusteredCoverage"] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def num_entries(self) -> int:
+        """Number of canonical ``(row, column)`` coverage entries."""
+        return int(len(self.rows))
+
+    @property
+    def num_representatives(self) -> int:
+        """Number of representative columns."""
+        return len(self.rep_sites)
+
+    def preference_fn(self) -> PreferenceFunction:
+        """Instantiate the part's ψ from its registered spec."""
+        return make_preference(self.preference_name, **dict(self.preference_params))
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able summary (manifest ``coverage_parts`` entries, inspect)."""
+        return {
+            "tau_km": self.tau_km,
+            "preference": self.preference_name,
+            "preference_params": dict(self.preference_params),
+            "instance_id": self.instance_id,
+            "index_version": self.index_version,
+            "num_trajectories": self.num_trajectories,
+            "num_representatives": self.num_representatives,
+            "num_entries": self.num_entries,
+        }
+
+
+@dataclass
+class _DeltaProbe:
+    """Pre-mutation snapshot :meth:`CoverageCache.begin_delta` captures."""
+
+    version_before: int
+    #: sorted registry rows of the trajectories about to be removed
+    removed_rows: np.ndarray
+    #: per instance (only those backing live parts): cluster_id →
+    #: (representative, representative_round_trip_km) for every cluster
+    #: that currently has a representative
+    rep_state: dict[int, dict[int, tuple[int, float]]]
+
+
+class CoverageCache:
+    """LRU cache of :class:`CoveragePart` objects, keyed by ``(τ, ψ-spec)``.
+
+    Thread-safe: lookups, stores and delta patches serialise on an internal
+    lock (the placement service's read/write lock already orders updates
+    against queries; the internal lock additionally protects concurrent
+    ``batch_query`` threads warming different keys).  Deep copies carry the
+    canonical entries but drop materialised views and any executor — a
+    copied index re-materialises lazily, with fresh locks.
+    """
+
+    def __init__(self, limit: int = DEFAULT_PART_LIMIT) -> None:
+        require(int(limit) >= 1, "coverage cache limit must be >= 1")
+        self.limit = int(limit)
+        self.parts: OrderedDict[tuple, CoveragePart] = OrderedDict()
+        #: optional executor for sharded materialisation (the placement
+        #: service injects its persistent pool); never copied or persisted
+        self.executor = None
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.patches = 0
+        self.invalidations = 0
+        self.materialisations = 0
+        self.patch_seconds = 0.0
+        self.materialise_seconds = 0.0
+
+    def resize(self, limit: int) -> None:
+        """Change the LRU part budget, evicting oldest parts if shrinking."""
+        require(int(limit) >= 1, "coverage cache limit must be >= 1")
+        with self._lock:
+            self.limit = int(limit)
+            while len(self.parts) > self.limit:
+                self.parts.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def peek(
+        self,
+        index: "NetClusIndex",
+        tau_km: float,
+        preference: PreferenceFunction,
+    ) -> bool:
+        """Whether a current-version part exists for ``(τ, ψ)`` (no counters)."""
+        key = coverage_cache_key(tau_km, preference)
+        if key is None:
+            return False
+        with self._lock:
+            part = self.parts.get(key)
+            return part is not None and part.index_version == index.version
+
+    def lookup(
+        self,
+        index: "NetClusIndex",
+        tau_km: float,
+        preference: PreferenceFunction,
+        engine: str = "sparse",
+        shards: int = 1,
+        executor=None,
+    ) -> "ClusteredCoverage | None":
+        """Return a warm :class:`ClusteredCoverage` for ``(τ, ψ)``, or ``None``.
+
+        A part bound to a stale ``index_version`` is *refused*: dropped
+        (counted as an invalidation) and reported as a miss, so the caller
+        falls back to a cold build — which re-stores fresh entries.
+        Materialises the requested ``(engine, shards)`` view on demand from
+        the canonical entries; a materialisation is still a *hit* (no
+        cluster-space recomputation happens), its cost is tracked
+        separately in :attr:`materialise_seconds`.
+        """
+        key = coverage_cache_key(tau_km, preference)
+        if key is None:
+            return None
+        with self._lock:
+            part = self.parts.get(key)
+            if part is None:
+                self.misses += 1
+                return None
+            if part.index_version != index.version:
+                del self.parts[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self.parts.move_to_end(key)
+            view = part.materialised.get((engine, int(shards)))
+            if view is None:
+                view = self._materialise(
+                    index, part, engine, int(shards), executor or self.executor
+                )
+                part.materialised[(engine, int(shards))] = view
+            self.hits += 1
+            return view
+
+    def store_entries(
+        self,
+        index: "NetClusIndex",
+        tau_km: float,
+        preference: PreferenceFunction,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        estimates: np.ndarray,
+        rep_sites: list[int],
+        rep_clusters: list[int],
+        instance_id: int,
+        prepared: "ClusteredCoverage | None" = None,
+        already_canonical: bool = False,
+    ) -> CoveragePart | None:
+        """Store freshly computed coverage entries for ``(τ, ψ)``.
+
+        Called from the cold path of
+        :meth:`~repro.core.netclus.NetClusIndex.prepare_coverage` with the
+        raw entry stream (sparse engine) or the entries extracted from the
+        dense matrix; *prepared* optionally seeds the materialised-view map
+        so the structure just built is served back warm.
+        """
+        key = coverage_cache_key(tau_km, preference)
+        if key is None:
+            return None
+        if not already_canonical:
+            rows, cols, estimates = canonical_entries(rows, cols, estimates, tau_km)
+        part = CoveragePart(
+            tau_km=float(tau_km),
+            preference_name=key[1],
+            preference_params=key[2],
+            instance_id=int(instance_id),
+            index_version=index.version,
+            num_trajectories=len(index.trajectory_ids),
+            rows=rows,
+            cols=cols,
+            estimates=estimates,
+            rep_sites=[int(s) for s in rep_sites],
+            rep_clusters=[int(c) for c in rep_clusters],
+        )
+        if prepared is not None:
+            part.materialised[(prepared.engine, prepared.num_shards)] = prepared
+        with self._lock:
+            self.parts[key] = part
+            self.parts.move_to_end(key)
+            self.stores += 1
+            while len(self.parts) > self.limit:
+                self.parts.popitem(last=False)
+        return part
+
+    def attach_part(self, key: tuple, part: CoveragePart) -> None:
+        """Attach a part loaded from disk (format v3) without counting a store."""
+        with self._lock:
+            self.parts[key] = part
+            self.parts.move_to_end(key)
+            while len(self.parts) > self.limit:
+                self.parts.popitem(last=False)
+
+    def drop(self, key: tuple) -> None:
+        """Remove one part (refusal path)."""
+        with self._lock:
+            if self.parts.pop(key, None) is not None:
+                self.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop every part."""
+        with self._lock:
+            self.parts.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.parts)
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def begin_delta(
+        self, index: "NetClusIndex", batch: "UpdateBatch"
+    ) -> _DeltaProbe | None:
+        """Snapshot the pre-mutation state :meth:`finish_delta` diffs against.
+
+        Called by :meth:`NetClusIndex.apply_updates` after batch validation
+        and before any sub-batch mutates.  Returns ``None`` when there is
+        nothing to maintain.
+        """
+        with self._lock:
+            if not self.parts:
+                return None
+            instance_ids = {part.instance_id for part in self.parts.values()}
+        removed_rows = np.sort(
+            np.asarray(
+                [index._trajectory_rows[t] for t in batch.remove_trajectories],
+                dtype=np.int64,
+            )
+        )
+        rep_state: dict[int, dict[int, tuple[int, float]]] = {}
+        for instance in index.instances:
+            if instance.instance_id not in instance_ids:
+                continue
+            rep_state[instance.instance_id] = {
+                cluster.cluster_id: (
+                    int(cluster.representative),
+                    float(cluster.representative_round_trip_km),
+                )
+                for cluster in instance.clusters
+                if cluster.has_representative
+            }
+        return _DeltaProbe(
+            version_before=index.version,
+            removed_rows=removed_rows,
+            rep_state=rep_state,
+        )
+
+    def finish_delta(
+        self, index: "NetClusIndex", batch: "UpdateBatch", probe: _DeltaProbe | None
+    ) -> int:
+        """Patch every current part after the batch mutated the index.
+
+        Parts that were already stale when the batch started are refused
+        (dropped); a part whose patch fails for any reason is likewise
+        dropped — the fallback is always a clean cold rebuild, never a
+        possibly-wrong warm answer.  Previously materialised views are
+        rebuilt immediately from the patched entries ("query-ready
+        maintenance": the cost lands on the update, and the next query at
+        the key does zero coverage work).  Returns the number of parts
+        patched.
+        """
+        if probe is None:
+            return 0
+        with self._lock:
+            items = list(self.parts.items())
+            patched = 0
+            for key, part in items:
+                if part.index_version != probe.version_before:
+                    del self.parts[key]
+                    self.invalidations += 1
+                    continue
+                try:
+                    with Timer() as patch_timer:
+                        self._patch_part(index, part, batch, probe)
+                        part.index_version = index.version
+                        views = list(part.materialised)
+                        part.materialised = {
+                            (engine, shards): self._materialise(
+                                index, part, engine, shards, self.executor
+                            )
+                            for engine, shards in views
+                        }
+                except Exception:
+                    self.parts.pop(key, None)
+                    self.invalidations += 1
+                    continue
+                self.patches += 1
+                self.patch_seconds += patch_timer.elapsed
+                patched += 1
+            return patched
+
+    def _patch_part(
+        self,
+        index: "NetClusIndex",
+        part: CoveragePart,
+        batch: "UpdateBatch",
+        probe: _DeltaProbe,
+    ) -> None:
+        """Patch one part in place to the post-batch index state.
+
+        Four steps, each touching only what the batch touched:
+
+        1. delete the removed trajectories' rows and remap survivors to the
+           compacted registry (``new_row = row − #removed_before(row)``);
+        2. diff the instance's representative state — carried columns keep
+           their entries (column positions remapped), columns whose
+           ``(representative, round_trip)`` changed (or appeared) are
+           recomputed over the full post-batch registry;
+        3. compute entries of the *added* trajectories against the carried
+           columns (the recomputed ones already include them);
+        4. merge and re-canonicalise.
+        """
+        instance = _instance_of(index, part.instance_id)
+        tau_km = part.tau_km
+        rows, cols, estimates = part.rows, part.cols, part.estimates
+
+        # 1. removed trajectory rows: drop + compact
+        removed = probe.removed_rows
+        if removed.size:
+            insert_at = np.searchsorted(removed, rows, side="left")
+            hit = np.zeros(len(rows), dtype=bool)
+            in_range = insert_at < removed.size
+            hit[in_range] = removed[insert_at[in_range]] == rows[in_range]
+            keep = ~hit
+            rows = rows[keep] - insert_at[keep]
+            cols, estimates = cols[keep], estimates[keep]
+
+        # 2. representative diff → carried vs recomputed columns
+        old_state = probe.rep_state.get(part.instance_id, {})
+        new_reps = instance.representatives()
+        new_rep_sites = [cluster.representative for cluster in new_reps]
+        new_rep_clusters = [cluster.cluster_id for cluster in new_reps]
+        new_state = {
+            cluster.cluster_id: (
+                int(cluster.representative),
+                float(cluster.representative_round_trip_km),
+            )
+            for cluster in new_reps
+        }
+        changed = {
+            cid
+            for cid in set(old_state) | set(new_state)
+            if old_state.get(cid) != new_state.get(cid)
+        }
+        new_position = {cid: col for col, cid in enumerate(new_rep_clusters)}
+        old_to_new = np.full(len(part.rep_clusters), -1, dtype=np.int64)
+        for old_col, cid in enumerate(part.rep_clusters):
+            if cid not in changed and cid in new_position:
+                old_to_new[old_col] = new_position[cid]
+        if len(cols):
+            mapped = old_to_new[cols]
+            keep = mapped >= 0
+            rows, cols, estimates = rows[keep], mapped[keep], estimates[keep]
+
+        merged_rows = [rows]
+        merged_cols = [cols]
+        merged_estimates = [estimates]
+
+        registry = index._trajectory_rows
+        recompute = sorted(cid for cid in changed if cid in new_position)
+        if recompute:
+            r_rows, r_cols, r_estimates = instance.estimated_column_entries(
+                registry, tau_km, recompute
+            )
+            merged_rows.append(r_rows)
+            merged_cols.append(r_cols)
+            merged_estimates.append(r_estimates)
+
+        # 3. added trajectories × carried columns
+        if batch.add_trajectories:
+            subset = {
+                trajectory.traj_id: registry[trajectory.traj_id]
+                for trajectory in batch.add_trajectories
+            }
+            a_rows, a_cols, a_estimates, _, _ = instance.estimated_coverage_entries(
+                subset, tau_km
+            )
+            if recompute:
+                recomputed_cols = np.asarray(
+                    [new_position[cid] for cid in recompute], dtype=np.int64
+                )
+                fresh = ~np.isin(a_cols, recomputed_cols)
+                a_rows, a_cols, a_estimates = (
+                    a_rows[fresh],
+                    a_cols[fresh],
+                    a_estimates[fresh],
+                )
+            merged_rows.append(a_rows)
+            merged_cols.append(a_cols)
+            merged_estimates.append(a_estimates)
+
+        # 4. merge + re-canonicalise
+        part.rows, part.cols, part.estimates = canonical_entries(
+            np.concatenate(merged_rows),
+            np.concatenate(merged_cols),
+            np.concatenate(merged_estimates),
+            tau_km,
+        )
+        part.rep_sites = [int(s) for s in new_rep_sites]
+        part.rep_clusters = [int(c) for c in new_rep_clusters]
+        expected = (
+            part.num_trajectories - int(removed.size) + len(batch.add_trajectories)
+        )
+        require(
+            expected == len(registry),
+            "coverage patch lost track of the registry size "
+            f"({expected} != {len(registry)})",
+        )
+        part.num_trajectories = len(registry)
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def _materialise(
+        self,
+        index: "NetClusIndex",
+        part: CoveragePart,
+        engine: str,
+        shards: int,
+        executor=None,
+    ) -> "ClusteredCoverage":
+        """Build one ``(engine, shards)`` view over the canonical entries."""
+        from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+        from repro.core.netclus import ClusteredCoverage
+        from repro.core.shards import ShardedCoverage
+
+        require(
+            part.num_trajectories == len(index.trajectory_ids),
+            "coverage part registry size does not match the index",
+        )
+        instance = _instance_of(index, part.instance_id)
+        preference = part.preference_fn()
+        num_sites = part.num_representatives
+        trajectory_ids = index.trajectory_ids
+        with Timer() as timer:
+            if engine == "sparse":
+                if shards > 1:
+                    coverage = ShardedCoverage.from_coverage_lists(
+                        part.rows,
+                        part.cols,
+                        part.estimates,
+                        num_trajectories=part.num_trajectories,
+                        num_sites=num_sites,
+                        tau_km=part.tau_km,
+                        preference=preference,
+                        num_shards=shards,
+                        site_labels=part.rep_sites,
+                        trajectory_ids=trajectory_ids,
+                        executor=executor,
+                    )
+                else:
+                    coverage = SparseCoverageIndex.from_coverage_lists(
+                        part.rows,
+                        part.cols,
+                        part.estimates,
+                        num_trajectories=part.num_trajectories,
+                        num_sites=num_sites,
+                        tau_km=part.tau_km,
+                        preference=preference,
+                        site_labels=part.rep_sites,
+                        trajectory_ids=trajectory_ids,
+                    )
+            else:
+                detours = np.full((part.num_trajectories, num_sites), np.inf)
+                detours[part.rows, part.cols] = part.estimates
+                if shards > 1:
+                    coverage = ShardedCoverage.from_detours(
+                        detours,
+                        part.tau_km,
+                        preference,
+                        num_shards=shards,
+                        engine="dense",
+                        site_labels=part.rep_sites,
+                        trajectory_ids=trajectory_ids,
+                        executor=executor,
+                    )
+                else:
+                    coverage = CoverageIndex(
+                        detours,
+                        part.tau_km,
+                        preference,
+                        site_labels=part.rep_sites,
+                        trajectory_ids=trajectory_ids,
+                    )
+        self.materialisations += 1
+        self.materialise_seconds += timer.elapsed
+        return ClusteredCoverage(
+            instance=instance,
+            coverage=coverage,
+            representative_sites=list(part.rep_sites),
+            representative_clusters=list(part.rep_clusters),
+            engine=engine,
+            index_version=part.index_version,
+        )
+
+    # ------------------------------------------------------------------ #
+    # reporting / copying
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, int | float]:
+        """Counter snapshot (metrics endpoint, CLI ``inspect``)."""
+        with self._lock:
+            return {
+                "parts": len(self.parts),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "patches": self.patches,
+                "invalidations": self.invalidations,
+                "materialisations": self.materialisations,
+                "patch_seconds": self.patch_seconds,
+                "materialise_seconds": self.materialise_seconds,
+            }
+
+    def describe_parts(self) -> list[dict[str, Any]]:
+        """JSON-able part summaries, in LRU order (oldest first)."""
+        with self._lock:
+            return [part.describe() for part in self.parts.values()]
+
+    def __deepcopy__(self, memo: dict) -> "CoverageCache":
+        clone = CoverageCache(limit=self.limit)
+        with self._lock:
+            for key, part in self.parts.items():
+                clone.parts[key] = CoveragePart(
+                    tau_km=part.tau_km,
+                    preference_name=part.preference_name,
+                    preference_params=part.preference_params,
+                    instance_id=part.instance_id,
+                    index_version=part.index_version,
+                    num_trajectories=part.num_trajectories,
+                    rows=part.rows.copy(),
+                    cols=part.cols.copy(),
+                    estimates=part.estimates.copy(),
+                    rep_sites=list(part.rep_sites),
+                    rep_clusters=list(part.rep_clusters),
+                )
+        return clone
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["executor"] = None
+        state["parts"] = OrderedDict(
+            (
+                key,
+                CoveragePart(
+                    tau_km=part.tau_km,
+                    preference_name=part.preference_name,
+                    preference_params=part.preference_params,
+                    instance_id=part.instance_id,
+                    index_version=part.index_version,
+                    num_trajectories=part.num_trajectories,
+                    rows=part.rows,
+                    cols=part.cols,
+                    estimates=part.estimates,
+                    rep_sites=part.rep_sites,
+                    rep_clusters=part.rep_clusters,
+                ),
+            )
+            for key, part in self.parts.items()
+        )
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+
+def _instance_of(index: "NetClusIndex", instance_id: int):
+    """The live index instance with the given id (refuse if gone)."""
+    for instance in index.instances:
+        if instance.instance_id == instance_id:
+            return instance
+    raise KeyError(f"index has no instance {instance_id}")

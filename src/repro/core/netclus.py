@@ -354,6 +354,55 @@ class NetClusInstance:
             all_estimates = np.empty(0, dtype=np.float64)
         return all_rows, all_cols, all_estimates, rep_sites, rep_cluster_ids
 
+    def estimated_column_entries(
+        self, trajectory_rows: dict[int, int], tau_km: float, cluster_ids: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Qualifying estimates of the representative columns of *cluster_ids*.
+
+        A column-restricted :meth:`estimated_coverage_entries` — same source
+        enumeration, same float expression, same ≤ τ filter — used by the
+        coverage cache to recompute only the columns a dynamic update
+        touched (a representative re-election changes every estimate of its
+        column, nothing else).  Returned column indices are positions in the
+        *current* :meth:`representatives` list.
+        """
+        wanted = set(int(c) for c in cluster_ids)
+        cluster_rows, cluster_legs = self._trajectory_arrays(trajectory_rows)
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        estimate_parts: list[np.ndarray] = []
+        for col, cluster in enumerate(self.representatives()):
+            if cluster.cluster_id not in wanted:
+                continue
+            rep_leg = cluster.representative_round_trip_km
+            sources: list[tuple[int, float]] = [(cluster.cluster_id, 0.0)]
+            for neighbor_id, center_distance in cluster.neighbors:
+                if center_distance > tau_km:
+                    continue
+                sources.append((neighbor_id, center_distance))
+            for source_id, center_distance in sources:
+                rows = cluster_rows[source_id]
+                if len(rows) == 0:
+                    continue
+                estimates = cluster_legs[source_id] + center_distance + rep_leg
+                within = estimates <= tau_km
+                if not np.any(within):
+                    continue
+                row_parts.append(rows[within])
+                col_parts.append(np.full(int(within.sum()), col, dtype=np.int64))
+                estimate_parts.append(estimates[within])
+        if row_parts:
+            return (
+                np.concatenate(row_parts),
+                np.concatenate(col_parts),
+                np.concatenate(estimate_parts),
+            )
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
     def _trajectory_arrays(
         self, trajectory_rows: dict[int, int]
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
@@ -569,6 +618,30 @@ class NetClusIndex:
         self._node_visit_counts = node_visit_counts
         self._trajectory_nodes = trajectory_nodes
         self._engine: ShortestPathEngine | None = None
+        #: optional persistent coverage cache (format v3 / zero-rebuild
+        #: queries); ``None`` until :meth:`enable_coverage_cache` attaches
+        #: one — opt-in, so plain indexes behave exactly as before
+        self.coverage_cache = None
+
+    def enable_coverage_cache(self, limit: int | None = None):
+        """Attach (or return) the index's :class:`~repro.core.covcache.CoverageCache`.
+
+        Once enabled, :meth:`prepare_coverage` serves warm ``(τ, ψ)``
+        structures from the cache and stores fresh ones on a miss, and
+        :meth:`apply_updates` patches the cached parts in place instead of
+        letting them go stale — steady-state queries then run greedy with
+        zero coverage-build work.  Idempotent; *limit* resizes the LRU part
+        budget when given.
+        """
+        from repro.core.covcache import DEFAULT_PART_LIMIT, CoverageCache
+
+        if self.coverage_cache is None:
+            self.coverage_cache = CoverageCache(
+                limit=DEFAULT_PART_LIMIT if limit is None else limit
+            )
+        elif limit is not None:
+            self.coverage_cache.resize(limit)
+        return self.coverage_cache
 
     # ------------------------------------------------------------------ #
     # offline construction
@@ -753,6 +826,14 @@ class NetClusIndex:
             shards = self.shards
         shards = int(shards)
         require(shards >= 1, "shards must be >= 1")
+        if self.coverage_cache is not None:
+            warm = self.coverage_cache.lookup(
+                self, tau_km, preference, engine=engine, shards=shards, executor=executor
+            )
+            if warm is not None and (
+                instance is None or warm.instance.instance_id == instance.instance_id
+            ):
+                return warm
         if instance is None:
             instance = self.instance_for(tau_km)
         rows = self._trajectory_rows
@@ -808,7 +889,7 @@ class NetClusIndex:
                     site_labels=rep_sites,
                     trajectory_ids=self._trajectory_ids,
                 )
-        return ClusteredCoverage(
+        prepared = ClusteredCoverage(
             instance=instance,
             coverage=coverage,
             representative_sites=rep_sites,
@@ -816,6 +897,31 @@ class NetClusIndex:
             engine=engine,
             index_version=self.version,
         )
+        if self.coverage_cache is not None:
+            if engine == "sparse":
+                cached_rows, cached_cols, cached_estimates = (
+                    entry_rows,
+                    entry_cols,
+                    estimates,
+                )
+            else:
+                # the ≤ τ entries of the dense matrix — its values beyond τ
+                # are score-0 / uncovered and never affect a selection
+                cached_rows, cached_cols = np.nonzero(detours <= tau_km)
+                cached_estimates = detours[cached_rows, cached_cols]
+            self.coverage_cache.store_entries(
+                self,
+                tau_km,
+                preference,
+                cached_rows,
+                cached_cols,
+                cached_estimates,
+                rep_sites,
+                rep_clusters,
+                instance.instance_id,
+                prepared=prepared,
+            )
+        return prepared
 
     def query(
         self,
@@ -949,11 +1055,18 @@ class NetClusIndex:
         ``apply_updates`` never leaves the index partially updated.
         """
         self._validate_batch(batch)
+        probe = (
+            self.coverage_cache.begin_delta(self, batch)
+            if self.coverage_cache is not None
+            else None
+        )
         applied = 0
         applied += self.remove_trajectories(batch.remove_trajectories)
         applied += self.remove_sites(batch.remove_sites)
         applied += self.add_trajectories(batch.add_trajectories)
         applied += self.add_sites(batch.add_sites)
+        if probe is not None:
+            self.coverage_cache.finish_delta(self, batch, probe)
         return applied
 
     def _validate_batch(self, batch: UpdateBatch) -> None:

@@ -143,8 +143,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
         engine=args.engine,
         shards=args.shards,
         query_workers=args.query_workers,  # already resolved by the argparse type
+        coverage_cache=True if args.coverage_cache else None,
     )
     results = service.batch_query(specs)
+    if args.save_coverage:
+        if service.coverage_cache is None:
+            raise SystemExit(
+                "--save-coverage needs a coverage cache; pass --coverage-cache "
+                "or query a v3 index saved with coverage parts"
+            )
+        directory = save_index(
+            service.index,
+            args.index,
+            trajectory_content=(
+                load_manifest(args.index).get("fingerprints", {}).get("trajectory_content")
+            ),
+        )
+        parts = len(service.coverage_cache.describe_parts())
+        print(f"Persisted {parts} coverage part(s) back to {directory}")
 
     rows = []
     for spec, result in zip(specs, results):
@@ -178,6 +194,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"resolutions | {stats.coverage_builds} coverage builds | "
         f"{stats.greedy_runs} greedy runs | {stats.cache_hits} cache hits"
     )
+    if service.coverage_cache is not None:
+        print(
+            f"coverage cache: {stats.coverage_cache_hits} warm / "
+            f"{stats.coverage_cache_misses} cold coverage lookups "
+            f"({len(service.coverage_cache.describe_parts())} part(s) cached)"
+        )
     print(
         f"shards {service.effective_shards} x {service.query_workers} workers | "
         f"stage seconds: coverage {stats.coverage_build_seconds:.3f} | "
@@ -200,6 +222,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=args.engine,
         shards=args.shards,
         query_workers=args.query_workers,  # already resolved by the argparse type
+        coverage_cache=True if args.coverage_cache else None,
     )
     server = PlacementServer(
         service,
@@ -318,6 +341,14 @@ def _cmd_update(args: argparse.Namespace) -> int:
         f"Saved {index.num_trajectories} trajectories / {len(index.sites)} sites "
         f"to {directory}"
     )
+    cache = index.coverage_cache
+    if cache is not None and cache.describe_parts():
+        counters = cache.stats()
+        print(
+            f"Coverage cache: patched {counters['patches']} part(s) in place "
+            f"({counters['invalidations']} invalidated); "
+            f"{len(cache.describe_parts())} part(s) saved warm"
+        )
     return 0
 
 
@@ -390,6 +421,23 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             f"{f'[{low:.2f}, {high:.2f})':>18} {entry['num_clusters']:>9} "
             f"{entry['num_representatives']:>6} {entry['build_seconds']:>8.2f}"
         )
+    coverage_parts = manifest.get("coverage_parts", [])
+    if coverage_parts:
+        print()
+        header = (
+            f"{'part':>4} {'tau_km':>7} {'preference':<14} {'inst':>4} "
+            f"{'version':>7} {'entries':>9} {'reps':>6}"
+        )
+        print(f"coverage parts   : {len(coverage_parts)} warm (format v3)")
+        print(header)
+        print("-" * len(header))
+        for entry in coverage_parts:
+            print(
+                f"{entry['slot']:>4} {entry['tau_km']:>7.2f} "
+                f"{entry['preference']:<14} {entry['instance_id']:>4} "
+                f"{entry['index_version']:>7} {entry['num_entries']:>9} "
+                f"{entry['num_representatives']:>6}"
+            )
     if args.timings:
         _print_probe_timings(args.index, manifest, shards)
     return 0
@@ -495,6 +543,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         "'auto' (the usable-CPU count, the default — so an index saved "
         "with a shard layout is served with a matching pool)",
     )
+    query.add_argument(
+        "--coverage-cache",
+        action="store_true",
+        help="keep materialised coverage in an in-process cache so repeated "
+        "(tau, preference) specs skip the coverage build (a v3 index saved "
+        "with coverage parts enables this automatically)",
+    )
+    query.add_argument(
+        "--save-coverage",
+        action="store_true",
+        help="after answering, save the warmed coverage parts back into the "
+        "index directory (format v3) so later runs start warm",
+    )
     query.add_argument("--output", default=None, help="write results JSON here")
     query.set_defaults(func=_cmd_query)
 
@@ -546,6 +607,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="auto",
         help="threads of the shard-evaluation pool; a positive integer or "
         "'auto' (the usable-CPU count)",
+    )
+    serve.add_argument(
+        "--coverage-cache",
+        action="store_true",
+        help="keep materialised coverage warm across requests — POST /update "
+        "patches the cached parts instead of forcing a coverage rebuild on "
+        "the next query (a v3 index with saved parts enables this "
+        "automatically)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -134,10 +134,17 @@ class ServiceStats:
     cache_misses: int = 0
     instance_resolutions: int = 0
     coverage_builds: int = 0
+    #: coverage groups served warm from the index's coverage cache (zero
+    #: coverage-build work) / groups that had to build because no current
+    #: part existed — both stay 0 when no cache is enabled
+    coverage_cache_hits: int = 0
+    coverage_cache_misses: int = 0
     greedy_runs: int = 0
     index_builds: int = 0
     #: per-stage query timings (seconds, accumulated across batches)
     coverage_build_seconds: float = 0.0
+    #: time spent materialising warm cache views (never coverage builds)
+    coverage_materialise_seconds: float = 0.0
     greedy_seconds: float = 0.0
     replay_seconds: float = 0.0
     _lock: threading.Lock = field(
@@ -164,9 +171,12 @@ class ServiceStats:
                 "cache_misses": self.cache_misses,
                 "instance_resolutions": self.instance_resolutions,
                 "coverage_builds": self.coverage_builds,
+                "coverage_cache_hits": self.coverage_cache_hits,
+                "coverage_cache_misses": self.coverage_cache_misses,
                 "greedy_runs": self.greedy_runs,
                 "index_builds": self.index_builds,
                 "coverage_build_seconds": self.coverage_build_seconds,
+                "coverage_materialise_seconds": self.coverage_materialise_seconds,
                 "greedy_seconds": self.greedy_seconds,
                 "replay_seconds": self.replay_seconds,
             }
@@ -175,6 +185,7 @@ class ServiceStats:
         """The per-stage query timings only (reporting/CLI)."""
         return {
             "coverage_build_seconds": self.coverage_build_seconds,
+            "coverage_materialise_seconds": self.coverage_materialise_seconds,
             "greedy_seconds": self.greedy_seconds,
             "replay_seconds": self.replay_seconds,
         }
@@ -244,6 +255,8 @@ class PlacementService:
         cache_size: int = 128,
         shards: int | None = None,
         query_workers: int | str = 1,
+        coverage_cache: bool | None = None,
+        coverage_cache_limit: int | None = None,
     ) -> None:
         require(
             (index is not None) or (builder is not None),
@@ -260,6 +273,15 @@ class PlacementService:
         self.cache_size = cache_size
         self.shards = shards
         self.query_workers = resolve_workers(query_workers)
+        #: coverage-cache policy: ``True`` enables the index's persistent
+        #: :class:`~repro.core.covcache.CoverageCache` (zero-rebuild
+        #: steady-state queries), ``False`` detaches it, ``None`` (default)
+        #: keeps whatever the index already has — e.g. parts loaded from a
+        #: format-v3 directory
+        self._coverage_cache_opt = coverage_cache
+        self._coverage_cache_limit = coverage_cache_limit
+        if index is not None:
+            self._apply_coverage_cache_policy(index)
         self._cache: OrderedDict[QuerySpec, TOPSResult] = OrderedDict()
         self._cache_version: int | None = None
         self.stats = ServiceStats()
@@ -287,6 +309,8 @@ class PlacementService:
         cache_size: int = 128,
         shards: int | None = None,
         query_workers: int | str = 1,
+        coverage_cache: bool | None = None,
+        coverage_cache_limit: int | None = None,
         **build_kwargs,
     ) -> "PlacementService":
         """A service that lazily builds its index from a ``TOPSProblem``.
@@ -302,6 +326,8 @@ class PlacementService:
             cache_size=cache_size,
             shards=shards,
             query_workers=query_workers,
+            coverage_cache=coverage_cache,
+            coverage_cache_limit=coverage_cache_limit,
         )
 
     @classmethod
@@ -315,19 +341,32 @@ class PlacementService:
         cache_size: int = 128,
         shards: int | None = None,
         query_workers: int | str = 1,
+        coverage_cache: bool | None = None,
+        coverage_cache_limit: int | None = None,
     ) -> "PlacementService":
         """A service over a persisted index directory (see ``save``).
 
         Fingerprints are verified on load; a *network*/*dataset* that does
         not match what the index was built on is refused.  ``shards=None``
         inherits the saved index's shard layout (manifest ``shards`` key).
+        A format-v3 directory with coverage parts cold-starts warm: the
+        parts are attached on load (``coverage_cache=None`` keeps them;
+        ``False`` drops them; ``True`` additionally enables the cache even
+        when the directory carried no parts).
         """
         return cls(
-            index=load_index(path, network=network, dataset=dataset),
+            index=load_index(
+                path,
+                network=network,
+                dataset=dataset,
+                with_coverage=coverage_cache is not False,
+            ),
             engine=engine,
             cache_size=cache_size,
             shards=shards,
             query_workers=query_workers,
+            coverage_cache=coverage_cache,
+            coverage_cache_limit=coverage_cache_limit,
         )
 
     @property
@@ -341,9 +380,25 @@ class PlacementService:
         if self._index is None:
             with self._build_lock:
                 if self._index is None:
-                    self._index = self._builder()
+                    built = self._builder()
+                    self._apply_coverage_cache_policy(built)
+                    self._index = built
                     self.stats.bump(index_builds=1)
         return self._index
+
+    def _apply_coverage_cache_policy(self, index: NetClusIndex) -> None:
+        """Enable/detach the index's coverage cache per the service knob."""
+        if self._coverage_cache_opt is True:
+            index.enable_coverage_cache(limit=self._coverage_cache_limit)
+        elif self._coverage_cache_opt is False:
+            index.coverage_cache = None
+        elif self._coverage_cache_limit is not None and index.coverage_cache is not None:
+            index.coverage_cache.limit = int(self._coverage_cache_limit)
+
+    @property
+    def coverage_cache(self):
+        """The index's coverage cache, or ``None`` (no lazy index build)."""
+        return getattr(self._index, "coverage_cache", None)
 
     @property
     def index_version(self) -> int | None:
@@ -583,17 +638,42 @@ class PlacementService:
         groups: dict[tuple, _PreparedGroup] = {}
         instances: dict[float, object] = {}
         executor = self._shard_executor()
+        cache = getattr(self.index, "coverage_cache", None)
+        if cache is not None:
+            cache.executor = executor
         for position in pending:
             spec = resolved[position]
             key = spec.coverage_key
             if key not in groups:
+                preference = spec.preference_fn()
+                if cache is not None and cache.peek(self.index, spec.tau_km, preference):
+                    # warm part at the current index version: no instance
+                    # resolution, no coverage build — at most a view
+                    # materialisation over the canonical entries
+                    with Timer() as timer:
+                        prepared = self.index.prepare_coverage(
+                            spec.tau_km,
+                            preference,
+                            engine=self.engine,
+                            shards=self.effective_shards,
+                            executor=executor,
+                        )
+                    self.stats.bump(
+                        coverage_cache_hits=1,
+                        coverage_materialise_seconds=timer.elapsed,
+                    )
+                    groups[key] = _PreparedGroup(prepared=prepared, build_seconds=0.0)
+                    groups[key].members.append(position)
+                    continue
+                if cache is not None:
+                    self.stats.bump(coverage_cache_misses=1)
                 if spec.tau_km not in instances:
                     instances[spec.tau_km] = self.index.instance_for(spec.tau_km)
                     self.stats.bump(instance_resolutions=1)
                 with Timer() as timer:
                     prepared = self.index.prepare_coverage(
                         spec.tau_km,
-                        spec.preference_fn(),
+                        preference,
                         engine=self.engine,
                         instance=instances[spec.tau_km],
                         shards=self.effective_shards,

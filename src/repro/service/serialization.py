@@ -38,6 +38,19 @@ id-hash layout, for ``inspect``).  They are written only for indexes whose
 default is sharded (``shards > 1``); v1 and v2 manifests without them load
 unchanged with ``shards`` 1.  Sharding is purely a query-time layout — it
 never affects the payload, the fingerprints, or any selection.
+
+Format v3 adds *optional coverage parts* — the canonical per-(τ, ψ)
+coverage entries of the index's :class:`~repro.core.covcache.CoverageCache`
+as extra ``cov<slot>_*`` payload arrays plus a manifest ``coverage_parts``
+listing (τ, ψ spec, instance, the ``index_version`` each part was computed
+at, entry counts).  Parts are loaded lazily — ``.npz`` members decompress
+per array, so reading the index never touches part payloads it does not
+need — and a part whose recorded ``index_version`` does not match the
+manifest's is *refused* (skipped with a clean fallback to a cold rebuild);
+a structurally inconsistent part (missing arrays, length mismatches,
+out-of-range entries) raises :class:`IndexFormatError`.  v1/v2 directories
+load exactly as before; a v3 directory without parts is identical to a v2
+one apart from the version stamp.
 """
 
 from __future__ import annotations
@@ -70,10 +83,10 @@ __all__ = [
 ]
 
 #: the version written by :func:`save_index`; bump on any layout change
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: the versions :func:`load_index` can read (older versions load with
 #: documented fallbacks; see the module docstring)
-SUPPORTED_FORMAT_VERSIONS = (1, 2)
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
 FORMAT_NAME = "netclus-index"
 MANIFEST_FILE = "manifest.json"
 PAYLOAD_FILE = "payload.npz"
@@ -200,6 +213,8 @@ def save_index(
         trajectory_content = dataset_fingerprint(dataset)
     directory.mkdir(parents=True, exist_ok=True)
     payload = _payload_arrays(index)
+    coverage_arrays, coverage_parts = _coverage_part_arrays(index)
+    payload.update(coverage_arrays)
     payload_path = directory / PAYLOAD_FILE
     with open(payload_path, "wb") as handle:
         np.savez_compressed(handle, **payload)
@@ -228,6 +243,7 @@ def save_index(
             if index.build_stats
             else {}
         ),
+        **({"coverage_parts": coverage_parts} if coverage_parts else {}),
         "num_instances": index.num_instances,
         "num_trajectories": index.num_trajectories,
         "num_sites": len(index.sites),
@@ -262,6 +278,128 @@ def save_index(
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return directory
+
+
+#: payload arrays making up one persisted coverage part, in slot order
+_COVERAGE_PART_KEYS = ("rows", "cols", "est", "rep_sites", "rep_clusters")
+
+
+def _coverage_part_arrays(
+    index: NetClusIndex,
+) -> tuple[dict[str, np.ndarray], list[dict[str, Any]]]:
+    """Payload arrays + manifest entries of the index's coverage parts.
+
+    Parts bound to a stale ``index_version`` are skipped — a loader would
+    refuse them anyway, so persisting them only wastes payload bytes.
+    """
+    cache = getattr(index, "coverage_cache", None)
+    if cache is None:
+        return {}, []
+    arrays: dict[str, np.ndarray] = {}
+    entries: list[dict[str, Any]] = []
+    for part in cache.parts.values():
+        if part.index_version != index.version:
+            continue
+        slot = len(entries)
+        prefix = f"cov{slot}_"
+        arrays[prefix + "rows"] = np.asarray(part.rows, dtype=np.int64)
+        arrays[prefix + "cols"] = np.asarray(part.cols, dtype=np.int64)
+        arrays[prefix + "est"] = np.asarray(part.estimates, dtype=np.float64)
+        arrays[prefix + "rep_sites"] = np.asarray(part.rep_sites, dtype=np.int64)
+        arrays[prefix + "rep_clusters"] = np.asarray(part.rep_clusters, dtype=np.int64)
+        entries.append({"slot": slot, **part.describe()})
+    return arrays, entries
+
+
+def _load_coverage_parts(
+    index: NetClusIndex,
+    manifest: dict[str, Any],
+    payload: Any,
+) -> None:
+    """Attach the manifest's coverage parts to *index* (format v3).
+
+    *payload* is the open ``np.load`` handle — only the arrays of accepted
+    parts are decompressed.  A part recorded at a different
+    ``index_version`` than the manifest's is refused (skipped); structural
+    corruption raises :class:`IndexFormatError`.
+    """
+    from repro.core.covcache import CoveragePart, coverage_cache_key
+    from repro.core.preference import is_registered, make_preference
+
+    part_entries = manifest.get("coverage_parts", [])
+    if not part_entries:
+        return
+    available = set(payload.files)
+    cache = index.enable_coverage_cache(limit=max(len(part_entries), 1))
+    for entry in part_entries:
+        if int(entry.get("index_version", -1)) != index.version:
+            continue  # stale part: refuse, fall back to a cold rebuild
+        slot = int(entry["slot"])
+        prefix = f"cov{slot}_"
+        label = f"coverage part {slot}"
+        missing = [key for key in _COVERAGE_PART_KEYS if prefix + key not in available]
+        if missing:
+            raise IndexFormatError(
+                f"{label}: payload arrays missing ({', '.join(missing)})"
+            )
+        name = str(entry.get("preference", ""))
+        params = {
+            str(k): float(v) for k, v in dict(entry.get("preference_params", {})).items()
+        }
+        try:
+            preference = make_preference(name, **params)
+        except Exception as exc:
+            raise IndexFormatError(f"{label}: unknown preference {name!r}") from exc
+        if not is_registered(preference):
+            raise IndexFormatError(f"{label}: unregistered preference {name!r}")
+        tau_km = float(entry["tau_km"])
+        instance_id = int(entry["instance_id"])
+        if not any(inst.instance_id == instance_id for inst in index.instances):
+            raise IndexFormatError(f"{label}: index has no instance {instance_id}")
+        rows = payload[prefix + "rows"].astype(np.int64)
+        cols = payload[prefix + "cols"].astype(np.int64)
+        estimates = payload[prefix + "est"].astype(np.float64)
+        rep_sites = payload[prefix + "rep_sites"].astype(np.int64)
+        rep_clusters = payload[prefix + "rep_clusters"].astype(np.int64)
+        declared = int(entry.get("num_entries", len(rows)))
+        if not (len(rows) == len(cols) == len(estimates) == declared):
+            raise IndexFormatError(
+                f"{label}: entry arrays are inconsistent "
+                f"(rows={len(rows)}, cols={len(cols)}, est={len(estimates)}, "
+                f"declared={declared})"
+            )
+        if len(rep_sites) != len(rep_clusters):
+            raise IndexFormatError(f"{label}: representative arrays are inconsistent")
+        num_trajectories = int(entry.get("num_trajectories", index.num_trajectories))
+        if num_trajectories != index.num_trajectories:
+            raise IndexFormatError(
+                f"{label}: registry size mismatch "
+                f"({num_trajectories} != {index.num_trajectories})"
+            )
+        if len(rows) and (
+            int(rows.min()) < 0
+            or int(rows.max()) >= num_trajectories
+            or int(cols.min()) < 0
+            or int(cols.max()) >= len(rep_sites)
+        ):
+            raise IndexFormatError(f"{label}: entry indices out of range")
+        key = coverage_cache_key(tau_km, preference)
+        cache.attach_part(
+            key,
+            CoveragePart(
+                tau_km=tau_km,
+                preference_name=key[1],
+                preference_params=key[2],
+                instance_id=instance_id,
+                index_version=index.version,
+                num_trajectories=num_trajectories,
+                rows=rows,
+                cols=cols,
+                estimates=estimates,
+                rep_sites=[int(s) for s in rep_sites],
+                rep_clusters=[int(c) for c in rep_clusters],
+            ),
+        )
 
 
 def _shard_sizes(index: NetClusIndex) -> list[int]:
@@ -438,6 +576,8 @@ def load_index(
     path: str | Path,
     network: RoadNetwork | None = None,
     dataset: TrajectoryDataset | None = None,
+    *,
+    with_coverage: bool = True,
 ) -> NetClusIndex:
     """Load a persisted index from directory *path*.
 
@@ -456,6 +596,14 @@ def load_index(
         fingerprint, :func:`dataset_fingerprint` as well).  The dataset is
         not stored in the index; this is purely a guard for callers that
         will score results exactly against it.
+    with_coverage:
+        Whether to attach the manifest's coverage parts (format v3) to the
+        loaded index's :class:`~repro.core.covcache.CoverageCache`, so a
+        placement service cold-starts warm.  ``False`` skips the part
+        payloads entirely (they are stored as separate ``.npz`` members and
+        are then never decompressed).  Parts recorded at a stale
+        ``index_version`` are refused — skipped with a clean fallback to
+        cold rebuilds — while structurally corrupted parts raise.
 
     Raises
     ------
@@ -476,7 +624,11 @@ def load_index(
             "manifest (corrupted or partially written index)"
         )
     with np.load(payload_path) as payload:
-        arrays = {key: payload[key] for key in payload.files}
+        # coverage parts stay lazy: .npz members decompress per array, so
+        # the structural load never touches cov<slot>_* payloads
+        arrays = {
+            key: payload[key] for key in payload.files if not key.startswith("cov")
+        }
 
     if network is None:
         network = _rebuild_network(arrays)
@@ -523,7 +675,7 @@ def load_index(
             traj_id: flat[int(indptr[row]) : int(indptr[row + 1])].astype(np.int64)
             for row, traj_id in enumerate(trajectory_ids)
         }
-    return NetClusIndex(
+    index = NetClusIndex(
         network=network,
         sites=[int(s) for s in arrays["sites"]],
         instances=instances,
@@ -545,6 +697,10 @@ def load_index(
         ),
         shards=int(manifest.get("shards", 1)),
     )
+    if with_coverage and manifest.get("coverage_parts"):
+        with np.load(payload_path) as payload:
+            _load_coverage_parts(index, manifest, payload)
+    return index
 
 
 def _rebuild_network(arrays: dict[str, np.ndarray]) -> RoadNetwork:

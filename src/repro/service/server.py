@@ -682,6 +682,17 @@ class PlacementServer:
                 f"PlacementService {name.replace('_', ' ')}",
                 value,
             )
+        coverage_cache = getattr(self.service, "coverage_cache", None)
+        if coverage_cache is not None:
+            for name, value in coverage_cache.stats().items():
+                kind = "counter" if isinstance(value, int) else "gauge"
+                _render_metric(
+                    lines,
+                    f"netclus_covcache_{name}",
+                    kind,
+                    f"CoverageCache {name.replace('_', ' ')}",
+                    value,
+                )
         stats = self.stats
         for endpoint, count in sorted(stats.requests_total.items()):
             _render_metric(

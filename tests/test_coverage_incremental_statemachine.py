@@ -1,0 +1,330 @@
+"""Randomized state-machine parity suite for the incremental coverage cache.
+
+The coverage cache (:mod:`repro.core.covcache`) claims that a cached part
+patched through an arbitrary sequence of :meth:`NetClusIndex.apply_updates`
+batches answers queries **byte-identically** to a coverage structure built
+from scratch on the same index state.  This suite drives that claim with a
+seeded generator of arbitrary interleavings of
+
+* add-trajectory batches (from a held-out pool),
+* remove-trajectory batches,
+* add-site / remove-site batches,
+* mixed batches, and
+* query probes on multiple ``(τ, ψ)`` keys,
+
+and after **every** step byte-compares the warm index against a cache-free
+twin across ``engine ∈ {dense, sparse}`` and ``shards ∈ {1, 4}``.  A failure
+prints the reproducing seed and the full op script.
+
+Also covers the cache's unit-level contracts: LRU bounds, the unregistered-ψ
+bypass, staleness fallback on single-item mutators, and deepcopy hygiene.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.covcache import CoverageCache, coverage_cache_key
+from repro.core.netclus import NetClusIndex, UpdateBatch
+from repro.core.preference import (
+    BinaryPreference,
+    LinearPreference,
+    PreferenceFunction,
+)
+from repro.core.query import TOPSQuery
+from repro.network.generators import grid_network
+from repro.trajectory.generators import commuter_trajectories
+
+#: the (τ, ψ) keys every parity sweep probes
+KEYS: tuple[tuple[float, PreferenceFunction], ...] = (
+    (1.2, BinaryPreference()),
+    (2.0, LinearPreference()),
+)
+ENGINES = ("dense", "sparse")
+SHARD_COUNTS = (1, 4)
+NUM_OPS = 12
+
+
+@pytest.fixture(scope="module")
+def world():
+    network = grid_network(8, 8, spacing_km=0.5)
+    everything = commuter_trajectories(network, 80, seed=17)
+    base = everything.sample(50, seed=1)
+    held_out = [t for t in everything if t.traj_id not in set(base.ids())]
+    sites = network.node_ids()[::2]
+    return network, base, held_out, sites
+
+
+def build(world, strategy="closest"):
+    network, base, _, sites = world
+    return NetClusIndex.build(
+        network,
+        base,
+        sites,
+        gamma=0.75,
+        tau_min_km=0.4,
+        tau_max_km=3.0,
+        representative_strategy=strategy,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# op generator
+# ---------------------------------------------------------------------- #
+def generate_ops(rng, network, index, pool):
+    """Yield ``(label, UpdateBatch | None)`` steps; ``None`` marks a query probe.
+
+    Mutates nothing — sizes are drawn against a *simulated* live/site count
+    so the generated script is a pure function of the seed.
+    """
+    live = index.num_trajectories
+    num_sites = len(index.sites)
+    pool_left = len(pool)
+    pool_used = 0
+    removed_site_pool = 0
+    ops = []
+    for _ in range(NUM_OPS):
+        kind = int(rng.integers(0, 6))
+        if kind == 0 and pool_left >= 3:
+            take = int(rng.integers(1, min(6, pool_left + 1)))
+            ops.append(("add_trajectories", {"count": take, "offset": pool_used}))
+            pool_used += take
+            pool_left -= take
+            live += take
+        elif kind == 1 and live > 20:
+            count = int(rng.integers(1, 6))
+            ops.append(("remove_trajectories", {"count": count, "seed": int(rng.integers(1 << 30))}))
+            live -= count
+        elif kind == 2 and removed_site_pool > 0:
+            ops.append(("add_sites", {"count": removed_site_pool}))
+            num_sites += removed_site_pool
+            removed_site_pool = 0
+        elif kind == 3 and num_sites > 12:
+            count = int(rng.integers(1, 5))
+            ops.append(("remove_sites", {"count": count, "seed": int(rng.integers(1 << 30))}))
+            num_sites -= count
+            removed_site_pool += count
+        elif kind == 4 and live > 25 and pool_left >= 2 and num_sites > 12:
+            ops.append(
+                (
+                    "mixed",
+                    {
+                        "add": 2,
+                        "offset": pool_used,
+                        "remove": 2,
+                        "remove_sites": 1,
+                        "seed": int(rng.integers(1 << 30)),
+                    },
+                )
+            )
+            pool_used += 2
+            pool_left -= 2
+            live += 2 - 2
+            num_sites -= 1
+            removed_site_pool += 1
+        else:
+            ops.append(("query", {"key": int(rng.integers(0, len(KEYS)))}))
+    return ops
+
+
+def op_to_batch(op, index, pool, removed_sites):
+    """Materialise one generated op against the *current* index state."""
+    label, params = op
+    if label == "query":
+        return None
+    if label == "add_trajectories":
+        return UpdateBatch(
+            add_trajectories=pool[params["offset"] : params["offset"] + params["count"]]
+        )
+    if label == "remove_trajectories":
+        rng = np.random.default_rng(params["seed"])
+        ids = list(index.trajectory_ids)
+        picks = rng.choice(len(ids), size=min(params["count"], len(ids)), replace=False)
+        return UpdateBatch(remove_trajectories=[ids[int(p)] for p in sorted(picks)])
+    if label == "add_sites":
+        back = removed_sites[: params["count"]]
+        del removed_sites[: params["count"]]
+        return UpdateBatch(add_sites=back)
+    if label == "remove_sites":
+        rng = np.random.default_rng(params["seed"])
+        sites = sorted(index.sites)
+        picks = rng.choice(len(sites), size=min(params["count"], len(sites)), replace=False)
+        victims = [sites[int(p)] for p in sorted(picks)]
+        removed_sites.extend(victims)
+        return UpdateBatch(remove_sites=victims)
+    if label == "mixed":
+        rng = np.random.default_rng(params["seed"])
+        ids = list(index.trajectory_ids)
+        picks = rng.choice(len(ids), size=params["remove"], replace=False)
+        sites = sorted(index.sites)
+        site_picks = rng.choice(len(sites), size=params["remove_sites"], replace=False)
+        victims = [sites[int(p)] for p in sorted(site_picks)]
+        removed_sites.extend(victims)
+        return UpdateBatch(
+            add_trajectories=pool[params["offset"] : params["offset"] + params["add"]],
+            remove_trajectories=[ids[int(p)] for p in sorted(picks)],
+            remove_sites=victims,
+        )
+    raise AssertionError(f"unknown op {label}")
+
+
+def format_script(seed, ops, upto):
+    lines = [f"seed = {seed}"]
+    for i, (label, params) in enumerate(ops[: upto + 1]):
+        lines.append(f"  step {i:2d}: {label}({params})")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# the state machine
+# ---------------------------------------------------------------------- #
+def assert_parity(warm, seed, ops, step):
+    """Byte-compare warm-cache answers vs a cache-free twin, full matrix."""
+    cold = copy.deepcopy(warm)
+    cold.coverage_cache = None
+    for tau, preference in KEYS:
+        for engine in ENGINES:
+            for shards in SHARD_COUNTS:
+                query = TOPSQuery(k=5, tau_km=tau, preference=preference)
+                a = warm.query(query, engine=engine, shards=shards)
+                b = cold.query(query, engine=engine, shards=shards)
+                context = (
+                    f"(tau={tau}, psi={preference.spec()[0]}, engine={engine}, "
+                    f"shards={shards}) diverged after step {step}.\n"
+                    f"Reproduce with:\n{format_script(seed, ops, step)}"
+                )
+                if list(a.sites) != list(b.sites):
+                    pytest.fail(
+                        f"warm selection {list(a.sites)} != cold {list(b.sites)} {context}"
+                    )
+                if (
+                    np.asarray(a.per_trajectory_utility).tobytes()
+                    != np.asarray(b.per_trajectory_utility).tobytes()
+                ):
+                    pytest.fail(f"per-trajectory utilities diverged {context}")
+
+
+@pytest.mark.parametrize(
+    "seed,strategy", [(11, "closest"), (23, "most_frequent"), (47, "closest")]
+)
+def test_statemachine_parity(world, seed, strategy):
+    network, base, held_out, sites = world
+    warm = build(world, strategy)
+    warm.enable_coverage_cache()
+    rng = np.random.default_rng(seed)
+    ops = generate_ops(rng, network, warm, held_out)
+    removed_sites: list[int] = []
+
+    # warm every (τ, ψ) key up front so each later batch exercises a patch
+    for tau, preference in KEYS:
+        for engine in ENGINES:
+            warm.query(TOPSQuery(k=5, tau_km=tau, preference=preference), engine=engine)
+
+    batches_applied = 0
+    for step, op in enumerate(ops):
+        batch = op_to_batch(op, warm, held_out, removed_sites)
+        if batch is not None:
+            warm.apply_updates(batch)
+            batches_applied += 1
+        else:
+            tau, preference = KEYS[op[1]["key"]]
+            warm.query(TOPSQuery(k=4, tau_km=tau, preference=preference), engine="sparse")
+        assert_parity(warm, seed, ops, step)
+
+    stats = warm.coverage_cache.stats()
+    # every batch patched every cached part in place — no invalidation, and
+    # no part was ever rebuilt from scratch after the initial warm-up
+    assert stats["parts"] == len(KEYS)
+    assert stats["stores"] == len(KEYS)
+    assert stats["invalidations"] == 0
+    assert stats["patches"] == batches_applied * len(KEYS)
+
+
+# ---------------------------------------------------------------------- #
+# unit-level contracts
+# ---------------------------------------------------------------------- #
+def test_lru_bound(world):
+    index = build(world)
+    index.enable_coverage_cache(limit=2)
+    for tau in (0.8, 1.2, 1.6, 2.0):
+        index.query(TOPSQuery(k=3, tau_km=tau), engine="sparse")
+    stats = index.coverage_cache.stats()
+    assert stats["parts"] == 2
+    described = index.coverage_cache.describe_parts()
+    assert [p["tau_km"] for p in described] == [1.6, 2.0]
+
+
+def test_unregistered_preference_bypasses_cache(world):
+    class CustomPreference(PreferenceFunction):
+        def raw_score(self, detour_km, tau_km):
+            return np.full_like(np.asarray(detour_km, dtype=float), 0.5)
+
+    assert coverage_cache_key(1.0, CustomPreference()) is None
+    index = build(world)
+    index.enable_coverage_cache()
+    index.prepare_coverage(1.2, CustomPreference(), engine="sparse")
+    assert index.coverage_cache.stats()["parts"] == 0
+
+
+def test_single_item_mutator_falls_back_to_rebuild(world):
+    """Singular mutators bypass the delta hooks — the stale part must be
+    refused and transparently rebuilt, never served."""
+    network, base, held_out, sites = world
+    index = build(world)
+    index.enable_coverage_cache()
+    query = TOPSQuery(k=5, tau_km=1.2)
+    index.query(query, engine="sparse")
+    assert index.coverage_cache.stats()["parts"] == 1
+
+    index.remove_trajectory(list(base.ids())[3])  # bumps version, no patch
+    warm_answer = index.query(query, engine="sparse")
+    stats = index.coverage_cache.stats()
+    assert stats["invalidations"] == 1  # the stale part was dropped...
+    assert stats["stores"] == 2  # ...and a fresh one stored
+
+    cold = copy.deepcopy(index)
+    cold.coverage_cache = None
+    cold_answer = cold.query(query, engine="sparse")
+    assert list(warm_answer.sites) == list(cold_answer.sites)
+    assert (
+        np.asarray(warm_answer.per_trajectory_utility).tobytes()
+        == np.asarray(cold_answer.per_trajectory_utility).tobytes()
+    )
+
+
+def test_deepcopy_drops_views_but_keeps_parts(world):
+    index = build(world)
+    index.enable_coverage_cache()
+    index.query(TOPSQuery(k=5, tau_km=1.2), engine="sparse")
+    clone = copy.deepcopy(index)
+    assert clone.coverage_cache is not index.coverage_cache
+    assert clone.coverage_cache.stats()["parts"] == 1
+    for part in clone.coverage_cache.parts.values():
+        assert part.materialised == {}
+    # the cloned cache still answers warm (re-materialises from its arrays)
+    before = clone.coverage_cache.stats()["hits"]
+    clone.query(TOPSQuery(k=5, tau_km=1.2), engine="sparse")
+    assert clone.coverage_cache.stats()["hits"] == before + 1
+
+
+def test_cache_key_is_param_sensitive():
+    assert coverage_cache_key(1.0, LinearPreference()) == coverage_cache_key(
+        1.0, LinearPreference()
+    )
+    assert coverage_cache_key(1.0, BinaryPreference()) != coverage_cache_key(
+        1.5, BinaryPreference()
+    )
+
+
+def test_limit_resize(world):
+    index = build(world)
+    index.enable_coverage_cache(limit=4)
+    assert isinstance(index.coverage_cache, CoverageCache)
+    for tau in (0.8, 1.2, 1.6, 2.0):
+        index.query(TOPSQuery(k=3, tau_km=tau), engine="sparse")
+    assert index.coverage_cache.stats()["parts"] == 4
+    index.enable_coverage_cache(limit=1)  # idempotent enable + shrink
+    assert index.coverage_cache.stats()["parts"] == 1

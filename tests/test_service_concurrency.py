@@ -65,14 +65,20 @@ def _update_batch_changing_selections(index: NetClusIndex) -> UpdateBatch:
 
 
 class TestQueryUpdateHammer:
-    def test_no_stale_or_torn_reads(self, base_index):
+    @pytest.mark.parametrize("coverage_cache", [False, True])
+    def test_no_stale_or_torn_reads(self, base_index, coverage_cache):
+        """No torn/stale reads — with the coverage cache on, readers racing
+        the writer must see either the pre-update parts or the fully patched
+        parts, never a half-patched coverage structure."""
         index = copy.deepcopy(base_index)
         batch = _update_batch_changing_selections(index)
         expected_before = _expected_answers(index, None)
         expected_after = _expected_answers(index, batch)
         assert expected_before != expected_after, "update must change selections"
 
-        service = PlacementService(index, engine="sparse", cache_size=64)
+        service = PlacementService(
+            index, engine="sparse", cache_size=64, coverage_cache=coverage_cache
+        )
         update_done_at: list[float] = []
         failures: list[str] = []
         start_barrier = threading.Barrier(9)
@@ -112,8 +118,15 @@ class TestQueryUpdateHammer:
         assert not failures, failures
         assert update_done_at, "the writer must have run"
         # the post-update queries repopulated the cache with fresh answers
+        if coverage_cache:
+            builds_before_final = service.stats.coverage_builds
         final = [tuple(result.sites) for result in service.batch_query(SPECS)]
         assert final == expected_after
+        if coverage_cache:
+            # the patched parts served the post-update answer — the final
+            # batch needed zero coverage builds
+            assert service.stats.coverage_builds == builds_before_final
+            assert service.coverage_cache.stats()["patches"] > 0
 
     def test_apply_updates_returns_item_count_and_bumps_version(self, base_index):
         index = copy.deepcopy(base_index)

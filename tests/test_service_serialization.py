@@ -124,7 +124,7 @@ def test_manifest_contents(saved_index):
     index, path = saved_index
     manifest = load_manifest(path)
     assert manifest["format"] == "netclus-index"
-    assert manifest["format_version"] == 2
+    assert manifest["format_version"] == 3
     assert manifest["index_version"] == index.version
     assert manifest["build_params"]["gamma"] == pytest.approx(0.75)
     assert manifest["num_instances"] == index.num_instances
@@ -251,6 +251,180 @@ def test_v1_directory_still_loads(saved_index, tmp_path):
     assert loaded.version == 0
     query = TOPSQuery(k=4, tau_km=1.0)
     assert loaded.query(query).sites == index.query(query).sites
+
+
+# ---------------------------------------------------------------------- #
+# format v3: persisted coverage parts (PR 7) — cross-format load matrix
+# ---------------------------------------------------------------------- #
+WARM_QUERIES = [
+    TOPSQuery(k=4, tau_km=1.0),
+    TOPSQuery(k=3, tau_km=2.0, preference=LinearPreference()),
+]
+
+
+@pytest.fixture()
+def warm_saved_index(tiny_problem, tmp_path):
+    """An index with a warm coverage cache, persisted with its parts."""
+    index = tiny_problem.build_netclus_index(
+        gamma=0.75, tau_min_km=0.4, tau_max_km=4.0
+    )
+    index.enable_coverage_cache()
+    for query in WARM_QUERIES:
+        index.query(query, engine="sparse")
+    path = save_index(index, tmp_path / "warm.ncx")
+    return index, path
+
+
+def _set_manifest(path, mutate):
+    manifest_path = path / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    mutate(manifest)
+    manifest_path.write_text(json.dumps(manifest))
+
+
+def test_v2_directory_still_loads(saved_index, tmp_path):
+    """A format-v2 manifest (no coverage_parts vocabulary) loads unchanged."""
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "v2.ncx")
+    _set_manifest(path, lambda m: m.update(format_version=2))
+    loaded = load_index(path)
+    assert loaded.version == index.version
+    assert loaded.coverage_cache is None
+    query = TOPSQuery(k=4, tau_km=1.0)
+    assert loaded.query(query).sites == index.query(query).sites
+
+
+def test_v3_without_parts_loads_cold(saved_index):
+    """v3 is a superset: an index saved without a cache has no parts and
+    loads exactly as before."""
+    _, path = saved_index
+    manifest = load_manifest(path)
+    assert manifest["format_version"] == 3
+    assert "coverage_parts" not in manifest
+    loaded = load_index(path)
+    assert loaded.coverage_cache is None
+
+
+def test_v3_parts_round_trip(warm_saved_index):
+    index, path = warm_saved_index
+    manifest = load_manifest(path)
+    assert len(manifest["coverage_parts"]) == len(WARM_QUERIES)
+    loaded = load_index(path)
+    assert loaded.coverage_cache is not None
+    assert len(loaded.coverage_cache.describe_parts()) == len(WARM_QUERIES)
+    # warm answers match the original, and no store/patch was needed
+    for query in WARM_QUERIES:
+        a = index.query(query, engine="sparse")
+        b = loaded.query(query, engine="sparse")
+        assert list(a.sites) == list(b.sites)
+        assert (
+            np.asarray(a.per_trajectory_utility).tobytes()
+            == np.asarray(b.per_trajectory_utility).tobytes()
+        )
+    stats = loaded.coverage_cache.stats()
+    assert stats["hits"] == len(WARM_QUERIES)
+    assert stats["stores"] == 0
+
+
+def test_v3_with_coverage_false_skips_parts(warm_saved_index):
+    _, path = warm_saved_index
+    loaded = load_index(path, with_coverage=False)
+    assert loaded.coverage_cache is None
+
+
+def test_v3_stale_part_refused_not_crash(warm_saved_index):
+    """A part recorded at a different index_version is skipped — the load
+    succeeds and the key falls back to a cold rebuild with correct answers."""
+    index, path = warm_saved_index
+
+    def bump(manifest):
+        manifest["coverage_parts"][0]["index_version"] = 999
+
+    _set_manifest(path, bump)
+    loaded = load_index(path)
+    assert len(loaded.coverage_cache.describe_parts()) == len(WARM_QUERIES) - 1
+    for query in WARM_QUERIES:  # including the refused key
+        a = index.query(query, engine="sparse")
+        b = loaded.query(query, engine="sparse")
+        assert list(a.sites) == list(b.sites)
+        assert (
+            np.asarray(a.per_trajectory_utility).tobytes()
+            == np.asarray(b.per_trajectory_utility).tobytes()
+        )
+
+
+def test_v3_all_parts_stale_loads_without_cacheless_crash(warm_saved_index):
+    index, path = warm_saved_index
+
+    def bump_all(manifest):
+        for entry in manifest["coverage_parts"]:
+            entry["index_version"] = 999
+
+    _set_manifest(path, bump_all)
+    loaded = load_index(path)
+    cache = loaded.coverage_cache
+    assert cache is None or not cache.describe_parts()
+    query = WARM_QUERIES[0]
+    assert loaded.query(query, engine="sparse").sites == index.query(
+        query, engine="sparse"
+    ).sites
+
+
+def test_v3_truncated_part_raises(warm_saved_index):
+    """A manifest declaring more entries than the payload holds is corrupt."""
+    _, path = warm_saved_index
+
+    def truncate(manifest):
+        entry = manifest["coverage_parts"][0]
+        entry["num_entries"] = int(entry["num_entries"]) + 5
+
+    _set_manifest(path, truncate)
+    with pytest.raises(IndexFormatError, match="entry arrays are inconsistent"):
+        load_index(path)
+
+
+def test_v3_missing_part_arrays_raise(warm_saved_index):
+    """A part slot with no payload arrays behind it is corrupt."""
+    _, path = warm_saved_index
+
+    def reslot(manifest):
+        manifest["coverage_parts"][0]["slot"] = 7
+
+    _set_manifest(path, reslot)
+    with pytest.raises(IndexFormatError, match="payload arrays missing"):
+        load_index(path)
+
+
+def test_v3_unknown_preference_part_raises(warm_saved_index):
+    _, path = warm_saved_index
+
+    def rename(manifest):
+        manifest["coverage_parts"][0]["preference"] = "no-such-psi"
+
+    _set_manifest(path, rename)
+    with pytest.raises(IndexFormatError, match="unknown preference"):
+        load_index(path)
+
+
+def test_v3_registry_size_mismatch_raises(warm_saved_index):
+    _, path = warm_saved_index
+
+    def shrink(manifest):
+        entry = manifest["coverage_parts"][0]
+        entry["num_trajectories"] = int(entry["num_trajectories"]) - 1
+
+    _set_manifest(path, shrink)
+    with pytest.raises(IndexFormatError, match="registry size mismatch"):
+        load_index(path)
+
+
+def test_v3_tampered_payload_still_refused(warm_saved_index):
+    """The whole-file payload hash covers the coverage arrays too."""
+    _, path = warm_saved_index
+    payload = path / "payload.npz"
+    payload.write_bytes(payload.read_bytes() + b"x")
+    with pytest.raises(IndexFormatError, match="payload fingerprint"):
+        load_index(path)
 
 
 def test_most_frequent_visit_data_round_trips(tmp_path):

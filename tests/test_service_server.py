@@ -389,6 +389,60 @@ def test_update_rejects_bad_deltas(mutable_served):
     assert status == 400
 
 
+def test_update_then_query_served_from_patched_coverage_cache(tiny_problem):
+    """The zero-rebuild bar over HTTP: ``POST /update`` then ``POST /query``
+    on the same (τ, ψ) answers from the *patched* cache — exactly zero
+    coverage builds after warm-up — and the answer is byte-identical to a
+    cold coverage rebuild on the updated index."""
+    import copy
+
+    index = tiny_problem.build_netclus_index(
+        gamma=0.75, tau_min_km=0.4, tau_max_km=4.0
+    )
+    service = PlacementService(index, engine="sparse", coverage_cache=True)
+    spec = {"k": 5, "tau_km": 0.8}
+    with serve_in_background(service) as handle:
+        status, _, before = request(handle.address, "POST", "/query", [spec])
+        assert status == 200
+        assert service.stats.coverage_builds == 1  # the one cold warm-up build
+        builds_after_warmup = service.stats.coverage_builds
+
+        victim = before["results"][0]["sites"][0]
+        status, _, body = request(
+            handle.address, "POST", "/update", {"remove_sites": [victim]}
+        )
+        assert status == 200
+        assert body["applied"] == 1
+
+        status, _, after = request(handle.address, "POST", "/query", [spec])
+        assert status == 200
+        assert victim not in after["results"][0]["sites"]
+        # the defining property: the post-update answer required no
+        # coverage build — the part was patched, not rebuilt
+        assert service.stats.coverage_builds == builds_after_warmup
+        assert service.coverage_cache.stats()["patches"] == 1
+        assert service.coverage_cache.stats()["invalidations"] == 0
+
+        # byte parity against a cold coverage build on the updated index
+        cold_index = copy.deepcopy(service.index)
+        cold_index.coverage_cache = None
+        cold = PlacementService(cold_index, engine="sparse")
+        want = cold.batch_query([QuerySpec(k=5, tau_km=0.8)], use_cache=False)[0]
+        assert tuple(after["results"][0]["sites"]) == want.sites
+        assert (
+            np.asarray(
+                after["results"][0]["per_trajectory_utility"], dtype=np.float64
+            ).tobytes()
+            == np.asarray(want.per_trajectory_utility, dtype=np.float64).tobytes()
+        )
+
+        # /metrics exposes the cache counters
+        status, _, text = request(handle.address, "GET", "/metrics")
+        assert status == 200
+        assert "netclus_covcache_patches 1" in text
+        assert "netclus_covcache_parts 1" in text
+
+
 # ---------------------------------------------------------------------- #
 # graceful drain
 # ---------------------------------------------------------------------- #

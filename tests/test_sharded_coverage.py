@@ -480,6 +480,7 @@ class TestShardedService:
         assert stats.greedy_seconds > 0.0
         assert set(stats.stage_seconds()) == {
             "coverage_build_seconds",
+            "coverage_materialise_seconds",
             "greedy_seconds",
             "replay_seconds",
         }

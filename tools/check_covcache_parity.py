@@ -1,0 +1,201 @@
+"""CI gate: the incremental coverage cache must answer byte-identically cold.
+
+Builds the NetClus index for the small Beijing-like workload once, enables
+the coverage cache, warms a mixed spec batch, then drives a seeded stream
+of ~50 mixed delta ops (add/remove trajectory batches, add/remove site
+batches) through :meth:`PlacementService.apply_updates`.  After every delta
+the warm service — whose cached coverage parts are *patched*, never
+rebuilt — is byte-compared against a cache-free service on a deep copy of
+the same index:
+
+* the selected site tuples must be identical, element for element;
+* the per-trajectory utility vectors must be byte-identical
+  (``np.ndarray.tobytes`` comparison — not approximate equality);
+* the warm side must report exactly zero coverage builds after warm-up;
+* the on-disk round trip (save with parts → load → query) must answer the
+  final state byte-identically too.
+
+Exits non-zero on any divergence.  Run from the repository root::
+
+    python tools/check_covcache_parity.py [--scale tiny|small|medium] [--ops 50]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.netclus import UpdateBatch  # noqa: E402
+from repro.datasets import beijing_like  # noqa: E402
+from repro.service.placement import PlacementService  # noqa: E402
+from repro.service.serialization import load_index, save_index  # noqa: E402
+from repro.service.specs import QuerySpec  # noqa: E402
+
+
+def _spec_batch() -> list[QuerySpec]:
+    """Specs spanning several (τ, ψ) cache keys plus the selection rules."""
+    return [
+        QuerySpec(k=3, tau_km=0.8),
+        QuerySpec(k=8, tau_km=0.8),
+        QuerySpec(k=5, tau_km=1.6),
+        QuerySpec(k=5, tau_km=0.8, preference="linear"),
+        QuerySpec(k=5, tau_km=1.6, preference="exponential"),
+        QuerySpec(k=4, tau_km=0.8, capacity=15),
+        QuerySpec(k=1, tau_km=0.8, budget=5.0),
+        QuerySpec(k=3, tau_km=1.6, existing_sites=(0, 5)),
+    ]
+
+
+def _delta_stream(rng, index, pool, num_ops):
+    """Yield ``num_ops`` update batches against the evolving index state."""
+    pool = list(pool)
+    removed_sites: list[int] = []
+    for _ in range(num_ops):
+        kind = int(rng.integers(0, 4))
+        if kind == 0 and len(pool) >= 2:
+            take = int(rng.integers(1, 4))
+            batch = UpdateBatch(add_trajectories=pool[:take])
+            del pool[:take]
+        elif kind == 1 and index.num_trajectories > 25:
+            ids = list(index.trajectory_ids)
+            picks = rng.choice(len(ids), size=int(rng.integers(1, 4)), replace=False)
+            batch = UpdateBatch(
+                remove_trajectories=[ids[int(p)] for p in sorted(picks)]
+            )
+        elif kind == 2 and removed_sites:
+            batch = UpdateBatch(add_sites=list(removed_sites))
+            removed_sites.clear()
+        elif len(index.sites) > 12:
+            sites = sorted(index.sites)
+            picks = rng.choice(len(sites), size=int(rng.integers(1, 3)), replace=False)
+            victims = [sites[int(p)] for p in sorted(picks)]
+            removed_sites.extend(victims)
+            batch = UpdateBatch(remove_sites=victims)
+        else:
+            continue
+        yield batch
+
+
+def _compare(specs, warm_results, cold_results, step, failures):
+    for spec, got, want in zip(specs, warm_results, cold_results):
+        label = f"step={step} spec={spec.to_dict()}"
+        if got.sites != want.sites:
+            print(f"FAIL [{label}]: sites {got.sites} != {want.sites}")
+            failures.append(label)
+            continue
+        want_bytes = np.asarray(want.per_trajectory_utility).tobytes()
+        got_bytes = np.asarray(got.per_trajectory_utility).tobytes()
+        if got_bytes != want_bytes:
+            print(f"FAIL [{label}]: per-trajectory utilities diverge")
+            failures.append(label)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    parser.add_argument("--ops", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--engine", default="sparse", choices=["dense", "sparse"])
+    args = parser.parse_args(argv)
+
+    bundle = beijing_like(scale=args.scale, seed=42)
+    problem = bundle.problem()
+    print(f"Building NetClus index for {bundle.name}...")
+    index = problem.build_netclus_index(gamma=0.75, tau_min_km=0.4, tau_max_km=8.0)
+    # a held-out trajectory pool for additions, ids above the live range
+    from repro.trajectory.generators import commuter_trajectories
+    from repro.trajectory.model import Trajectory
+
+    extra = commuter_trajectories(problem.network, 30, seed=777)
+    next_id = max(index.trajectory_ids) + 1
+    pool = [
+        Trajectory.from_nodes(next_id + i, list(t.nodes), problem.network)
+        for i, t in enumerate(extra)
+    ]
+
+    specs = _spec_batch()
+    warm = PlacementService(index, engine=args.engine, coverage_cache=True)
+    warm.batch_query(specs, use_cache=False)  # warm-up: the only cold builds
+    builds_after_warmup = warm.stats.coverage_builds
+    print(
+        f"warm-up: {builds_after_warmup} coverage builds over "
+        f"{len(warm.coverage_cache.describe_parts())} (tau, psi) parts"
+    )
+
+    rng = np.random.default_rng(args.seed)
+    failures: list[str] = []
+    steps = 0
+    for batch in _delta_stream(rng, index, pool, args.ops):
+        warm.apply_updates(batch)
+        steps += 1
+        warm_results = warm.batch_query(specs, use_cache=False)
+        cold_index = copy.deepcopy(index)
+        cold_index.coverage_cache = None
+        cold = PlacementService(cold_index, engine=args.engine)
+        cold_results = cold.batch_query(specs, use_cache=False)
+        _compare(specs, warm_results, cold_results, steps, failures)
+
+    if warm.stats.coverage_builds != builds_after_warmup:
+        print(
+            f"FAIL: warm service performed "
+            f"{warm.stats.coverage_builds - builds_after_warmup} coverage "
+            "builds after warm-up (expected exactly zero)"
+        )
+        failures.append("coverage-builds")
+    cache_stats = warm.coverage_cache.stats()
+    print(
+        f"{steps} deltas applied: {cache_stats['patches']} part patches, "
+        f"{cache_stats['invalidations']} invalidations, "
+        f"{warm.stats.coverage_builds - builds_after_warmup} post-warm-up builds"
+    )
+
+    # on-disk round trip: save with parts, load fresh, byte-compare again
+    workdir = Path(tempfile.mkdtemp(prefix="covcache-parity-"))
+    try:
+        path = save_index(index, workdir / "warm.ncx")
+        reloaded = PlacementService(load_index(path), engine=args.engine)
+        disk_results = reloaded.batch_query(specs, use_cache=False)
+        cold_index = copy.deepcopy(index)
+        cold_index.coverage_cache = None
+        cold = PlacementService(cold_index, engine=args.engine)
+        _compare(
+            specs,
+            disk_results,
+            cold.batch_query(specs, use_cache=False),
+            "disk-round-trip",
+            failures,
+        )
+        if reloaded.stats.coverage_builds != 0:
+            print(
+                f"FAIL: reloaded index performed "
+                f"{reloaded.stats.coverage_builds} coverage builds "
+                "(expected zero — parts were persisted)"
+            )
+            failures.append("disk-coverage-builds")
+        else:
+            print("disk round trip: 0 coverage builds, answers byte-identical")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if failures:
+        print(f"FAIL: {len(failures)} divergent result(s)")
+        return 1
+    print(
+        f"OK: warm patched coverage is byte-identical to cold rebuilds across "
+        f"{steps} deltas x {len(specs)} specs (engine={args.engine}), "
+        "on disk and in memory"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
