@@ -1,0 +1,125 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Exit status 0 when no live finding remains, 1 otherwise (suppressed
+findings never fail the run).  Three output formats:
+
+* ``text`` (default) — one ``path:line:col RULE message`` line per
+  finding plus a per-rule summary, human-oriented.
+* ``json`` — the documented machine-readable report schema (see
+  ``docs/static-analysis.md``), consumed by the pytest bridge and any
+  tooling that wants structured findings.
+* ``github`` — GitHub Actions workflow commands (``::error file=...``)
+  so the CI job renders findings as inline annotations, grouped per rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from . import ALL_ANALYZERS, FAMILIES, AnalysisReport, analyzers_for, run_analysis
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Invariant-enforcing static analysis over the repository.",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root to analyse (default: current directory)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RA###|family",
+        help="run only this rule id or family (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    by_rule = {cls.rule: cls for cls in ALL_ANALYZERS}
+    for family, rules in FAMILIES.items():
+        lines.append(f"{family}:")
+        for rule in rules:
+            lines.append(f"  {rule}  {by_rule[rule].title}")
+    return "\n".join(lines)
+
+
+def _render_text(report: AnalysisReport) -> str:
+    lines = [found.render() for found in report.findings]
+    if lines:
+        lines.append("")
+    counts = ", ".join(
+        f"{rule}={count}" for rule, count in sorted(report.counts().items())
+    )
+    lines.append(
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} "
+        f"suppressed, {report.files_scanned} file(s) scanned [{counts}]"
+    )
+    return "\n".join(lines)
+
+
+def _render_github(report: AnalysisReport) -> str:
+    """GitHub Actions annotations, grouped per rule for the job log."""
+    lines = []
+    by_rule: dict[str, list] = {}
+    for found in report.findings:
+        by_rule.setdefault(found.rule, []).append(found)
+    for rule in sorted(by_rule):
+        group = by_rule[rule]
+        lines.append(f"::group::{rule} ({len(group)} finding(s))")
+        for found in group:
+            message = found.message
+            if found.hint:
+                message = f"{message} — {found.hint}"
+            lines.append(
+                f"::error file={found.path},line={found.line},"
+                f"col={found.column},title={found.rule}::{message}"
+            )
+        lines.append("::endgroup::")
+    lines.append(_render_text(report).splitlines()[-1])
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        analyzers = analyzers_for(options.rule)
+    except ValueError as exc:
+        parser.error(str(exc))
+    report = run_analysis(options.root, analyzers)
+    if options.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    elif options.format == "github":
+        print(_render_github(report))
+    else:
+        print(_render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

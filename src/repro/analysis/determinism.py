@@ -1,0 +1,428 @@
+"""Determinism lint (rules RA001–RA004).
+
+Byte-identical selections are the repo's parity bar, and every historical
+determinism bug traced back to one of four statically visible shapes in
+the result-affecting trees (``src/repro/core``, ``src/repro/service``):
+
+* **RA001** — iterating a ``set``/``frozenset`` in result order.  Set
+  iteration order depends on insertion history and hash seeding; a greedy
+  pass, serialization loop, or float ``sum`` driven by it can differ
+  between otherwise-identical runs.  Exempt: order-insensitive consumers
+  (``sorted``/``min``/``max``/``len``/``any``/``all``/``set``/
+  ``frozenset``) and set comprehensions (the result is again unordered).
+* **RA002** — raw ``==``/``<``/``>`` comparisons between gain/weight
+  expressions.  Last-ulp float ties must go through the canonical
+  ``GAIN_RTOL``/``tie_break_candidates`` helpers; a raw comparison picks
+  whichever operand the kernel happened to round last.  Exempt:
+  comparisons against numeric literals (sign/zero tests), comparisons
+  involving a tolerance identifier, and explicitly epsilon-adjusted
+  operands (``x - 1e-12``).
+* **RA003** — unseeded random number generation (``np.random.*`` module
+  state, bare ``random.*``) anywhere under ``src/``.  All randomness must
+  flow from an explicitly seeded generator.
+* **RA004** — wall-clock reads (``time.time``/``perf_counter``/…)
+  inside kernel code.  Timing belongs to the declared stats wrappers
+  (``_TIMING_ALLOWLIST``); a clock read anywhere else is either dead
+  weight or a nondeterministic input.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Analyzer, Finding, SourceFile
+
+__all__ = [
+    "RawFloatComparison",
+    "UnorderedIteration",
+    "UnseededRandom",
+    "WallClockInKernel",
+]
+
+#: result-affecting trees the determinism rules scan
+_RESULT_AFFECTING = ("src/repro/core/", "src/repro/service/")
+
+#: builtins whose result does not depend on the argument's iteration order
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "min", "max", "len", "any", "all", "set", "frozenset"}
+)
+
+#: constructors/methods that produce a set-typed value
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+
+
+def _in_result_affecting(relative: str) -> bool:
+    return relative.endswith(".py") and relative.startswith(_RESULT_AFFECTING)
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    """Whether a type annotation denotes a set (``set[int]``, ``frozenset``…)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _annotation_is_set(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    return False
+
+
+class _ScopeTypes:
+    """Flow-insensitive inference of set-typed local names in one scope."""
+
+    def __init__(self, scope: ast.AST) -> None:
+        self.set_names: set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+            ]:
+                if _annotation_is_set(arg.annotation):
+                    self.set_names.add(arg.arg)
+        # two passes reach a fixpoint for chains like a = set(); b = a | c
+        for _ in range(2):
+            for node in self._own_nodes(scope):
+                if isinstance(node, ast.Assign) and self.is_set(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.set_names.add(target.id)
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    if _annotation_is_set(node.annotation) or (
+                        node.value is not None and self.is_set(node.value)
+                    ):
+                        self.set_names.add(node.target.id)
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    if node.target.id in self.set_names or self.is_set(node.value):
+                        if isinstance(
+                            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+                        ):
+                            self.set_names.add(node.target.id)
+
+    @staticmethod
+    def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk *scope* without descending into nested function scopes."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def is_set(self, node: ast.expr) -> bool:
+        """Whether *node* is a set-typed expression in this scope."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_METHODS
+                and self.is_set(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set(node.left) or self.is_set(node.right)
+        return False
+
+
+class UnorderedIteration(Analyzer):
+    """RA001 — set/frozenset iterated in result-affecting order."""
+
+    rule = "RA001"
+    title = "unordered iteration over a set in a result-affecting path"
+    hint = "iterate sorted(...) of the set, or consume it order-insensitively"
+
+    def applies_to(self, relative: str) -> bool:
+        return _in_result_affecting(relative)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        scopes: list[ast.AST] = [source.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(source.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            types = _ScopeTypes(scope)
+            for node in _ScopeTypes._own_nodes(scope):
+                yield from self._check_node(source, node, types)
+
+    def _check_node(
+        self, source: SourceFile, node: ast.AST, types: _ScopeTypes
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)) and types.is_set(node.iter):
+            yield self.finding(
+                source,
+                node.iter,
+                "for-loop iterates a set; iteration order is not deterministic",
+            )
+        elif isinstance(
+            node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            # a SetComp's result is again unordered, so order cannot leak
+            parent = source.parent(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_INSENSITIVE_CALLS
+                and node in parent.args
+            ):
+                return
+            for generator in node.generators:
+                if types.is_set(generator.iter):
+                    yield self.finding(
+                        source,
+                        generator.iter,
+                        "comprehension iterates a set; element order leaks into "
+                        "the result",
+                    )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sum"
+            and node.args
+            and types.is_set(node.args[0])
+        ):
+            yield self.finding(
+                source,
+                node,
+                "sum() over a set; float accumulation order is not deterministic",
+                hint="sum(sorted(...)) or use math.fsum over a sorted sequence",
+            )
+
+
+#: identifier fragments marking a selection-relevant quantity
+_GAINY_FRAGMENTS = ("gain", "weight")
+#: identifiers marking an intentional tolerance-based comparison
+_TOLERANCE_NAMES = frozenset(
+    {"tolerance", "tol", "rtol", "atol", "eps", "epsilon", "gain_rtol"}
+)
+
+
+def _identifiers(node: ast.expr) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _is_gainy(node: ast.expr) -> bool:
+    return any(
+        fragment in name.lower()
+        for name in _identifiers(node)
+        for fragment in _GAINY_FRAGMENTS
+    )
+
+
+def _mentions_tolerance(node: ast.expr) -> bool:
+    return any(name.lower() in _TOLERANCE_NAMES for name in _identifiers(node))
+
+
+def _is_numeric_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float))
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_numeric_literal(node.operand)
+    return False
+
+
+def _is_epsilon_adjusted(node: ast.expr) -> bool:
+    """``x - 1e-12`` / ``x + eps``-style explicitly slack-adjusted operand."""
+    return (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, (ast.Add, ast.Sub))
+        and (_is_numeric_literal(node.right) or _mentions_tolerance(node.right))
+    )
+
+
+class RawFloatComparison(Analyzer):
+    """RA002 — raw float comparison between gain/weight expressions."""
+
+    rule = "RA002"
+    title = "raw float comparison on a gain/weight expression"
+    hint = (
+        "route float ties through GAIN_RTOL / tie_break_candidates "
+        "(repro.core.greedy) instead of a raw comparison"
+    )
+
+    def applies_to(self, relative: str) -> bool:
+        return _in_result_affecting(relative)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(
+                    op, (ast.Lt, ast.Gt, ast.LtE, ast.GtE, ast.Eq, ast.NotEq)
+                ):
+                    continue
+                if _is_numeric_literal(left) or _is_numeric_literal(right):
+                    continue  # sign/zero/sentinel test, not a tie decision
+                if _mentions_tolerance(left) or _mentions_tolerance(right):
+                    continue  # already a tolerance-based comparison
+                if _is_epsilon_adjusted(left) or _is_epsilon_adjusted(right):
+                    continue  # explicitly slack-adjusted
+                if _is_gainy(left) and _is_gainy(right):
+                    yield self.finding(
+                        source,
+                        node,
+                        "raw float comparison between gain/weight expressions; "
+                        "last-ulp ties resolve nondeterministically",
+                    )
+                    break
+
+
+#: seeded numpy.random constructors — fine even without an explicit seed arg
+_NP_RANDOM_ALLOWED = frozenset({"Generator", "SeedSequence", "RandomState"})
+#: stdlib ``random`` attributes that do not draw from the global stream
+_STDLIB_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom", "seed", "getstate"})
+#: modules exempt from RA003 (the sanctioned seeding helpers)
+_RNG_ALLOWLIST = frozenset({"src/repro/utils/rng.py"})
+
+
+class UnseededRandom(Analyzer):
+    """RA003 — draw from global/unseeded RNG state."""
+
+    rule = "RA003"
+    title = "unseeded random number generation"
+    hint = (
+        "draw from an explicitly seeded np.random.Generator "
+        "(np.random.default_rng(seed)) threaded through the call"
+    )
+
+    def applies_to(self, relative: str) -> bool:
+        return (
+            relative.endswith(".py")
+            and relative.startswith("src/")
+            and relative not in _RNG_ALLOWLIST
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            base = func.value
+            # np.random.<fn>(...) / numpy.random.<fn>(...)
+            if (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in {"np", "numpy"}
+            ):
+                if func.attr in _NP_RANDOM_ALLOWED:
+                    continue
+                if func.attr == "default_rng" and node.args:
+                    continue  # seeded construction
+                yield self.finding(
+                    source,
+                    node,
+                    f"np.random.{func.attr}() uses global/unseeded RNG state",
+                )
+            # random.<fn>(...) on the stdlib module
+            elif (
+                isinstance(base, ast.Name)
+                and base.id == "random"
+                and func.attr not in _STDLIB_RANDOM_ALLOWED
+                and self._imports_stdlib_random(source)
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f"random.{func.attr}() draws from the global stdlib RNG",
+                )
+
+    @staticmethod
+    def _imports_stdlib_random(source: SourceFile) -> bool:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import) and any(
+                alias.name == "random" and alias.asname is None
+                for alias in node.names
+            ):
+                return True
+        return False
+
+
+#: clock attributes of the ``time`` module that read wall/CPU clocks
+_CLOCK_ATTRS = frozenset({"time", "perf_counter", "monotonic", "process_time"})
+#: (relative path, enclosing function) pairs allowed to read clocks — the
+#: declared stats timing wrappers.  Kernel timing belongs in
+#: ``repro.utils.timer`` (outside the scanned trees); this list exists so a
+#: future in-tree wrapper can be sanctioned explicitly instead of via noqa.
+_TIMING_ALLOWLIST: frozenset[tuple[str, str]] = frozenset()
+
+
+class WallClockInKernel(Analyzer):
+    """RA004 — wall-clock read inside kernel code."""
+
+    rule = "RA004"
+    title = "wall-clock read inside a kernel function"
+    hint = (
+        "move timing to repro.utils.timer / the stats wrappers, or add the "
+        "(path, function) pair to the RA004 allowlist"
+    )
+
+    def applies_to(self, relative: str) -> bool:
+        return _in_result_affecting(relative)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CLOCK_ATTRS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                continue
+            function = self._enclosing_function(source, node)
+            if (source.relative, function) in _TIMING_ALLOWLIST:
+                continue
+            yield self.finding(
+                source,
+                node,
+                f"time.{node.func.attr}() read inside kernel code "
+                f"(function {function!r})",
+            )
+
+    @staticmethod
+    def _enclosing_function(source: SourceFile, node: ast.AST) -> str:
+        current: ast.AST | None = node
+        while current is not None:
+            current = source.parent(current)
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current.name
+        return "<module>"

@@ -1,0 +1,218 @@
+"""Drift detection (rules RA007–RA009).
+
+The repo carries three pairs of surfaces that must stay in lockstep but
+live in different files, so nothing but convention kept them aligned:
+
+* **RA007** — the ``/metrics`` Prometheus names are generated from
+  ``ServiceStats.as_dict()`` (``netclus_service_<key>``), so the stats
+  dataclass fields and the literal ``as_dict`` keys must match one-to-one
+  (same for ``ServerStats`` / ``netclus_server_*``).
+* **RA008** — every ``--flag`` the service CLI registers via
+  ``argparse.add_argument`` must be mentioned in ``docs/api.md``.
+* **RA009** — the ``SCRIPT_SMOKE_BENCHMARKS`` registry in
+  ``benchmarks/conftest.py`` must list exactly the on-disk
+  ``bench_*.py`` scripts that expose the script-entry contract
+  (``__main__`` guard + ``build_parser`` + ``--smoke``).
+
+Each rule skips silently when its artifacts are absent (fixture
+mini-repos exercise one rule at a time), and anchors its findings at the
+drifting declaration so ``file:line`` lands on the thing to edit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .base import Finding, Project, ProjectAnalyzer, SourceFile
+
+__all__ = ["BenchRegistryDrift", "CliDocsDrift", "MetricsStatsDrift"]
+
+
+def _class_def(source: SourceFile, name: str) -> ast.ClassDef | None:
+    assert source.tree is not None
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+class MetricsStatsDrift(ProjectAnalyzer):
+    """RA007 — stats dataclass fields vs literal ``as_dict`` keys."""
+
+    rule = "RA007"
+    title = "stats dataclass drifted from its as_dict()/metrics surface"
+    hint = (
+        "/metrics names are generated from as_dict(); add the field to the "
+        "as_dict literal (or drop it) so the exported surface matches"
+    )
+
+    #: (file, class) pairs whose as_dict feeds a metrics endpoint
+    surfaces = (
+        ("src/repro/service/placement.py", "ServiceStats"),
+        ("src/repro/service/server.py", "ServerStats"),
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for relative, class_name in self.surfaces:
+            source = project.source(relative)
+            if source is None or source.tree is None:
+                continue
+            cls = _class_def(source, class_name)
+            if cls is None:
+                continue
+            yield from self._check_class(source, cls, class_name)
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef, class_name: str
+    ) -> Iterator[Finding]:
+        fields: dict[str, ast.AnnAssign] = {}
+        for item in cls.body:
+            if (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and not item.target.id.startswith("_")
+            ):
+                fields[item.target.id] = item
+        literal = self._as_dict_literal(cls)
+        if literal is None:
+            return  # as_dict absent or not a literal dict — nothing to diff
+        keys: dict[str, ast.expr] = {}
+        for key in literal.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys[key.value] = key
+        for name, field_node in fields.items():
+            if name not in keys:
+                yield self.finding(
+                    source,
+                    field_node,
+                    f"{class_name}.{name} is not exported by as_dict(); the "
+                    "metrics endpoint will silently miss it",
+                )
+        for name, key_node in keys.items():
+            if name not in fields:
+                yield self.finding(
+                    source,
+                    key_node,
+                    f"as_dict() exports {name!r} which is not a "
+                    f"{class_name} field",
+                )
+
+    @staticmethod
+    def _as_dict_literal(cls: ast.ClassDef) -> ast.Dict | None:
+        for item in cls.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "as_dict":
+                for node in ast.walk(item):
+                    if isinstance(node, ast.Return) and isinstance(
+                        node.value, ast.Dict
+                    ):
+                        return node.value
+        return None
+
+
+class CliDocsDrift(ProjectAnalyzer):
+    """RA008 — CLI argparse flags missing from docs/api.md."""
+
+    rule = "RA008"
+    title = "CLI flag not documented in docs/api.md"
+    hint = "document the flag in docs/api.md (CLI reference section)"
+
+    cli_path = "src/repro/service/cli.py"
+    docs_path = "docs/api.md"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        source = project.source(self.cli_path)
+        docs = project.text(self.docs_path)
+        if source is None or source.tree is None or docs is None:
+            return
+        seen: set[str] = set()
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                continue
+            for arg in node.args:
+                if not (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    continue
+                flag = arg.value
+                if flag in seen:
+                    continue
+                seen.add(flag)
+                pattern = rf"(?<![\w-]){re.escape(flag)}(?![\w-])"
+                if re.search(pattern, docs) is None:
+                    yield self.finding(
+                        source,
+                        arg,
+                        f"CLI flag {flag} is not mentioned in {self.docs_path}",
+                    )
+
+
+class BenchRegistryDrift(ProjectAnalyzer):
+    """RA009 — SCRIPT_SMOKE_BENCHMARKS vs on-disk benchmark scripts."""
+
+    rule = "RA009"
+    title = "benchmark registry drifted from on-disk scripts"
+    hint = (
+        "keep SCRIPT_SMOKE_BENCHMARKS (benchmarks/conftest.py) equal to the "
+        "bench_*.py scripts exposing a __main__ entry with build_parser/--smoke"
+    )
+
+    conftest_path = "benchmarks/conftest.py"
+    registry_name = "SCRIPT_SMOKE_BENCHMARKS"
+    #: substrings a script-style benchmark must contain
+    markers = ('__name__ == "__main__"', "build_parser", "--smoke")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        source = project.source(self.conftest_path)
+        if source is None or source.tree is None:
+            return
+        registry_node = self._registry_node(source)
+        if registry_node is None:
+            return
+        registered = {
+            element.value
+            for element in registry_node.value.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        }
+        on_disk = set()
+        bench_dir = project.root / "benchmarks"
+        for path in sorted(bench_dir.glob("bench_*.py")):
+            text = path.read_text()
+            if all(marker in text for marker in self.markers):
+                on_disk.add(path.stem)
+        for name in sorted(registered - on_disk):
+            yield self.finding(
+                source,
+                registry_node,
+                f"registered benchmark {name!r} has no on-disk script with a "
+                "__main__ entry, build_parser and --smoke",
+            )
+        for name in sorted(on_disk - registered):
+            yield self.finding(
+                source,
+                registry_node,
+                f"script-style benchmark {name!r} on disk is not registered "
+                f"in {self.registry_name}",
+            )
+
+    def _registry_node(self, source: SourceFile) -> ast.Assign | None:
+        assert source.tree is not None
+        for node in source.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(target, ast.Name)
+                    and target.id == self.registry_name
+                    for target in node.targets
+                )
+                and isinstance(node.value, (ast.Tuple, ast.List))
+            ):
+                return node
+        return None

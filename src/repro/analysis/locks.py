@@ -1,0 +1,244 @@
+"""Lock-discipline checker (rules RA005–RA006).
+
+Reads the declarative markers from :mod:`repro.utils.concurrency`
+syntactically — ``@guarded_by("_lock", "attr", ...)`` class decorators and
+``@holds_lock("_lock")`` method decorators — and proves, lexically, that
+every ``self.<attr>`` touch of a guarded attribute happens inside the
+matching critical section:
+
+* **RA005** — a guarded attribute read or written with the lock not held.
+* **RA006** — a guarded attribute *written* while only the read side of a
+  readers-writer lock is held (``rw=True`` guards).
+
+Held-lock tracking is purely lexical: a ``with self.<lock>:`` block holds
+the lock exclusively, ``with self.<lock>.read_locked():`` holds it in read
+mode, ``with self.<lock>.write_locked():`` (or any other method of the
+lock object) exclusively.  A method decorated ``@holds_lock`` is analysed
+with that lock exclusively held from entry.  Nested functions and lambdas
+start with an *empty* held set — a callback may outlive the critical
+section that created it — so a guarded access inside one must take the
+lock itself or move out of the closure.
+
+Constructor-shaped methods (``__init__`` and friends) are exempt: the
+instance is not yet shared, so its attributes cannot race.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Analyzer, Finding, SourceFile
+
+__all__ = ["LockDiscipline", "WriteUnderReadLock"]
+
+#: methods where the instance is not yet (or no longer) shared
+_EXEMPT_METHODS = frozenset(
+    {"__init__", "__new__", "__post_init__", "__setstate__", "__del__",
+     "__init_subclass__"}
+)
+
+_READ = "read"
+_EXCLUSIVE = "exclusive"
+
+
+def _decorator_call(node: ast.expr, name: str) -> ast.Call | None:
+    """The decorator as a Call when it is ``name(...)`` / ``mod.name(...)``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == name:
+        return node
+    if isinstance(func, ast.Attribute) and func.attr == name:
+        return node
+    return None
+
+
+def _string_args(call: ast.Call) -> list[str]:
+    out = []
+    for arg in call.args:
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            out.append(arg.value)
+    return out
+
+
+def _guard_table(cls: ast.ClassDef) -> dict[str, tuple[str, bool]]:
+    """``{attribute: (lock, rw)}`` from the class's guarded_by decorators.
+
+    Decorators apply bottom-up at runtime, so the topmost one merges last
+    and wins on a repeated attribute — mirrored here by walking the
+    decorator list in reverse.
+    """
+    table: dict[str, tuple[str, bool]] = {}
+    for decorator in reversed(cls.decorator_list):
+        call = _decorator_call(decorator, "guarded_by")
+        if call is None:
+            continue
+        strings = _string_args(call)
+        if len(strings) < 2:
+            continue
+        lock, attributes = strings[0], strings[1:]
+        rw = any(
+            keyword.arg == "rw"
+            and isinstance(keyword.value, ast.Constant)
+            and bool(keyword.value.value)
+            for keyword in call.keywords
+        )
+        for attribute in attributes:
+            table[attribute] = (lock, rw)
+    return table
+
+
+def _held_from_decorators(func: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, str]:
+    held: dict[str, str] = {}
+    for decorator in func.decorator_list:
+        call = _decorator_call(decorator, "holds_lock")
+        if call is None:
+            continue
+        for lock in _string_args(call):
+            held[lock] = _EXCLUSIVE
+    return held
+
+
+class LockDiscipline(Analyzer):
+    """RA005 — guarded attribute touched outside its critical section."""
+
+    rule = "RA005"
+    title = "guarded attribute accessed without its lock held"
+    hint = (
+        "wrap the access in `with self.<lock>:` (or declare the method "
+        "@holds_lock) — see docs/static-analysis.md"
+    )
+
+    #: hint attached to the sibling RA006 findings the shared walk produces
+    write_under_read_hint = (
+        "writes need the exclusive side: use `with self.<lock>.write_locked():`"
+    )
+
+    def applies_to(self, relative: str) -> bool:
+        return relative.endswith(".py") and relative.startswith("src/")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for found in self._all_findings(source):
+            if found.rule == self.rule:
+                yield found
+
+    def _all_findings(self, source: SourceFile) -> Iterator[Finding]:
+        """Both RA005 and RA006 findings from one lexical walk."""
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    # ------------------------------------------------------------------ #
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        table = _guard_table(cls)
+        if not table:
+            return
+        locks = {lock for lock, _rw in table.values()}
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _EXEMPT_METHODS:
+                continue
+            held = _held_from_decorators(item)
+            for stmt in item.body:
+                yield from self._visit(source, stmt, table, locks, held)
+
+    # ------------------------------------------------------------------ #
+    def _lock_mode(self, expr: ast.expr, locks: set[str]) -> tuple[str, str] | None:
+        """``(lock, mode)`` when *expr* acquires a declared lock, else None."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in locks
+        ):
+            return expr.attr, _EXCLUSIVE
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            inner = self._lock_mode(expr.func.value, locks)
+            if inner is not None:
+                mode = _READ if expr.func.attr == "read_locked" else _EXCLUSIVE
+                return inner[0], mode
+        return None
+
+    def _visit(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        table: dict[str, tuple[str, bool]],
+        locks: set[str],
+        held: dict[str, str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = dict(held)
+            for item in node.items:
+                yield from self._visit(source, item.context_expr, table, locks, held)
+                acquired = self._lock_mode(item.context_expr, locks)
+                if acquired is not None:
+                    lock, mode = acquired
+                    if inner.get(lock) != _EXCLUSIVE:
+                        inner[lock] = mode
+            for stmt in node.body:
+                yield from self._visit(source, stmt, table, locks, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # a closure may run after the critical section ends
+            nested_held = _held_from_decorators(node) if not isinstance(
+                node, ast.Lambda
+            ) else {}
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                yield from self._visit(source, stmt, table, locks, nested_held)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in table
+        ):
+            lock, rw = table[node.attr]
+            mode = held.get(lock)
+            writing = isinstance(node.ctx, (ast.Store, ast.Del))
+            if mode is None:
+                kind = "written" if writing else "read"
+                yield Finding(
+                    rule="RA005",
+                    path=source.relative,
+                    line=node.lineno,
+                    column=node.col_offset + 1,
+                    message=(
+                        f"guarded attribute self.{node.attr} {kind} without "
+                        f"holding self.{lock}"
+                    ),
+                    hint=LockDiscipline.hint,
+                )
+            elif writing and mode == _READ:
+                yield Finding(
+                    rule="RA006",
+                    path=source.relative,
+                    line=node.lineno,
+                    column=node.col_offset + 1,
+                    message=(
+                        f"guarded attribute self.{node.attr} written while "
+                        f"self.{lock} is only held in read mode"
+                    ),
+                    hint=self.write_under_read_hint,
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(source, child, table, locks, held)
+
+
+class WriteUnderReadLock(LockDiscipline):
+    """RA006 — guarded attribute written under a read lock.
+
+    The detection logic lives in :class:`LockDiscipline` (one lexical walk
+    produces both rules); this subclass selects the RA006 subset, so each
+    rule id filters the shared walk and the pair never double-reports.
+    """
+
+    rule = "RA006"
+    title = "guarded attribute written under a read lock"
+    hint = LockDiscipline.write_under_read_hint

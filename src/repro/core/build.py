@@ -229,7 +229,7 @@ def build_index(
     )
     workers = resolve_workers(workers)
     site_set = set(int(s) for s in sites)
-    for site in site_set:
+    for site in sorted(site_set):
         require(network.has_node(site), f"site {site} is not a network node")
 
     num_instances = int(math.floor(math.log(tau_max_km / tau_min_km, 1.0 + gamma))) + 1

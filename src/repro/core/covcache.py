@@ -48,17 +48,24 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.core.preference import PreferenceFunction, is_registered, make_preference
+from repro.utils.concurrency import guarded_by, holds_lock
 from repro.utils.timer import Timer
 from repro.utils.validation import require
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (netclus imports us)
-    from repro.core.netclus import ClusteredCoverage, NetClusIndex, UpdateBatch
+    from repro.core.netclus import (
+        ClusteredCoverage,
+        NetClusIndex,
+        NetClusInstance,
+        UpdateBatch,
+    )
 
 __all__ = [
     "CoverageCache",
@@ -189,6 +196,19 @@ class _DeltaProbe:
     rep_state: dict[int, dict[int, tuple[int, float]]]
 
 
+@guarded_by(
+    "_lock",
+    "parts",
+    "hits",
+    "misses",
+    "stores",
+    "patches",
+    "invalidations",
+    "materialisations",
+    "patch_seconds",
+    "materialise_seconds",
+    "limit",
+)
 class CoverageCache:
     """LRU cache of :class:`CoveragePart` objects, keyed by ``(τ, ψ-spec)``.
 
@@ -249,7 +269,7 @@ class CoverageCache:
         preference: PreferenceFunction,
         engine: str = "sparse",
         shards: int = 1,
-        executor=None,
+        executor: Executor | None = None,
     ) -> "ClusteredCoverage | None":
         """Return a warm :class:`ClusteredCoverage` for ``(τ, ψ)``, or ``None``.
 
@@ -441,6 +461,7 @@ class CoverageCache:
                 patched += 1
             return patched
 
+    @holds_lock("_lock")
     def _patch_part(
         self,
         index: "NetClusIndex",
@@ -563,13 +584,14 @@ class CoverageCache:
     # ------------------------------------------------------------------ #
     # materialisation
     # ------------------------------------------------------------------ #
+    @holds_lock("_lock")
     def _materialise(
         self,
         index: "NetClusIndex",
         part: CoveragePart,
         engine: str,
         shards: int,
-        executor=None,
+        executor: Executor | None = None,
     ) -> "ClusteredCoverage":
         """Build one ``(engine, shards)`` view over the canonical entries."""
         from repro.core.coverage import CoverageIndex, SparseCoverageIndex
@@ -669,8 +691,8 @@ class CoverageCache:
             return [part.describe() for part in self.parts.values()]
 
     def __deepcopy__(self, memo: dict) -> "CoverageCache":
-        clone = CoverageCache(limit=self.limit)
         with self._lock:
+            clone = CoverageCache(limit=self.limit)
             for key, part in self.parts.items():
                 clone.parts[key] = CoveragePart(
                     tau_km=part.tau_km,
@@ -688,28 +710,31 @@ class CoverageCache:
         return clone
 
     def __getstate__(self) -> dict:
-        state = self.__dict__.copy()
-        state["_lock"] = None
-        state["executor"] = None
-        state["parts"] = OrderedDict(
-            (
-                key,
-                CoveragePart(
-                    tau_km=part.tau_km,
-                    preference_name=part.preference_name,
-                    preference_params=part.preference_params,
-                    instance_id=part.instance_id,
-                    index_version=part.index_version,
-                    num_trajectories=part.num_trajectories,
-                    rows=part.rows,
-                    cols=part.cols,
-                    estimates=part.estimates,
-                    rep_sites=part.rep_sites,
-                    rep_clusters=part.rep_clusters,
-                ),
+        # snapshot under the lock: a concurrent store_entries/finish_delta
+        # must not mutate `parts` while pickling walks it
+        with self._lock:
+            state = self.__dict__.copy()
+            state["_lock"] = None
+            state["executor"] = None
+            state["parts"] = OrderedDict(
+                (
+                    key,
+                    CoveragePart(
+                        tau_km=part.tau_km,
+                        preference_name=part.preference_name,
+                        preference_params=part.preference_params,
+                        instance_id=part.instance_id,
+                        index_version=part.index_version,
+                        num_trajectories=part.num_trajectories,
+                        rows=part.rows,
+                        cols=part.cols,
+                        estimates=part.estimates,
+                        rep_sites=part.rep_sites,
+                        rep_clusters=part.rep_clusters,
+                    ),
+                )
+                for key, part in self.parts.items()
             )
-            for key, part in self.parts.items()
-        )
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -717,7 +742,7 @@ class CoverageCache:
         self._lock = threading.RLock()
 
 
-def _instance_of(index: "NetClusIndex", instance_id: int):
+def _instance_of(index: "NetClusIndex", instance_id: int) -> "NetClusInstance":
     """The live index instance with the given id (refuse if gone)."""
     for instance in index.instances:
         if instance.instance_id == instance_id:

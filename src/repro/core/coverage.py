@@ -43,7 +43,7 @@ the distributed query path reuses the greedy solvers unchanged.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -261,7 +261,7 @@ def labels_to_columns(site_labels: np.ndarray, labels: Sequence[int]) -> list[in
 
 # ---------------------------------------------------------------------- #
 def replay_selection(
-    coverage,
+    coverage: Any,
     columns: Sequence[int],
     capacity: int | None = None,
     seed_columns: Sequence[int] = (),

@@ -201,7 +201,11 @@ class GreedyGDSP:
                     break
                 union = covered_sketch.union(sketches[node])
                 gain = union.estimate() - covered_estimate
-                if gain > best_gain:
+                # deterministic despite the raw comparison: FM-sketch
+                # estimates are pure functions of the input, and the
+                # strict `>` over the sorted candidate order always keeps
+                # the lowest-node winner on exact ties
+                if gain > best_gain:  # noqa: RA002
                     best_gain = gain
                     best_node = node
             if best_node < 0:

@@ -290,7 +290,7 @@ class LazyGreedy:
         num_sites = coverage.num_sites
         utilities = np.zeros(coverage.num_trajectories, dtype=np.float64)
         forbidden = set(int(c) for c in existing_columns)
-        for col in forbidden:
+        for col in sorted(forbidden):
             utilities = coverage.absorb(utilities, col)
         weights = coverage.site_weights
         caps = None if capacities is None else np.asarray(capacities)

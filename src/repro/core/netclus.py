@@ -1182,11 +1182,11 @@ class NetClusIndex:
         }
         for instance in self.instances:
             for cluster in instance.clusters:
-                for traj_id in removed.intersection(cluster.trajectory_list):
+                for traj_id in sorted(removed.intersection(cluster.trajectory_list)):
                     del cluster.trajectory_list[traj_id]
         if self._tracks_visits:
             touched: set[int] = set()
-            for traj_id in removed:
+            for traj_id in sorted(removed):
                 unique_nodes = self._trajectory_nodes.pop(traj_id, None)
                 if unique_nodes is None:
                     continue
@@ -1231,7 +1231,7 @@ class NetClusIndex:
                     )
                     instance.invalidate_node_lookup()
                 affected.add(cluster_id)
-            for cluster_id in affected:
+            for cluster_id in sorted(affected):
                 self._reelect(instance.clusters[cluster_id])
         self.version += 1
         return len(new_sites)
@@ -1263,7 +1263,7 @@ class NetClusIndex:
                     and instance.clusters[cluster_id].representative in removed_set
                 ):
                     affected.add(cluster_id)
-            for cluster_id in affected:
+            for cluster_id in sorted(affected):
                 self._reelect(instance.clusters[cluster_id])
         self.version += 1
         return len(removed)
@@ -1300,7 +1300,7 @@ class NetClusIndex:
                 for node in nodes
                 if (cluster_id := instance.node_to_cluster.get(node)) is not None
             }
-            for cluster_id in affected:
+            for cluster_id in sorted(affected):
                 self._reelect(instance.clusters[cluster_id])
 
     def _shortest_path_engine(self) -> ShortestPathEngine:

@@ -37,6 +37,7 @@ shard any fresh layout would assign it.
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from typing import Callable, Sequence
 
 import numpy as np
@@ -49,6 +50,7 @@ from repro.core.coverage import (
     replay_selection,
     serve_top_capacity,
 )
+from repro.core.preference import PreferenceFunction
 from repro.utils.validation import require
 
 __all__ = ["shard_of", "shard_assignments", "shard_layout", "ShardedCoverage"]
@@ -97,7 +99,9 @@ def shard_layout(
     ]
 
 
-def _build_parts(build_part: Callable, tasks: Sequence, executor) -> list:
+def _build_parts(
+    build_part: Callable, tasks: Sequence, executor: Executor | None
+) -> list:
     """Construct the per-shard parts, on *executor* when one is given.
 
     Part construction is independent per shard (each sees only its own
@@ -147,10 +151,10 @@ class ShardedCoverage:
         parts: Sequence[CoverageIndex | SparseCoverageIndex],
         shard_rows: Sequence[np.ndarray],
         tau_km: float,
-        preference,
+        preference: PreferenceFunction,
         site_labels: Sequence[int] | None = None,
         trajectory_ids: Sequence[int] | None = None,
-        executor=None,
+        executor: Executor | None = None,
     ) -> None:
         require(len(parts) >= 1, "ShardedCoverage needs at least one shard part")
         require(len(parts) == len(shard_rows), "parts / shard_rows length mismatch")
@@ -402,12 +406,12 @@ class ShardedCoverage:
         cls,
         detours: np.ndarray,
         tau_km: float,
-        preference,
+        preference: PreferenceFunction,
         num_shards: int,
         engine: str = "dense",
         site_labels: Sequence[int] | None = None,
         trajectory_ids: Sequence[int] | None = None,
-        executor=None,
+        executor: Executor | None = None,
     ) -> "ShardedCoverage":
         """Shard a dense ``(m, n)`` detour matrix by trajectory id.
 
@@ -424,7 +428,7 @@ class ShardedCoverage:
         layout = shard_layout(trajectory_ids, num_shards)
         part_cls = SparseCoverageIndex if engine == "sparse" else CoverageIndex
 
-        def build_part(rows: np.ndarray):
+        def build_part(rows: np.ndarray) -> CoverageIndex | SparseCoverageIndex:
             return part_cls(
                 detours[rows, :],
                 tau_km,
@@ -453,11 +457,11 @@ class ShardedCoverage:
         num_trajectories: int,
         num_sites: int,
         tau_km: float,
-        preference,
+        preference: PreferenceFunction,
         num_shards: int,
         site_labels: Sequence[int] | None = None,
         trajectory_ids: Sequence[int] | None = None,
-        executor=None,
+        executor: Executor | None = None,
     ) -> "ShardedCoverage":
         """Shard (trajectory, site, detour) coverage triples by trajectory id.
 
@@ -481,7 +485,9 @@ class ShardedCoverage:
             shard_of_row[shard_rows] = shard
         entry_shards = shard_of_row[rows] if len(rows) else np.empty(0, dtype=np.int64)
 
-        def build_part(shard_and_rows):
+        def build_part(
+            shard_and_rows: tuple[int, np.ndarray],
+        ) -> SparseCoverageIndex:
             shard, shard_rows = shard_and_rows
             keep = entry_shards == shard
             return SparseCoverageIndex.from_coverage_lists(

@@ -49,10 +49,11 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.covcache import CoverageCache
 from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.netclus import ClusteredCoverage, NetClusIndex, UpdateBatch
 from repro.core.preference import is_registered
@@ -62,6 +63,7 @@ from repro.network.graph import RoadNetwork
 from repro.service.serialization import load_index, save_index
 from repro.service.specs import QuerySpec
 from repro.trajectory.model import TrajectoryDataset
+from repro.utils.concurrency import guarded_by, holds_lock
 from repro.utils.parallel import resolve_workers
 from repro.utils.timer import Timer
 from repro.utils.validation import require
@@ -69,6 +71,7 @@ from repro.utils.validation import require
 __all__ = ["PlacementService", "ServiceStats"]
 
 
+@guarded_by("_condition", "_active_readers", "_writer_active", "_writers_waiting")
 class _ReadWriteLock:
     """A writer-preferring readers-writer lock.
 
@@ -85,7 +88,7 @@ class _ReadWriteLock:
         self._writers_waiting = 0
 
     @contextmanager
-    def read_locked(self):
+    def read_locked(self) -> Iterator[None]:
         """Hold the lock as one of possibly many concurrent readers."""
         with self._condition:
             while self._writer_active or self._writers_waiting:
@@ -100,7 +103,7 @@ class _ReadWriteLock:
                     self._condition.notify_all()
 
     @contextmanager
-    def write_locked(self):
+    def write_locked(self) -> Iterator[None]:
         """Hold the lock exclusively (no readers, no other writer)."""
         with self._condition:
             self._writers_waiting += 1
@@ -116,6 +119,22 @@ class _ReadWriteLock:
                 self._condition.notify_all()
 
 
+@guarded_by(
+    "_lock",
+    "queries_served",
+    "cache_hits",
+    "cache_misses",
+    "instance_resolutions",
+    "coverage_builds",
+    "coverage_cache_hits",
+    "coverage_cache_misses",
+    "greedy_runs",
+    "index_builds",
+    "coverage_build_seconds",
+    "coverage_materialise_seconds",
+    "greedy_seconds",
+    "replay_seconds",
+)
 @dataclass
 class ServiceStats:
     """Work counters of a :class:`PlacementService` (monotonic until reset).
@@ -182,18 +201,31 @@ class ServiceStats:
             }
 
     def stage_seconds(self) -> dict[str, float]:
-        """The per-stage query timings only (reporting/CLI)."""
-        return {
-            "coverage_build_seconds": self.coverage_build_seconds,
-            "coverage_materialise_seconds": self.coverage_materialise_seconds,
-            "greedy_seconds": self.greedy_seconds,
-            "replay_seconds": self.replay_seconds,
-        }
+        """The per-stage query timings only, as one consistent snapshot."""
+        with self._lock:
+            return {
+                "coverage_build_seconds": self.coverage_build_seconds,
+                "coverage_materialise_seconds": self.coverage_materialise_seconds,
+                "greedy_seconds": self.greedy_seconds,
+                "replay_seconds": self.replay_seconds,
+            }
 
     def reset(self) -> None:
-        """Zero every counter."""
-        for key in self.as_dict():
-            setattr(self, key, 0)
+        """Zero every counter, atomically with respect to :meth:`bump`."""
+        with self._lock:
+            self.queries_served = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.instance_resolutions = 0
+            self.coverage_builds = 0
+            self.coverage_cache_hits = 0
+            self.coverage_cache_misses = 0
+            self.greedy_runs = 0
+            self.index_builds = 0
+            self.coverage_build_seconds = 0.0
+            self.coverage_materialise_seconds = 0.0
+            self.greedy_seconds = 0.0
+            self.replay_seconds = 0.0
 
 
 @dataclass
@@ -205,6 +237,8 @@ class _PreparedGroup:
     members: list[int] = field(default_factory=list)
 
 
+@guarded_by("_cache_lock", "_cache", "_cache_version")
+@guarded_by("_executor_lock", "_executor")
 class PlacementService:
     """A persistent placement service over one city's NetClus index.
 
@@ -303,7 +337,7 @@ class PlacementService:
     @classmethod
     def from_problem(
         cls,
-        problem,
+        problem: Any,
         *,
         engine: str = "sparse",
         cache_size: int = 128,
@@ -311,7 +345,7 @@ class PlacementService:
         query_workers: int | str = 1,
         coverage_cache: bool | None = None,
         coverage_cache_limit: int | None = None,
-        **build_kwargs,
+        **build_kwargs: Any,
     ) -> "PlacementService":
         """A service that lazily builds its index from a ``TOPSProblem``.
 
@@ -396,7 +430,7 @@ class PlacementService:
             index.coverage_cache.limit = int(self._coverage_cache_limit)
 
     @property
-    def coverage_cache(self):
+    def coverage_cache(self) -> CoverageCache | None:
         """The index's coverage cache, or ``None`` (no lazy index build)."""
         return getattr(self._index, "coverage_cache", None)
 
@@ -427,14 +461,16 @@ class PlacementService:
         """
         if self.query_workers <= 1 or self.effective_shards <= 1:
             return None
-        if self._executor is None:
-            with self._executor_lock:
-                if self._executor is None:
-                    self._executor = ThreadPoolExecutor(
-                        max_workers=min(self.query_workers, self.effective_shards),
-                        thread_name_prefix="shard-eval",
-                    )
-        return self._executor
+        # always under the lock: a lock-free fast-path read of
+        # self._executor races with close() swapping the pool out, and the
+        # uncontended acquire costs nothing next to a shard evaluation
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(self.query_workers, self.effective_shards),
+                    thread_name_prefix="shard-eval",
+                )
+            return self._executor
 
     def close(self) -> None:
         """Shut the shard-evaluation pool down (idempotent).
@@ -814,6 +850,7 @@ class PlacementService:
             "coverage_build_seconds": group.build_seconds,
         }
 
+    @holds_lock("_cache_lock")
     def _cache_store(self, spec: QuerySpec, result: TOPSResult | None) -> None:
         if result is None:  # pragma: no cover - defensive
             return

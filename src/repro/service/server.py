@@ -58,16 +58,19 @@ and ``benchmarks/bench_serving.py`` drive real sockets through.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
 
 from repro.core.netclus import UpdateBatch
 from repro.core.query import TOPSResult
 from repro.service.placement import PlacementService
 from repro.service.specs import QuerySpec
 from repro.trajectory.model import Trajectory
+from repro.utils.concurrency import guarded_by
 from repro.utils.validation import require
 
 __all__ = [
@@ -95,6 +98,7 @@ class _BadRequest(ValueError):
     """A client error the handler converts into a 400 response."""
 
 
+@guarded_by("_lock", "_samples", "_cursor", "_total", "_capacity")
 class LatencyReservoir:
     """A bounded ring of the most recent request latencies.
 
@@ -389,10 +393,8 @@ class PlacementServer:
         finally:
             self._connections.discard(writer)
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
 
     async def _read_request(self, reader: asyncio.StreamReader) -> _Request | None:
         """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
@@ -479,7 +481,12 @@ class PlacementServer:
         version = self.service.index_version
         return -1 if version is None else version
 
-    async def _admitted(self, handler, request: _Request, endpoint: str) -> _Response:
+    async def _admitted(
+        self,
+        handler: Callable[[_Request], Awaitable[_Response]],
+        request: _Request,
+        endpoint: str,
+    ) -> _Response:
         """Run *handler* under admission control, timing and timeout."""
         if self._draining:
             return _Response.error(503, "server is draining")
@@ -849,7 +856,9 @@ class ServerHandle:
         self.close()
 
 
-def serve_in_background(service: PlacementService, **server_kwargs) -> ServerHandle:
+def serve_in_background(
+    service: PlacementService, **server_kwargs: Any
+) -> ServerHandle:
     """Start a :class:`PlacementServer` on a dedicated thread; return its handle.
 
     ``port`` defaults to 0 (ephemeral) — read the real address back from

@@ -1,0 +1,9 @@
+"""RA001 negative: the set is consumed in sorted (deterministic) order."""
+
+
+def total_gain(values):
+    seen = set(values)
+    total = 0.0
+    for value in sorted(seen):
+        total += value
+    return total

@@ -1,0 +1,9 @@
+"""RA001 positive: float accumulation driven by set iteration order."""
+
+
+def total_gain(values):
+    seen = set(values)
+    total = 0.0
+    for value in seen:  # expect: RA001
+        total += value
+    return total

@@ -1,0 +1,10 @@
+"""RA001 suppressed: justified set iteration."""
+
+
+def count_items(values):
+    seen = set(values)
+    total = 0
+    # integer addition commutes exactly; order cannot change the count
+    for _ in seen:  # noqa: RA001
+        total += 1
+    return total

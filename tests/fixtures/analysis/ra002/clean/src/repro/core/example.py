@@ -1,0 +1,9 @@
+"""RA002 negative: literal sign test + tolerance-based comparison."""
+
+GAIN_RTOL = 1e-9
+
+
+def improves(gain, best_gain):
+    if gain <= 0.0:
+        return False
+    return gain > best_gain + GAIN_RTOL

@@ -1,0 +1,5 @@
+"""RA002 positive: raw float comparison between gain expressions."""
+
+
+def improves(gain, best_gain):
+    return gain > best_gain  # expect: RA002

@@ -1,0 +1,6 @@
+"""RA002 suppressed: justified raw comparison."""
+
+
+def improves(gain, best_gain):
+    # operands are exact integers stored in floats; ties are impossible
+    return gain > best_gain  # noqa: RA002

@@ -1,0 +1,8 @@
+"""RA003 negative: an explicitly seeded generator."""
+
+import numpy as np
+
+
+def jitter(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)

@@ -1,0 +1,7 @@
+"""RA003 positive: draw from the global numpy RNG state."""
+
+import numpy as np
+
+
+def jitter(n):
+    return np.random.rand(n)  # expect: RA003

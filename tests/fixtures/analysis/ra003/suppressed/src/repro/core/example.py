@@ -1,0 +1,8 @@
+"""RA003 suppressed: justified global draw."""
+
+import numpy as np
+
+
+def probe(n):
+    # diagnostic-only helper; never feeds a selection
+    return np.random.rand(n)  # noqa: RA003

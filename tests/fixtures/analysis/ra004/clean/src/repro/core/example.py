@@ -1,0 +1,5 @@
+"""RA004 negative: the kernel computes without reading a clock."""
+
+
+def kernel(values):
+    return [v * 2 for v in values]

@@ -1,0 +1,8 @@
+"""RA004 positive: wall-clock read inside a kernel function."""
+
+import time
+
+
+def kernel(values):
+    started = time.perf_counter()  # expect: RA004
+    return [v * 2 for v in values], started

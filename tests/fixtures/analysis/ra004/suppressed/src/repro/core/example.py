@@ -1,0 +1,9 @@
+"""RA004 suppressed: justified clock read."""
+
+import time
+
+
+def kernel(values):
+    # timing wrapper inlined here on purpose; result does not depend on it
+    started = time.perf_counter()  # noqa: RA004
+    return [v * 2 for v in values], started

@@ -1,0 +1,20 @@
+"""RA005 negative: every guarded access is inside the critical section."""
+
+import threading
+
+from repro.utils.concurrency import guarded_by, holds_lock
+
+
+@guarded_by("_lock", "counter")
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counter = 0
+
+    def bump(self) -> None:
+        with self._lock:
+            self.counter += 1
+
+    @holds_lock("_lock")
+    def _bump_locked(self) -> None:
+        self.counter += 1

@@ -1,0 +1,15 @@
+"""RA005 positive: guarded attribute written outside the lock."""
+
+import threading
+
+from repro.utils.concurrency import guarded_by
+
+
+@guarded_by("_lock", "counter")
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counter = 0
+
+    def bump(self) -> None:
+        self.counter += 1  # expect: RA005

@@ -1,0 +1,16 @@
+"""RA005 suppressed: justified lock-free read."""
+
+import threading
+
+from repro.utils.concurrency import guarded_by
+
+
+@guarded_by("_lock", "counter")
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counter = 0
+
+    def peek(self) -> int:
+        # monitoring-only read; a stale value is acceptable here
+        return self.counter  # noqa: RA005

@@ -1,0 +1,18 @@
+"""RA006 negative: reads under the read lock, writes under the write lock."""
+
+from repro.utils.concurrency import guarded_by
+
+
+@guarded_by("_rw", "value", rw=True)
+class Holder:
+    def __init__(self, rw_lock) -> None:
+        self._rw = rw_lock
+        self.value = 0
+
+    def read(self):
+        with self._rw.read_locked():
+            return self.value
+
+    def publish(self, value) -> None:
+        with self._rw.write_locked():
+            self.value = value

@@ -1,0 +1,14 @@
+"""RA006 positive: guarded attribute written under the read lock."""
+
+from repro.utils.concurrency import guarded_by
+
+
+@guarded_by("_rw", "value", rw=True)
+class Holder:
+    def __init__(self, rw_lock) -> None:
+        self._rw = rw_lock
+        self.value = 0
+
+    def publish(self, value) -> None:
+        with self._rw.read_locked():
+            self.value = value  # expect: RA006

@@ -1,0 +1,12 @@
+"""RA007 negative: fields and as_dict keys match one-to-one."""
+
+
+class ServiceStats:
+    queries_served: int = 0
+    cache_hits: int = 0
+
+    def as_dict(self):
+        return {
+            "queries_served": self.queries_served,
+            "cache_hits": self.cache_hits,
+        }

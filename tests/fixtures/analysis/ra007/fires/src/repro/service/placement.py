@@ -1,0 +1,9 @@
+"""RA007 positive: a stats field missing from the as_dict export."""
+
+
+class ServiceStats:
+    queries_served: int = 0
+    cache_hits: int = 0  # expect: RA007
+
+    def as_dict(self):
+        return {"queries_served": self.queries_served}

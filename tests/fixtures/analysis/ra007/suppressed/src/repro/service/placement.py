@@ -1,0 +1,10 @@
+"""RA007 suppressed: a deliberately unexported field."""
+
+
+class ServiceStats:
+    queries_served: int = 0
+    # internal scratch value; intentionally absent from /metrics
+    scratch: int = 0  # noqa: RA007
+
+    def as_dict(self):
+        return {"queries_served": self.queries_served}

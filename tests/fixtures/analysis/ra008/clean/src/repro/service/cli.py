@@ -1,0 +1,10 @@
+"""RA008 negative: every registered flag is documented."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--index", required=True)
+    parser.add_argument("--output", default=None)
+    return parser

@@ -1,0 +1,13 @@
+"""RA008 positive: a registered flag absent from docs/api.md."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--index", required=True)
+    parser.add_argument(
+        "--undocumented",  # expect: RA008
+        default=None,
+    )
+    return parser

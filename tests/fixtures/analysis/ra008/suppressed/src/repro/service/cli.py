@@ -1,0 +1,14 @@
+"""RA008 suppressed: a deliberately undocumented flag."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--index", required=True)
+    parser.add_argument(
+        # internal debugging switch; deliberately undocumented
+        "--debug-probe",  # noqa: RA008
+        default=None,
+    )
+    return parser

@@ -1,0 +1,13 @@
+"""A registered script-style benchmark."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--smoke", action="store_true")
+    return parser
+
+
+if __name__ == "__main__":
+    build_parser().parse_args()

@@ -1,0 +1,3 @@
+SCRIPT_SMOKE_BENCHMARKS = (
+    "bench_present",
+)

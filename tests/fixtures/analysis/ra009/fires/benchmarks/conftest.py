@@ -1,0 +1,3 @@
+SCRIPT_SMOKE_BENCHMARKS = (  # expect: RA009
+    "bench_missing",
+)

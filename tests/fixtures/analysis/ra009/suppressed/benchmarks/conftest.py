@@ -1,0 +1,4 @@
+# registry intentionally frozen while bench_present is being rewritten
+SCRIPT_SMOKE_BENCHMARKS = (  # noqa: RA009
+    "bench_missing",
+)

@@ -26,9 +26,11 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 
 MARKDOWN_FILES = sorted(
-    [ROOT / "README.md"]
-    + list((ROOT / "docs").glob("*.md"))
-    + list((ROOT / "examples").glob("*.md"))
+    [
+        ROOT / "README.md",
+        *(ROOT / "docs").glob("*.md"),
+        *(ROOT / "examples").glob("*.md"),
+    ]
 )
 
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
