@@ -1,0 +1,95 @@
+"""Allocation lint for hot kernels (rule RA010).
+
+The coverage engines' gain kernels (``marginal_gains`` / ``gain_updates``
+/ ``absorb`` / ``marginal_gain``) run thousands of times per greedy
+selection; a per-call ``np.zeros``/``np.empty`` temporary or an
+``.astype`` copy inside them turns into allocator pressure that dominates
+the kernel itself on large workloads.  Functions marked with the
+``@kernel`` decorator (:func:`repro.utils.concurrency.kernel`) declare
+themselves hot: inside them, RA010 flags
+
+* ``np.zeros(...)`` / ``np.empty(...)`` (and the ``numpy.``-spelled
+  forms) — route temporaries through the instance's ``_ScratchPool``
+  and ufunc ``out=`` arguments instead;
+* any ``.astype(...)`` call — a full-array copy; build the array in the
+  right dtype up front.
+
+An array that *escapes* the kernel as its result legitimately allocates —
+suppress those lines with ``# noqa: RA010`` plus a justification comment,
+per the repo suppression policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Analyzer, Finding, SourceFile
+
+__all__ = ["KernelAllocations"]
+
+#: numpy constructors that allocate a fresh array every call
+_ALLOCATING_CONSTRUCTORS = frozenset({"zeros", "empty"})
+#: module aliases numpy is imported under
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+
+def _is_kernel_decorated(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the function carries the ``@kernel`` marker decorator."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "kernel":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "kernel":
+            return True
+    return False
+
+
+class KernelAllocations(Analyzer):
+    """RA010 — per-call array allocation inside an ``@kernel`` function."""
+
+    rule = "RA010"
+    title = "per-call array allocation inside a @kernel function"
+    hint = (
+        "reuse a _ScratchPool buffer with ufunc out= arguments, or build "
+        "the array in its final dtype; escaping results may allocate with "
+        "a justified # noqa: RA010"
+    )
+
+    def applies_to(self, relative: str) -> bool:
+        return relative.endswith(".py") and relative.startswith("src/")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        assert source.tree is not None
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_kernel_decorated(node):
+                continue
+            yield from self._check_kernel(source, node)
+
+    def _check_kernel(
+        self, source: SourceFile, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(function):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            if (
+                func.attr in _ALLOCATING_CONSTRUCTORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in _NUMPY_NAMES
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    f"np.{func.attr}() allocates on every call of kernel "
+                    f"{function.name!r}",
+                )
+            elif func.attr == "astype":
+                yield self.finding(
+                    source,
+                    node,
+                    f".astype() copies the array on every call of kernel "
+                    f"{function.name!r}",
+                )

@@ -594,6 +594,7 @@ class CoverageCache:
         executor: Executor | None = None,
     ) -> "ClusteredCoverage":
         """Build one ``(engine, shards)`` view over the canonical entries."""
+        from repro.core.bitcov import BitsetCoverageIndex
         from repro.core.coverage import CoverageIndex, SparseCoverageIndex
         from repro.core.netclus import ClusteredCoverage
         from repro.core.shards import ShardedCoverage
@@ -607,7 +608,9 @@ class CoverageCache:
         num_sites = part.num_representatives
         trajectory_ids = index.trajectory_ids
         with Timer() as timer:
-            if engine == "sparse":
+            if engine in ("sparse", "bitset"):
+                # the canonical ≤τ entry stream fully determines both the
+                # sparse scores and (for binary ψ) the packed bit matrix
                 if shards > 1:
                     coverage = ShardedCoverage.from_coverage_lists(
                         part.rows,
@@ -621,9 +624,13 @@ class CoverageCache:
                         site_labels=part.rep_sites,
                         trajectory_ids=trajectory_ids,
                         executor=executor,
+                        engine=engine,
                     )
                 else:
-                    coverage = SparseCoverageIndex.from_coverage_lists(
+                    part_cls: type[SparseCoverageIndex] | type[BitsetCoverageIndex] = (
+                        BitsetCoverageIndex if engine == "bitset" else SparseCoverageIndex
+                    )
+                    coverage = part_cls.from_coverage_lists(
                         part.rows,
                         part.cols,
                         part.estimates,

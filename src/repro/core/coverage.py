@@ -36,21 +36,105 @@ greedy solvers and the TOPS variant drivers:
   selection order (used by the placement service to answer every ``k' ≤ k``
   from a single greedy run at the largest ``k``).
 
+:class:`~repro.core.bitcov.BitsetCoverageIndex` is the third engine: for a
+binary ψ it packs the coverage into ``uint64`` bitset blocks so the same
+protocol kernels become popcounts (see :mod:`repro.core.bitcov`).
+:func:`resolve_engine` is the shared ``engine="auto"`` policy — bitset when
+ψ is binary, sparse otherwise.
+
 :class:`~repro.core.shards.ShardedCoverage` implements the same protocol
-over disjoint trajectory shards (one dense/sparse part each), which is how
-the distributed query path reuses the greedy solvers unchanged.
+over disjoint trajectory shards (one dense/sparse/bitset part each), which
+is how the distributed query path reuses the greedy solvers unchanged.
+
+The hot-path kernels (``marginal_gains`` / ``marginal_gain`` /
+``gain_updates`` / ``absorb``) are marked with the ``@kernel`` decorator:
+their internal temporaries come from per-thread :class:`_ScratchPool`
+buffers instead of fresh allocations (enforced statically by rule RA010),
+and an attached :class:`~repro.utils.timer.KernelTimer` records per-kernel
+call counts and seconds.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.core.preference import PreferenceFunction
+from repro.utils.concurrency import kernel
+from repro.utils.timer import KernelTimer
 from repro.utils.validation import require
 
-__all__ = ["CoverageIndex", "SparseCoverageIndex", "GAIN_RTOL", "tie_break_candidates"]
+__all__ = [
+    "CoverageIndex",
+    "SparseCoverageIndex",
+    "ENGINES",
+    "GAIN_RTOL",
+    "build_label_map",
+    "resolve_engine",
+    "tie_break_candidates",
+]
+
+#: engine names accepted everywhere an ``engine=`` knob exists
+ENGINES = ("dense", "sparse", "bitset", "auto")
+
+
+def resolve_engine(engine: str, preference: PreferenceFunction) -> str:
+    """Resolve an engine request to a concrete coverage engine.
+
+    ``"auto"`` picks the packed bitset engine when ψ is binary (its
+    popcount kernels are exact because binary scores are {0, 1}) and the
+    sparse engine otherwise; concrete names pass through after validation.
+    Callers resolve *before* touching the coverage cache so that cache
+    views are always keyed by a concrete engine name.
+    """
+    require(
+        engine in ENGINES,
+        f"unknown engine {engine!r}; choose from {', '.join(ENGINES)}",
+    )
+    if engine == "auto":
+        return "bitset" if preference.is_binary else "sparse"
+    return engine
+
+
+class _ScratchPool:
+    """Per-thread, grow-only scratch arrays for the allocation-free kernels.
+
+    Buffers are keyed by name and live in thread-local storage: warm
+    coverage-cache views are shared across concurrent query threads, so a
+    plain per-instance buffer would be corrupted by parallel greedy runs.
+    A returned array is a view over a flat backing buffer and stays valid
+    until the same (thread, name) pair is requested again — exactly the
+    lifetime of a kernel-internal temporary.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def get(
+        self, name: str, shape: tuple[int, ...], dtype: Any = np.float64
+    ) -> np.ndarray:
+        """A contiguous scratch array of *shape* (contents undefined)."""
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        buffers: dict[str, np.ndarray] | None = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = {}
+            self._local.buffers = buffers
+        backing = buffers.get(name)
+        if backing is None or backing.size < size or backing.dtype != np.dtype(dtype):
+            backing = np.empty(max(size, 1), dtype=dtype)
+            buffers[name] = backing
+        return backing[:size].reshape(shape)
+
+    # thread-local storage cannot be pickled; a fresh pool is equivalent
+    def __getstate__(self) -> dict[str, Any]:
+        return {}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._local = threading.local()
 
 #: relative tolerance under which two marginal gains (or site weights) are
 #: treated as tied.  Float summation is not associative, so the same
@@ -143,6 +227,13 @@ class CoverageIndex:
         # iff the detour is within τ, even when ψ scores it 0 (e.g. a linear
         # ψ at detour exactly τ); the sparse index keeps the same entries
         self._covered_mask = finite <= self.tau_km
+        self._scratch = _ScratchPool()
+        self._label_to_col: dict[int, int] | None = None
+        self.kernel_timer: KernelTimer | None = None
+
+    def attach_kernel_timer(self, timer: KernelTimer | None) -> None:
+        """Record per-kernel call counts/seconds into *timer* (None detaches)."""
+        self.kernel_timer = timer
 
     # ------------------------------------------------------------------ #
     @property
@@ -181,7 +272,9 @@ class CoverageIndex:
 
     def columns_for_labels(self, labels: Sequence[int]) -> list[int]:
         """Map site labels (node ids) back to column indices."""
-        return labels_to_columns(self.site_labels, labels)
+        if self._label_to_col is None:
+            self._label_to_col = build_label_map(self.site_labels)
+        return labels_to_columns(self.site_labels, labels, self._label_to_col)
 
     def storage_bytes(self) -> int:
         """Bytes held by the coverage structures (memory-footprint study)."""
@@ -202,17 +295,25 @@ class CoverageIndex:
         rows = np.flatnonzero(self._covered_mask[:, col])
         return rows, self.scores[rows, col]
 
+    @kernel
     def marginal_gains(self, utilities: np.ndarray) -> np.ndarray:
         """Marginal utility of every site given current per-trajectory utilities."""
-        return np.maximum(self.scores - utilities[:, np.newaxis], 0.0).sum(axis=0)
+        residual = self._scratch.get("mg_matrix", self.scores.shape)
+        np.subtract(self.scores, utilities[:, np.newaxis], out=residual)
+        np.maximum(residual, 0.0, out=residual)
+        return residual.sum(axis=0)
 
+    @kernel
     def marginal_gain(
         self, col: int, utilities: np.ndarray, capacity: int | None = None
     ) -> float:
         """Marginal utility of one site, optionally capacity-limited."""
-        residual = np.maximum(self.scores[:, col] - utilities, 0.0)
+        residual = self._scratch.get("mg_column", (self.num_trajectories,))
+        np.subtract(self.scores[:, col], utilities, out=residual)
+        np.maximum(residual, 0.0, out=residual)
         return _top_capacity_sum(residual, capacity)
 
+    @kernel
     def absorb(
         self, utilities: np.ndarray, col: int, capacity: int | None = None
     ) -> np.ndarray:
@@ -222,6 +323,7 @@ class CoverageIndex:
             return np.maximum(utilities, column)
         return serve_top_capacity(utilities, slice(None), column, capacity)
 
+    @kernel
     def gain_updates(
         self, rows: np.ndarray, old_values: np.ndarray, new_values: np.ndarray
     ) -> np.ndarray:
@@ -232,10 +334,20 @@ class CoverageIndex:
         returned vector is that drop summed over the given rows — the
         update kernel of Algorithm 1's incremental strategy.
         """
-        affected = self.scores[np.asarray(rows, dtype=np.int64), :]
-        old_alpha = np.maximum(affected - np.asarray(old_values)[:, np.newaxis], 0.0)
-        new_alpha = np.maximum(affected - np.asarray(new_values)[:, np.newaxis], 0.0)
-        return (old_alpha - new_alpha).sum(axis=0)
+        row_index = np.asarray(rows, dtype=np.int64)
+        old = np.asarray(old_values, dtype=np.float64)
+        new = np.asarray(new_values, dtype=np.float64)
+        shape = (len(row_index), self.num_sites)
+        affected = self._scratch.get("gu_affected", shape)
+        np.take(self.scores, row_index, axis=0, out=affected)
+        old_alpha = self._scratch.get("gu_alpha", shape)
+        np.subtract(affected, old[:, np.newaxis], out=old_alpha)
+        np.maximum(old_alpha, 0.0, out=old_alpha)
+        # reuse `affected` for the new-residual matrix
+        np.subtract(affected, new[:, np.newaxis], out=affected)
+        np.maximum(affected, 0.0, out=affected)
+        np.subtract(old_alpha, affected, out=old_alpha)
+        return old_alpha.sum(axis=0)
 
     def utilities_for_selection(
         self,
@@ -248,15 +360,31 @@ class CoverageIndex:
 
 
 # ---------------------------------------------------------------------- #
-def labels_to_columns(site_labels: np.ndarray, labels: Sequence[int]) -> list[int]:
+def build_label_map(site_labels: np.ndarray) -> dict[int, int]:
+    """The label → column mapping for a coverage's site labels.
+
+    Built once per coverage instance and cached on it — every
+    ``columns_for_labels`` implementation reuses the cached mapping
+    instead of rebuilding this dict on each call.
+    """
+    return {int(label): idx for idx, label in enumerate(site_labels)}
+
+
+def labels_to_columns(
+    site_labels: np.ndarray,
+    labels: Sequence[int],
+    mapping: dict[int, int] | None = None,
+) -> list[int]:
     """Map site labels (node ids) back to column indices.
 
     The shared implementation behind every coverage class's
     ``columns_for_labels``; raises ``KeyError`` for a label the coverage
-    does not know.
+    does not know.  Pass the coverage's cached *mapping* to avoid
+    rebuilding the dict per call.
     """
-    label_to_col = {int(label): idx for idx, label in enumerate(site_labels)}
-    return [label_to_col[int(label)] for label in labels]
+    if mapping is None:
+        mapping = build_label_map(site_labels)
+    return [mapping[int(label)] for label in labels]
 
 
 # ---------------------------------------------------------------------- #
@@ -498,9 +626,17 @@ class SparseCoverageIndex:
         self._csr_indptr = np.zeros(self.num_trajectories + 1, dtype=np.int64)
         np.cumsum(row_counts, out=self._csr_indptr[1:])
 
+        # np.bincount with float weights already returns float64
         self._site_weights = np.bincount(
             csc_cols, weights=csc_data, minlength=self.num_sites
-        ).astype(np.float64)
+        )
+        self._scratch = _ScratchPool()
+        self._label_to_col: dict[int, int] | None = None
+        self.kernel_timer: KernelTimer | None = None
+
+    def attach_kernel_timer(self, timer: KernelTimer | None) -> None:
+        """Record per-kernel call counts/seconds into *timer* (None detaches)."""
+        self.kernel_timer = timer
 
     # ------------------------------------------------------------------ #
     @property
@@ -550,21 +686,29 @@ class SparseCoverageIndex:
         return mask
 
     # ------------------------------------------------------------------ #
+    @kernel
     def marginal_gains(self, utilities: np.ndarray) -> np.ndarray:
         """Marginal utility of every site in one pass over the stored entries."""
-        residual = np.maximum(self._csc_data - utilities[self._csc_rows], 0.0)
-        return np.bincount(
-            self._entry_cols, weights=residual, minlength=self.num_sites
-        ).astype(np.float64)
+        residual = self._scratch.get("mg_entries", (self.nnz,))
+        np.take(utilities, self._csc_rows, out=residual)
+        np.subtract(self._csc_data, residual, out=residual)
+        np.maximum(residual, 0.0, out=residual)
+        # np.bincount with float weights already returns float64
+        return np.bincount(self._entry_cols, weights=residual, minlength=self.num_sites)
 
+    @kernel
     def marginal_gain(
         self, col: int, utilities: np.ndarray, capacity: int | None = None
     ) -> float:
         """Marginal utility of one site, optionally capacity-limited."""
         rows, values = self.site_column(col)
-        residual = np.maximum(values - utilities[rows], 0.0)
+        residual = self._scratch.get("mg_column", (len(rows),))
+        np.take(utilities, rows, out=residual)
+        np.subtract(values, residual, out=residual)
+        np.maximum(residual, 0.0, out=residual)
         return _top_capacity_sum(residual, capacity)
 
+    @kernel
     def absorb(
         self, utilities: np.ndarray, col: int, capacity: int | None = None
     ) -> np.ndarray:
@@ -578,6 +722,7 @@ class SparseCoverageIndex:
             return updated
         return serve_top_capacity(utilities, rows, values, capacity)
 
+    @kernel
     def gain_updates(
         self, rows: np.ndarray, old_values: np.ndarray, new_values: np.ndarray
     ) -> np.ndarray:
@@ -587,28 +732,33 @@ class SparseCoverageIndex:
         stored (row, site) entries of the affected rows are touched, via
         their CSR slices.
         """
-        rows = np.asarray(rows, dtype=np.int64)
-        old_values = np.asarray(old_values, dtype=np.float64)
-        new_values = np.asarray(new_values, dtype=np.float64)
-        starts = self._csr_indptr[rows]
-        stops = self._csr_indptr[rows + 1]
+        row_index = np.asarray(rows, dtype=np.int64)
+        old = np.asarray(old_values, dtype=np.float64)
+        new = np.asarray(new_values, dtype=np.float64)
+        starts = self._csr_indptr[row_index]
+        stops = self._csr_indptr[row_index + 1]
         counts = stops - starts
         total = int(counts.sum())
         if total == 0:
-            return np.zeros(self.num_sites, dtype=np.float64)
+            # the zero vector escapes as the result, not a per-call temporary
+            return np.zeros(self.num_sites, dtype=np.float64)  # noqa: RA010
         # flatten the per-row CSR slices into one entry list
         offsets = np.repeat(starts - np.r_[0, np.cumsum(counts)[:-1]], counts)
-        entry_indices = np.arange(total, dtype=np.int64) + offsets
-        entry_cols = self._csr_cols[entry_indices]
-        entry_scores = self._csr_data[entry_indices]
-        entry_old = np.repeat(old_values, counts)
-        entry_new = np.repeat(new_values, counts)
-        drop = np.maximum(entry_scores - entry_old, 0.0) - np.maximum(
-            entry_scores - entry_new, 0.0
-        )
-        return np.bincount(
-            entry_cols, weights=drop, minlength=self.num_sites
-        ).astype(np.float64)
+        entry_indices = self._scratch.get("gu_indices", (total,), np.int64)
+        np.add(np.arange(total, dtype=np.int64), offsets, out=entry_indices)
+        entry_cols = self._scratch.get("gu_cols", (total,), np.int64)
+        np.take(self._csr_cols, entry_indices, out=entry_cols)
+        entry_scores = self._scratch.get("gu_scores", (total,))
+        np.take(self._csr_data, entry_indices, out=entry_scores)
+        drop = self._scratch.get("gu_drop", (total,))
+        np.subtract(entry_scores, np.repeat(old, counts), out=drop)
+        np.maximum(drop, 0.0, out=drop)
+        # reuse `entry_scores` for the new-residual entries
+        np.subtract(entry_scores, np.repeat(new, counts), out=entry_scores)
+        np.maximum(entry_scores, 0.0, out=entry_scores)
+        np.subtract(drop, entry_scores, out=drop)
+        # np.bincount with float weights already returns float64
+        return np.bincount(entry_cols, weights=drop, minlength=self.num_sites)
 
     def utilities_for_selection(
         self,
@@ -634,7 +784,9 @@ class SparseCoverageIndex:
 
     def columns_for_labels(self, labels: Sequence[int]) -> list[int]:
         """Map site labels (node ids) back to column indices."""
-        return labels_to_columns(self.site_labels, labels)
+        if self._label_to_col is None:
+            self._label_to_col = build_label_map(self.site_labels)
+        return labels_to_columns(self.site_labels, labels, self._label_to_col)
 
     def storage_bytes(self) -> int:
         """Bytes held by the sparse coverage structures."""

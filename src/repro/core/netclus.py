@@ -55,7 +55,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.bitcov import BitsetCoverageIndex
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex, resolve_engine
 from repro.core.fm_greedy import FMGreedy
 from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.shards import ShardedCoverage
@@ -465,7 +466,7 @@ class ClusteredCoverage:
     """
 
     instance: NetClusInstance
-    coverage: CoverageIndex | SparseCoverageIndex | ShardedCoverage
+    coverage: CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex | ShardedCoverage
     representative_sites: list[int]
     representative_clusters: list[int]
     engine: str
@@ -803,7 +804,13 @@ class NetClusIndex:
           :class:`~repro.core.coverage.CoverageIndex` (the paper's setup);
         * ``engine="sparse"`` — the qualifying estimates fed straight into a
           :class:`~repro.core.coverage.SparseCoverageIndex` (never
-          materialising the dense matrix).
+          materialising the dense matrix);
+        * ``engine="bitset"`` — the same ≤τ entries packed into
+          :class:`~repro.core.bitcov.BitsetCoverageIndex` word blocks
+          (binary ψ only; gains become popcounts);
+        * ``engine="auto"`` — resolves to ``"bitset"`` when ``ψ.is_binary``
+          and ``"sparse"`` otherwise (see
+          :func:`repro.core.coverage.resolve_engine`).
 
         With ``shards > 1`` the trajectories are partitioned into that many
         disjoint shards (deterministically, by trajectory id — see
@@ -821,7 +828,7 @@ class NetClusIndex:
         ``prepared`` argument, or hand it to the solvers/variant drivers
         directly.  All distances are in kilometres.
         """
-        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        engine = resolve_engine(engine, preference)
         if shards is None:
             shards = self.shards
         shards = int(shards)
@@ -837,8 +844,8 @@ class NetClusIndex:
         if instance is None:
             instance = self.instance_for(tau_km)
         rows = self._trajectory_rows
-        coverage: CoverageIndex | SparseCoverageIndex | ShardedCoverage
-        if engine == "sparse":
+        coverage: CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex | ShardedCoverage
+        if engine in ("sparse", "bitset"):
             entry_rows, entry_cols, estimates, rep_sites, rep_clusters = (
                 instance.estimated_coverage_entries(rows, tau_km)
             )
@@ -855,9 +862,13 @@ class NetClusIndex:
                     site_labels=rep_sites,
                     trajectory_ids=self._trajectory_ids,
                     executor=executor,
+                    engine=engine,
                 )
             else:
-                coverage = SparseCoverageIndex.from_coverage_lists(
+                part_cls: type[SparseCoverageIndex] | type[BitsetCoverageIndex] = (
+                    BitsetCoverageIndex if engine == "bitset" else SparseCoverageIndex
+                )
+                coverage = part_cls.from_coverage_lists(
                     entry_rows,
                     entry_cols,
                     estimates,
@@ -898,7 +909,7 @@ class NetClusIndex:
             index_version=self.version,
         )
         if self.coverage_cache is not None:
-            if engine == "sparse":
+            if engine in ("sparse", "bitset"):
                 cached_rows, cached_cols, cached_estimates = (
                     entry_rows,
                     entry_cols,
@@ -957,7 +968,10 @@ class NetClusIndex:
             Coverage representation: ``"dense"`` builds the estimated-detour
             matrix and runs the paper's Inc-Greedy; ``"sparse"`` feeds the
             qualifying estimates into a sparse index and runs the CELF lazy
-            greedy — the selections are identical.
+            greedy; ``"bitset"`` packs the binary coverage into uint64
+            words and runs Inc-Greedy on popcount gains (binary ψ only);
+            ``"auto"`` picks bitset for binary ψ and sparse otherwise —
+            the selections are identical across all engines.
         prepared:
             A :class:`ClusteredCoverage` from :meth:`prepare_coverage` to
             reuse; its ``(τ, engine)`` must match the query and its
@@ -979,7 +993,7 @@ class NetClusIndex:
             utility, per-trajectory utilities, and metadata identifying the
             instance and engine used.
         """
-        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        engine = resolve_engine(engine, query.preference)
         with Timer() as timer:
             if prepared is None:
                 prepared = self.prepare_coverage(
@@ -1012,7 +1026,9 @@ class NetClusIndex:
                 algorithm = "fm-netclus"
             else:
                 greedy = (
-                    LazyGreedy(coverage) if engine == "sparse" else IncGreedy(coverage)
+                    LazyGreedy(coverage)
+                    if getattr(coverage, "is_sparse", False)
+                    else IncGreedy(coverage)
                 )
                 columns, utilities, _ = greedy.select(
                     query.k, existing_columns=existing_columns

@@ -13,7 +13,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.bitcov import BitsetCoverageIndex
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex, resolve_engine
 from repro.core.distances import DistanceOracle
 from repro.core.fm_greedy import FMGreedy
 from repro.core.greedy import IncGreedy, LazyGreedy
@@ -96,17 +97,20 @@ class TOPSProblem:
 
     def coverage(
         self, query: TOPSQuery, engine: str = "dense", shards: int = 1
-    ) -> CoverageIndex | SparseCoverageIndex | ShardedCoverage:
+    ) -> CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex | ShardedCoverage:
         """Coverage structures (TC, SC, weights) for the query's (τ, ψ).
 
         ``engine="sparse"`` stores only the covered (trajectory, site) pairs
         in CSR/CSC form — the fast representation for realistic τ, consumed
-        by the CELF lazy greedy.  ``shards > 1`` partitions the
-        trajectories into disjoint shards (one dense/sparse part each)
-        behind a :class:`~repro.core.shards.ShardedCoverage` gain
-        coordinator — selections are identical for any shard count.
+        by the CELF lazy greedy.  ``engine="bitset"`` packs the binary
+        coverage into uint64 word blocks (binary ψ only) so gains become
+        popcounts; ``engine="auto"`` picks bitset for binary ψ and sparse
+        otherwise.  ``shards > 1`` partitions the trajectories into
+        disjoint shards (one part each) behind a
+        :class:`~repro.core.shards.ShardedCoverage` gain coordinator —
+        selections are identical for any engine and shard count.
         """
-        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        engine = resolve_engine(engine, query.preference)
         require(int(shards) >= 1, "shards must be >= 1")
         if int(shards) > 1:
             return ShardedCoverage.from_detours(
@@ -118,7 +122,13 @@ class TOPSProblem:
                 site_labels=self.sites,
                 trajectory_ids=self.trajectories.ids(),
             )
-        index_cls = SparseCoverageIndex if engine == "sparse" else CoverageIndex
+        index_cls: type[CoverageIndex] | type[SparseCoverageIndex] | type[BitsetCoverageIndex]
+        if engine == "sparse":
+            index_cls = SparseCoverageIndex
+        elif engine == "bitset":
+            index_cls = BitsetCoverageIndex
+        else:
+            index_cls = CoverageIndex
         return index_cls(
             self.detour_matrix(),
             query.tau_km,
@@ -155,9 +165,11 @@ class TOPSProblem:
             Number of FM sketches f for ``method="fm-greedy"``.
         engine:
             Coverage representation: with ``"sparse"`` the greedy runs as
-            CELF lazy greedy over CSR/CSC structures and returns the same
-            selections as the dense Inc-Greedy.  The optimal solver
-            requires the dense engine.
+            CELF lazy greedy over CSR/CSC structures; ``"bitset"`` runs
+            Inc-Greedy over popcount gains (binary ψ only); ``"auto"``
+            picks bitset for binary ψ and sparse otherwise.  All engines
+            return the same selections as the dense Inc-Greedy.  The
+            optimal solver requires the dense engine.
 
         Returns
         -------
@@ -175,7 +187,9 @@ class TOPSProblem:
         preprocess_seconds = timer.elapsed
         if method == "inc-greedy":
             solver = (
-                LazyGreedy(coverage) if engine == "sparse" else IncGreedy(coverage)
+                LazyGreedy(coverage)
+                if getattr(coverage, "is_sparse", False)
+                else IncGreedy(coverage)
             )
             result = solver.solve(query, existing_sites=existing_sites)
         elif method == "fm-greedy":

@@ -42,18 +42,24 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.bitcov import BitsetCoverageIndex
 from repro.core.coverage import (
     CoverageIndex,
     SparseCoverageIndex,
     _top_capacity_sum,
+    build_label_map,
     labels_to_columns,
     replay_selection,
     serve_top_capacity,
 )
 from repro.core.preference import PreferenceFunction
+from repro.utils.timer import KernelTimer
 from repro.utils.validation import require
 
 __all__ = ["shard_of", "shard_assignments", "shard_layout", "ShardedCoverage"]
+
+#: any single-shard coverage index usable as a ShardedCoverage part
+ShardPart = CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex
 
 _MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -148,7 +154,7 @@ class ShardedCoverage:
 
     def __init__(
         self,
-        parts: Sequence[CoverageIndex | SparseCoverageIndex],
+        parts: Sequence[ShardPart],
         shard_rows: Sequence[np.ndarray],
         tau_km: float,
         preference: PreferenceFunction,
@@ -191,6 +197,14 @@ class ShardedCoverage:
             "shard_rows must partition every trajectory row",
         )
         self._site_weights: np.ndarray | None = None
+        self._label_to_col: dict[int, int] | None = None
+        self.kernel_timer: KernelTimer | None = None
+
+    def attach_kernel_timer(self, timer: KernelTimer | None) -> None:
+        """Attach *timer* to every shard part (the parts run the kernels)."""
+        self.kernel_timer = timer
+        for part in self.parts:
+            part.attach_kernel_timer(timer)
 
     # ------------------------------------------------------------------ #
     @property
@@ -205,7 +219,9 @@ class ShardedCoverage:
 
     @property
     def engine(self) -> str:
-        """``"dense"`` or ``"sparse"`` — the representation of the parts."""
+        """``"dense"``, ``"sparse"`` or ``"bitset"`` — the parts' representation."""
+        if isinstance(self.parts[0], BitsetCoverageIndex):
+            return "bitset"
         return "sparse" if self.is_sparse else "dense"
 
     def shard_sizes(self) -> list[int]:
@@ -389,7 +405,9 @@ class ShardedCoverage:
 
     def columns_for_labels(self, labels: Sequence[int]) -> list[int]:
         """Map site labels (node ids) back to column indices."""
-        return labels_to_columns(self.site_labels, labels)
+        if self._label_to_col is None:
+            self._label_to_col = build_label_map(self.site_labels)
+        return labels_to_columns(self.site_labels, labels, self._label_to_col)
 
     def storage_bytes(self) -> int:
         """Bytes held by the shard parts plus the row-mapping arrays."""
@@ -416,19 +434,29 @@ class ShardedCoverage:
         """Shard a dense ``(m, n)`` detour matrix by trajectory id.
 
         Each shard's part is built from its rows of the matrix — a
-        :class:`CoverageIndex` (``engine="dense"``) or
-        :class:`SparseCoverageIndex` (``engine="sparse"``) per shard.
+        :class:`CoverageIndex` (``engine="dense"``),
+        :class:`SparseCoverageIndex` (``engine="sparse"``) or
+        :class:`~repro.core.bitcov.BitsetCoverageIndex`
+        (``engine="bitset"``, binary ψ only) per shard.
         """
-        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        require(
+            engine in ("dense", "sparse", "bitset"),
+            "engine must be 'dense', 'sparse' or 'bitset'",
+        )
         detours = np.asarray(detours, dtype=np.float64)
         num_trajectories = detours.shape[0]
         if trajectory_ids is None:
             trajectory_ids = np.arange(num_trajectories, dtype=np.int64)
         trajectory_ids = np.asarray(trajectory_ids, dtype=np.int64)
         layout = shard_layout(trajectory_ids, num_shards)
-        part_cls = SparseCoverageIndex if engine == "sparse" else CoverageIndex
+        part_classes: dict[str, type[ShardPart]] = {
+            "dense": CoverageIndex,
+            "sparse": SparseCoverageIndex,
+            "bitset": BitsetCoverageIndex,
+        }
+        part_cls = part_classes[engine]
 
-        def build_part(rows: np.ndarray) -> CoverageIndex | SparseCoverageIndex:
+        def build_part(rows: np.ndarray) -> ShardPart:
             return part_cls(
                 detours[rows, :],
                 tau_km,
@@ -462,15 +490,22 @@ class ShardedCoverage:
         site_labels: Sequence[int] | None = None,
         trajectory_ids: Sequence[int] | None = None,
         executor: Executor | None = None,
+        engine: str = "sparse",
     ) -> "ShardedCoverage":
         """Shard (trajectory, site, detour) coverage triples by trajectory id.
 
-        The sparse counterpart of :meth:`from_detours`: each shard keeps
-        only its rows' triples (remapped to shard-local rows) and builds a
-        :class:`SparseCoverageIndex` via ``from_coverage_lists`` — the
-        duplicate-min reduction is per (row, site) pair, so partitioning
-        rows never changes any stored estimate.
+        The entry-stream counterpart of :meth:`from_detours`: each shard
+        keeps only its rows' triples (remapped to shard-local rows) and
+        builds a :class:`SparseCoverageIndex` (``engine="sparse"``) or
+        :class:`~repro.core.bitcov.BitsetCoverageIndex`
+        (``engine="bitset"``, binary ψ only) via ``from_coverage_lists`` —
+        the duplicate-min reduction is per (row, site) pair, so
+        partitioning rows never changes any stored estimate.
         """
+        require(
+            engine in ("sparse", "bitset"),
+            "from_coverage_lists builds 'sparse' or 'bitset' parts",
+        )
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         detours = np.asarray(detours, dtype=np.float64)
@@ -485,12 +520,14 @@ class ShardedCoverage:
             shard_of_row[shard_rows] = shard
         entry_shards = shard_of_row[rows] if len(rows) else np.empty(0, dtype=np.int64)
 
+        part_cls = BitsetCoverageIndex if engine == "bitset" else SparseCoverageIndex
+
         def build_part(
             shard_and_rows: tuple[int, np.ndarray],
-        ) -> SparseCoverageIndex:
+        ) -> SparseCoverageIndex | BitsetCoverageIndex:
             shard, shard_rows = shard_and_rows
             keep = entry_shards == shard
-            return SparseCoverageIndex.from_coverage_lists(
+            return part_cls.from_coverage_lists(
                 local_of_row[rows[keep]],
                 cols[keep],
                 detours[keep],

@@ -15,11 +15,12 @@
 
 All drivers operate through the coverage protocol shared by
 :class:`~repro.core.coverage.CoverageIndex`,
-:class:`~repro.core.coverage.SparseCoverageIndex` and the
+:class:`~repro.core.coverage.SparseCoverageIndex`, the binary-ψ
+:class:`~repro.core.bitcov.BitsetCoverageIndex` and the
 trajectory-sharded :class:`~repro.core.shards.ShardedCoverage`, so they
 work unchanged on the flat site space (Inc-Greedy), on NetClus's clustered
-space (pass the coverage index built from estimated detours), on either
-the dense or the sparse engine, and on any shard count — sharded
+space (pass the coverage index built from estimated detours), on the
+dense, sparse or bitset engine, and on any shard count — sharded
 selections are identical to unsharded ones.  With a sparse index the
 greedy-based drivers automatically use the CELF lazy greedy
 (:class:`~repro.core.greedy.LazyGreedy`), which returns the same
@@ -34,6 +35,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.bitcov import BitsetCoverageIndex
 from repro.core.coverage import (
     GAIN_RTOL,
     CoverageIndex,
@@ -55,7 +57,7 @@ __all__ = [
 ]
 
 
-AnyCoverage = CoverageIndex | SparseCoverageIndex | ShardedCoverage
+AnyCoverage = CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex | ShardedCoverage
 
 
 def _greedy_solver(coverage: AnyCoverage) -> IncGreedy | LazyGreedy:
@@ -239,7 +241,7 @@ def solve_tops_min_inconvenience(
 
     require(
         not getattr(coverage, "is_sparse", False)
-        and not isinstance(coverage, ShardedCoverage),
+        and not isinstance(coverage, (ShardedCoverage, BitsetCoverageIndex)),
         "TOPS3 (min inconvenience) needs the full dense detour matrix; "
         "build the coverage with the dense engine and shards=1",
     )

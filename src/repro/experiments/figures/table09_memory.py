@@ -4,11 +4,15 @@ Inc-Greedy / FMG must hold the full site-to-trajectory covering structures,
 which grow with τ (and blow past available memory beyond τ = 1.2 km in the
 paper); NetClus / FM-NetClus only touch the index instance serving τ, whose
 size *shrinks* as τ grows because coarser clusterings compress trajectories
-more.  We report analytic byte estimates that preserve those trends.
+more.  We report analytic byte estimates that preserve those trends, plus
+the measured ``storage_bytes()`` of the three coverage engines (dense,
+sparse, bitset) on the flat space — dense grows as 8·m·n, sparse with the
+covered-pair count, and bitset is a flat m·n/8 bit matrix regardless of τ.
 """
 
 from __future__ import annotations
 
+from repro.core.preference import BinaryPreference
 from repro.core.query import TOPSQuery
 from repro.experiments.metrics import incgreedy_memory_bytes, netclus_memory_bytes
 from repro.experiments.reporting import print_table
@@ -24,7 +28,8 @@ def run(
     context: ExperimentContext | None = None,
     num_sketches: int = 30,
 ) -> list[dict]:
-    """Estimated bytes for INCG / FMG / NetClus / FM-NetClus at each τ."""
+    """Estimated bytes for INCG / FMG / NetClus / FM-NetClus at each τ,
+    plus measured per-engine coverage ``storage_bytes``."""
     if context is None:
         context = build_context(scale=scale, seed=seed)
     rows: list[dict] = []
@@ -37,6 +42,12 @@ def run(
         netclus_bytes = netclus_memory_bytes(context.netclus, tau_km)
         instance = context.netclus.instance_for(tau_km)
         fm_netclus_bytes = netclus_bytes + 4 * num_sketches * len(instance.representatives())
+        # measured engine footprints (binary ψ so the bitset engine applies)
+        binary_query = TOPSQuery(k=5, tau_km=tau_km, preference=BinaryPreference())
+        engine_bytes = {
+            engine: context.problem.coverage(binary_query, engine=engine).storage_bytes()
+            for engine in ("dense", "sparse", "bitset")
+        }
         rows.append(
             {
                 "tau_km": tau_km,
@@ -44,6 +55,9 @@ def run(
                 "fmg_mb": fmg_bytes / 1e6,
                 "netclus_mb": netclus_bytes / 1e6,
                 "fm_netclus_mb": fm_netclus_bytes / 1e6,
+                "dense_cov_mb": engine_bytes["dense"] / 1e6,
+                "sparse_cov_mb": engine_bytes["sparse"] / 1e6,
+                "bitset_cov_mb": engine_bytes["bitset"] / 1e6,
             }
         )
     return rows

@@ -178,9 +178,11 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--engine",
         default="dense",
-        choices=["dense", "sparse"],
-        help="coverage + greedy engine: the paper's dense matrices or the "
-        "CSR/CSC coverage with CELF lazy greedy (same selections, faster)",
+        choices=["dense", "sparse", "bitset", "auto"],
+        help="coverage + greedy engine: the paper's dense matrices, the "
+        "CSR/CSC coverage with CELF lazy greedy, the uint64 popcount "
+        "engine (binary ψ only), or auto (bitset for binary ψ, sparse "
+        "otherwise) — same selections on every engine",
     )
     parser.add_argument(
         "--only",

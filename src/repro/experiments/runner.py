@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 
-from repro.core.coverage import CoverageIndex, SparseCoverageIndex
+from repro.core.bitcov import BitsetCoverageIndex
+from repro.core.coverage import CoverageIndex, SparseCoverageIndex, resolve_engine
 from repro.core.fm_greedy import FMGreedy
 from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.netclus import NetClusIndex
@@ -48,7 +49,7 @@ class ExperimentContext:
     netclus: NetClusIndex
     gamma: float = DEFAULT_GAMMA
     num_sketches: int = 30
-    engine: str = "dense"  # "dense" or "sparse" coverage + greedy engine
+    engine: str = "dense"  # "dense", "sparse", "bitset" or "auto" coverage + greedy engine
     _service: PlacementService | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -70,11 +71,15 @@ class ExperimentContext:
             self._service = PlacementService(self.netclus, engine=self.engine)
         return self._service
 
-    def coverage(self, query: TOPSQuery) -> CoverageIndex | SparseCoverageIndex:
+    def coverage(
+        self, query: TOPSQuery
+    ) -> CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex:
         """Flat-space coverage index for the query (cached detour matrix)."""
         return self.problem.coverage(query, engine=self.engine)
 
-    def fresh_coverage(self, query: TOPSQuery) -> CoverageIndex | SparseCoverageIndex:
+    def fresh_coverage(
+        self, query: TOPSQuery
+    ) -> CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex:
         """Flat-space coverage index built from scratch (no cached detours).
 
         The paper charges Inc-Greedy/FMG the O(mn) covering-set computation at
@@ -84,7 +89,14 @@ class ExperimentContext:
         answers purely from its pre-built index.
         """
         detours = self.problem.oracle.detour_matrix(self.problem.trajectories)
-        index_cls = SparseCoverageIndex if self.engine == "sparse" else CoverageIndex
+        engine = resolve_engine(self.engine, query.preference)
+        index_cls: type[CoverageIndex] | type[SparseCoverageIndex] | type[BitsetCoverageIndex]
+        if engine == "sparse":
+            index_cls = SparseCoverageIndex
+        elif engine == "bitset":
+            index_cls = BitsetCoverageIndex
+        else:
+            index_cls = CoverageIndex
         return index_cls(
             detours,
             query.tau_km,
@@ -97,11 +109,11 @@ class ExperimentContext:
     def run_inc_greedy(self, query: TOPSQuery) -> TOPSResult:
         """Greedy on the flat site space (includes covering-set build time).
 
-        Runs the paper's Inc-Greedy on the dense engine and the equivalent
-        CELF lazy greedy on the sparse engine.
+        Runs the paper's Inc-Greedy on the dense and bitset engines and the
+        equivalent CELF lazy greedy on the sparse engine.
         """
         coverage = self.fresh_coverage(query)
-        if self.engine == "sparse":
+        if getattr(coverage, "is_sparse", False):
             return LazyGreedy(coverage).solve(query)
         return IncGreedy(coverage).solve(query)
 
@@ -178,8 +190,10 @@ def build_context(
     """Build an :class:`ExperimentContext` (Beijing-like by default).
 
     ``engine`` selects the coverage + greedy engine for every driver that
-    goes through the context: ``"dense"`` (the paper's matrices) or
-    ``"sparse"`` (CSR/CSC coverage with CELF lazy greedy).
+    goes through the context: ``"dense"`` (the paper's matrices),
+    ``"sparse"`` (CSR/CSC coverage with CELF lazy greedy), ``"bitset"``
+    (uint64-packed binary coverage with popcount gains; binary ψ only) or
+    ``"auto"`` (bitset for binary ψ, sparse otherwise).
 
     ``workers`` parallelises the NetClus offline phase over a process pool
     (per-instance clustering); the built index is identical to a

@@ -527,7 +527,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     query = sub.add_parser("query", help="answer a batch of specs from an index")
     query.add_argument("--index", required=True, help="index directory (from build)")
     query.add_argument("--specs", required=True, help="JSON array or CSV of specs")
-    query.add_argument("--engine", default="sparse", choices=["dense", "sparse"])
+    query.add_argument(
+        "--engine",
+        default="sparse",
+        choices=["dense", "sparse", "bitset", "auto"],
+        help="coverage engine (bitset: binary-preference popcount kernels; "
+        "auto: bitset for binary specs, sparse otherwise)",
+    )
     query.add_argument(
         "--shards",
         type=int,
@@ -593,7 +599,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=10.0,
         help="seconds to let in-flight requests finish on shutdown",
     )
-    serve.add_argument("--engine", default="sparse", choices=["dense", "sparse"])
+    serve.add_argument(
+        "--engine",
+        default="sparse",
+        choices=["dense", "sparse", "bitset", "auto"],
+        help="coverage engine (bitset: binary-preference popcount kernels; "
+        "auto: bitset for binary specs, sparse otherwise)",
+    )
     serve.add_argument(
         "--shards",
         type=int,

@@ -54,6 +54,7 @@ from typing import Any, Callable, Iterator, Sequence
 import numpy as np
 
 from repro.core.covcache import CoverageCache
+from repro.core.coverage import ENGINES
 from repro.core.greedy import IncGreedy, LazyGreedy
 from repro.core.netclus import ClusteredCoverage, NetClusIndex, UpdateBatch
 from repro.core.preference import is_registered
@@ -65,7 +66,7 @@ from repro.service.specs import QuerySpec
 from repro.trajectory.model import TrajectoryDataset
 from repro.utils.concurrency import guarded_by, holds_lock
 from repro.utils.parallel import resolve_workers
-from repro.utils.timer import Timer
+from repro.utils.timer import KernelTimer, Timer
 from repro.utils.validation import require
 
 __all__ = ["PlacementService", "ServiceStats"]
@@ -169,6 +170,20 @@ class ServiceStats:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    #: per-kernel profiler the service attaches to every prepared coverage;
+    #: self-locking, so it is not guarded by ``_lock``
+    _kernels: KernelTimer = field(
+        default_factory=KernelTimer, repr=False, compare=False
+    )
+
+    @property
+    def kernel_timer(self) -> KernelTimer:
+        """The per-kernel profiler (attach it to a coverage index)."""
+        return self._kernels
+
+    def kernel_snapshot(self) -> dict[str, tuple[int, float]]:
+        """``{kernel: (calls, seconds)}`` recorded by the ``@kernel`` wrapper."""
+        return self._kernels.snapshot()
 
     def bump(self, **counts: int | float) -> None:
         """Atomically add the given amounts to the named counters."""
@@ -201,14 +216,23 @@ class ServiceStats:
             }
 
     def stage_seconds(self) -> dict[str, float]:
-        """The per-stage query timings only, as one consistent snapshot."""
+        """The per-stage query timings, plus per-kernel seconds.
+
+        Kernel entries appear as ``kernel_<name>_seconds`` (e.g.
+        ``kernel_marginal_gains_seconds``) once the ``@kernel`` wrapper has
+        recorded at least one call for that kernel.
+        """
+        kernel_seconds = self._kernels.seconds()
         with self._lock:
-            return {
+            stages = {
                 "coverage_build_seconds": self.coverage_build_seconds,
                 "coverage_materialise_seconds": self.coverage_materialise_seconds,
                 "greedy_seconds": self.greedy_seconds,
                 "replay_seconds": self.replay_seconds,
             }
+        for name, seconds in kernel_seconds.items():
+            stages[f"kernel_{name}_seconds"] = seconds
+        return stages
 
     def reset(self) -> None:
         """Zero every counter, atomically with respect to :meth:`bump`."""
@@ -226,6 +250,7 @@ class ServiceStats:
             self.coverage_materialise_seconds = 0.0
             self.greedy_seconds = 0.0
             self.replay_seconds = 0.0
+        self._kernels.reset()
 
 
 @dataclass
@@ -252,8 +277,11 @@ class PlacementService:
         on first use (lazy construction; see :meth:`from_problem`).
     engine:
         Coverage engine for every query: ``"sparse"`` (default — CSR/CSC
-        coverage with the CELF lazy greedy) or ``"dense"`` (the paper's
-        matrices).  Selections are identical either way.
+        coverage with the CELF lazy greedy), ``"dense"`` (the paper's
+        matrices), ``"bitset"`` (uint64-packed binary coverage with
+        popcount gains; binary ψ only) or ``"auto"`` (bitset when the
+        spec's ψ is binary, sparse otherwise — resolved per spec).
+        Selections are identical for every engine.
     cache_size:
         Capacity of the LRU result cache (0 disables caching).
     shards:
@@ -296,7 +324,10 @@ class PlacementService:
             (index is not None) or (builder is not None),
             "PlacementService needs an index or a builder",
         )
-        require(engine in ("dense", "sparse"), "engine must be 'dense' or 'sparse'")
+        require(
+            engine in ENGINES,
+            f"unknown engine {engine!r}; choose from {', '.join(ENGINES)}",
+        )
         require(cache_size >= 0, "cache_size must be non-negative")
         if shards is not None:
             require(int(shards) >= 1, "shards must be >= 1")
@@ -609,6 +640,7 @@ class PlacementService:
                             shards=self.effective_shards,
                             executor=self._shard_executor(),
                         )
+                    prepared.coverage.attach_kernel_timer(self.stats.kernel_timer)
                     with Timer() as run_timer:
                         results[position] = index.query(
                             spec, engine=self.engine, prepared=prepared
@@ -694,6 +726,7 @@ class PlacementService:
                             shards=self.effective_shards,
                             executor=executor,
                         )
+                    prepared.coverage.attach_kernel_timer(self.stats.kernel_timer)
                     self.stats.bump(
                         coverage_cache_hits=1,
                         coverage_materialise_seconds=timer.elapsed,
@@ -715,6 +748,7 @@ class PlacementService:
                         shards=self.effective_shards,
                         executor=executor,
                     )
+                prepared.coverage.attach_kernel_timer(self.stats.kernel_timer)
                 self.stats.bump(
                     coverage_builds=1, coverage_build_seconds=timer.elapsed
                 )
@@ -766,7 +800,7 @@ class PlacementService:
         with Timer() as run_timer:
             greedy = (
                 LazyGreedy(coverage)
-                if self.engine == "sparse"
+                if getattr(coverage, "is_sparse", False)
                 else IncGreedy(coverage)
             )
             columns, utilities, gains = greedy.select(
@@ -845,7 +879,9 @@ class PlacementService:
             "instance_radius_km": instance.radius_km,
             "num_clusters": instance.num_clusters,
             "num_representatives": len(group.prepared.representative_sites),
-            "engine": self.engine,
+            # the engine the group's coverage was actually built with
+            # (``self.engine`` may be the unresolved "auto" policy)
+            "engine": group.prepared.engine,
             "shards": group.prepared.num_shards,
             "coverage_build_seconds": group.build_seconds,
         }

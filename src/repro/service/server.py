@@ -689,6 +689,23 @@ class PlacementServer:
                 f"PlacementService {name.replace('_', ' ')}",
                 value,
             )
+        for kernel, (calls, seconds) in self.service.stats.kernel_snapshot().items():
+            _render_metric(
+                lines,
+                "netclus_kernel_calls_total",
+                "counter",
+                "coverage kernel invocations per kernel",
+                calls,
+                kernel=kernel,
+            )
+            _render_metric(
+                lines,
+                "netclus_kernel_seconds_total",
+                "counter",
+                "cumulative seconds spent per coverage kernel",
+                seconds,
+                kernel=kernel,
+            )
         coverage_cache = getattr(self.service, "coverage_cache", None)
         if coverage_cache is not None:
             for name, value in coverage_cache.stats().items():

@@ -1,11 +1,20 @@
-"""Wall-clock timing helper used across the experiment harness."""
+"""Wall-clock timing helpers used across the experiment harness.
+
+:class:`Timer` is the simple stopwatch the drivers wrap phases with;
+:class:`KernelTimer` is the per-kernel profiler the ``@kernel`` decorator
+(:mod:`repro.utils.concurrency`) records into when a coverage index has a
+timer attached.  Both read the clock *here*, outside the result-affecting
+modules, so the determinism rules (RA004) keep their guarantee that no
+kernel's output depends on wall-clock reads.
+"""
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Timer"]
+__all__ = ["KernelTimer", "Timer"]
 
 
 @dataclass
@@ -39,3 +48,48 @@ class Timer:
         """Stop the stopwatch and return the elapsed seconds."""
         self.elapsed = time.perf_counter() - self._start
         return self.elapsed
+
+
+class KernelTimer:
+    """Thread-safe per-kernel call counts and cumulative seconds.
+
+    One instance is attached to every coverage index a
+    :class:`~repro.service.placement.PlacementService` prepares
+    (``attach_kernel_timer``); the ``@kernel`` decorator then records each
+    ``marginal_gains`` / ``gain_updates`` / ``absorb`` / ``marginal_gain``
+    call into it.  ``snapshot()`` feeds ``ServiceStats.stage_seconds()``
+    and the ``/metrics`` endpoint.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        self._seconds: dict[str, float] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one call of *name* that took *seconds*."""
+        with self._lock:
+            self._calls[name] = self._calls.get(name, 0) + 1
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def snapshot(self) -> dict[str, tuple[int, float]]:
+        """``{kernel: (calls, seconds)}``, sorted by kernel name."""
+        with self._lock:
+            return {
+                name: (self._calls[name], self._seconds[name])
+                for name in sorted(self._calls)
+            }
+
+    def seconds(self) -> dict[str, float]:
+        """``{kernel: cumulative seconds}`` (sorted)."""
+        return {name: secs for name, (_, secs) in self.snapshot().items()}
+
+    def calls(self) -> dict[str, int]:
+        """``{kernel: call count}`` (sorted)."""
+        return {name: count for name, (count, _) in self.snapshot().items()}
+
+    def reset(self) -> None:
+        """Drop all recorded counts and seconds."""
+        with self._lock:
+            self._calls.clear()
+            self._seconds.clear()

@@ -1,0 +1,18 @@
+"""RA010 negative: the kernel reuses scratch buffers via out= arguments."""
+
+import numpy as np
+
+from repro.utils.concurrency import kernel
+
+
+@kernel
+def marginal_gains(self, utilities):
+    residual = self._scratch.get("mg_matrix", self.scores.shape)
+    np.subtract(self.scores, utilities[:, None], out=residual)
+    np.maximum(residual, 0.0, out=residual)
+    return residual.sum(axis=0)
+
+
+def helper(shape):
+    # not an @kernel function: allocation discipline does not apply here
+    return np.zeros(shape)

@@ -1,0 +1,15 @@
+"""RA010 positive: per-call allocations inside an @kernel function."""
+
+import numpy as np
+
+from repro.utils.concurrency import kernel
+
+
+@kernel
+def marginal_gains(self, utilities):
+    residual = np.zeros(self.scores.shape)  # expect: RA010
+    scratch = np.empty(len(utilities))  # expect: RA010
+    widened = utilities.astype(np.float64)  # expect: RA010
+    np.subtract(self.scores, widened[:, None], out=residual)
+    np.maximum(residual, 0.0, out=scratch)
+    return residual.sum(axis=0)

@@ -1,0 +1,13 @@
+"""RA010 suppressed: the allocated array escapes as the kernel's result."""
+
+import numpy as np
+
+from repro.utils.concurrency import kernel
+
+
+@kernel
+def gain_updates(self, rows, old_values, new_values):
+    if not len(rows):
+        # the zero vector escapes as the result, not a per-call temporary
+        return np.zeros(self.num_sites, dtype=np.float64)  # noqa: RA010
+    return self._accumulate(rows, old_values, new_values)
