@@ -50,6 +50,7 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -603,7 +604,17 @@ class CoverageCache:
             part.num_trajectories == len(index.trajectory_ids),
             "coverage part registry size does not match the index",
         )
-        instance = _instance_of(index, part.instance_id)
+        # On a lazily-rebuilt ladder (v4 mmap loads) defer the instance:
+        # the hit path only reads its summary scalars, so the rung's
+        # cluster dictionaries are never rebuilt unless something
+        # downstream (existing-site mapping, patching) asks for them.
+        instance = None
+        instance_factory = None
+        instance_summary = _instance_summary_of(index, part.instance_id)
+        if instance_summary is not None:
+            instance_factory = partial(_instance_of, index, part.instance_id)
+        else:
+            instance = _instance_of(index, part.instance_id)
         preference = part.preference_fn()
         num_sites = part.num_representatives
         trajectory_ids = index.trajectory_ids
@@ -626,11 +637,8 @@ class CoverageCache:
                         executor=executor,
                         engine=engine,
                     )
-                else:
-                    part_cls: type[SparseCoverageIndex] | type[BitsetCoverageIndex] = (
-                        BitsetCoverageIndex if engine == "bitset" else SparseCoverageIndex
-                    )
-                    coverage = part_cls.from_coverage_lists(
+                elif engine == "bitset":
+                    coverage = BitsetCoverageIndex.from_coverage_lists(
                         part.rows,
                         part.cols,
                         part.estimates,
@@ -640,6 +648,22 @@ class CoverageCache:
                         preference=preference,
                         site_labels=part.rep_sites,
                         trajectory_ids=trajectory_ids,
+                    )
+                else:
+                    # stored parts hold exactly the canonical entry form,
+                    # so the sparse builder can skip its identity
+                    # filter + lexsort + min-reduce pass on every hit
+                    coverage = SparseCoverageIndex.from_coverage_lists(
+                        part.rows,
+                        part.cols,
+                        part.estimates,
+                        num_trajectories=part.num_trajectories,
+                        num_sites=num_sites,
+                        tau_km=part.tau_km,
+                        preference=preference,
+                        site_labels=part.rep_sites,
+                        trajectory_ids=trajectory_ids,
+                        canonical=True,
                     )
             else:
                 detours = np.full((part.num_trajectories, num_sites), np.inf)
@@ -672,6 +696,8 @@ class CoverageCache:
             representative_clusters=list(part.rep_clusters),
             engine=engine,
             index_version=part.index_version,
+            instance_factory=instance_factory,
+            instance_summary=instance_summary,
         )
 
     # ------------------------------------------------------------------ #
@@ -750,8 +776,41 @@ class CoverageCache:
 
 
 def _instance_of(index: "NetClusIndex", instance_id: int) -> "NetClusInstance":
-    """The live index instance with the given id (refuse if gone)."""
-    for instance in index.instances:
+    """The live index instance with the given id (refuse if gone).
+
+    A lazily-rebuilt ladder (v4 mmap loads) answers id → position without
+    materialising, so only the matching rung is ever rebuilt; a plain list
+    is scanned.
+    """
+    instances = index.instances
+    position_of = getattr(instances, "position_of", None)
+    if position_of is not None:
+        position = position_of(instance_id)
+        if position is None:
+            raise KeyError(f"index has no instance {instance_id}")
+        return instances[position]
+    for instance in instances:
         if instance.instance_id == instance_id:
             return instance
     raise KeyError(f"index has no instance {instance_id}")
+
+
+def _instance_summary_of(
+    index: "NetClusIndex", instance_id: int
+) -> tuple[int, float, int] | None:
+    """``(id, radius_km, num_clusters)`` without materialising, or ``None``.
+
+    ``None`` means the instance ladder cannot answer cheaply (a plain
+    eager list) — the caller should materialise via :func:`_instance_of`
+    instead (refusing there if the id is gone).
+    """
+    instances = index.instances
+    position_of = getattr(instances, "position_of", None)
+    summary_of = getattr(instances, "summary_of", None)
+    if position_of is None or summary_of is None:
+        return None
+    position = position_of(instance_id)
+    if position is None:
+        raise KeyError(f"index has no instance {instance_id}")
+    summary: tuple[int, float, int] = summary_of(position)
+    return summary

@@ -500,12 +500,19 @@ class SparseCoverageIndex:
         site_labels: Sequence[int] | None = None,
         trajectory_ids: Sequence[int] | None = None,
         trajectory_weights: np.ndarray | None = None,
+        canonical: bool = False,
     ) -> "SparseCoverageIndex":
         """Build the index from (trajectory, site, detour) coverage triples.
 
         Entries beyond τ or non-finite are dropped; duplicate (trajectory,
         site) pairs keep the *smallest* detour, matching how NetClus takes the
         minimum estimate over a representative's neighbouring clusters.
+
+        ``canonical=True`` promises the triples are already in this form —
+        finite, ≤ τ, unique pairs, column-major order (the invariant
+        :func:`repro.core.covcache.canonical_entries` maintains for stored
+        coverage parts) — and skips the filter + sort + min-reduce pass,
+        which is a pure identity on such input.  Range checks still run.
         """
         index = cls.__new__(cls)
         rows = np.asarray(rows, dtype=np.int64)
@@ -515,8 +522,9 @@ class SparseCoverageIndex:
             rows.shape == cols.shape == detour_values.shape,
             "rows, cols and detours must have equal lengths",
         )
-        keep = np.isfinite(detour_values) & (detour_values <= float(tau_km))
-        rows, cols, detour_values = rows[keep], cols[keep], detour_values[keep]
+        if not canonical:
+            keep = np.isfinite(detour_values) & (detour_values <= float(tau_km))
+            rows, cols, detour_values = rows[keep], cols[keep], detour_values[keep]
         if len(rows):
             require(
                 int(rows.min()) >= 0 and int(rows.max()) < num_trajectories,
@@ -526,6 +534,7 @@ class SparseCoverageIndex:
                 int(cols.min()) >= 0 and int(cols.max()) < num_sites,
                 "site column out of range",
             )
+        if not canonical and len(rows):
             # min-reduce duplicate (row, col) pairs
             order = np.lexsort((rows, cols))
             rows, cols, detour_values = rows[order], cols[order], detour_values[order]

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -433,7 +433,6 @@ class NetClusInstance:
         return total
 
 
-@dataclass
 class ClusteredCoverage:
     """A prepared clustered-space coverage: everything :meth:`NetClusIndex.query`
     derives from ``(τ, ψ)`` before the greedy runs.
@@ -444,10 +443,19 @@ class ClusteredCoverage:
     per ``(τ, ψ)`` group of a batch, which is what amortises the
     instance-resolution and coverage-construction work.
 
+    The backing instance may be supplied *deferred*: a coverage-cache hit
+    only ever reads three instance scalars (id, radius, cluster count) for
+    result metadata, so on a lazily-rebuilt ladder (v4 mmap loads) the
+    cache passes ``instance_factory`` + ``instance_summary`` instead of a
+    materialised instance, and the rung's cluster dictionaries are only
+    rebuilt if something genuinely needs them (``existing_sites`` mapping,
+    update patching).
+
     Attributes
     ----------
     instance:
-        The index instance ``I_p`` selected for τ.
+        The index instance ``I_p`` selected for τ (materialised on first
+        access when the coverage was built with a deferred instance).
     coverage:
         The coverage index over the cluster representatives (dense or
         sparse, depending on the requested engine; a
@@ -465,12 +473,71 @@ class ClusteredCoverage:
         no longer matches the (since-mutated) index.
     """
 
-    instance: NetClusInstance
-    coverage: CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex | ShardedCoverage
-    representative_sites: list[int]
-    representative_clusters: list[int]
-    engine: str
-    index_version: int = 0
+    def __init__(
+        self,
+        instance: NetClusInstance | None = None,
+        coverage: (
+            CoverageIndex | SparseCoverageIndex | BitsetCoverageIndex | ShardedCoverage
+        ) = None,  # type: ignore[assignment]
+        representative_sites: list[int] = None,  # type: ignore[assignment]
+        representative_clusters: list[int] = None,  # type: ignore[assignment]
+        engine: str = None,  # type: ignore[assignment]
+        index_version: int = 0,
+        *,
+        instance_factory: Callable[[], NetClusInstance] | None = None,
+        instance_summary: tuple[int, float, int] | None = None,
+    ) -> None:
+        require(
+            (instance is None) != (instance_factory is None),
+            "ClusteredCoverage needs exactly one of instance or instance_factory",
+        )
+        require(
+            instance is not None or instance_summary is not None,
+            "a deferred instance needs an (id, radius_km, num_clusters) summary",
+        )
+        require(coverage is not None, "ClusteredCoverage needs a coverage index")
+        require(engine is not None, "ClusteredCoverage needs an engine name")
+        self._instance = instance
+        self._instance_factory = instance_factory
+        self._instance_summary = instance_summary
+        self.coverage = coverage
+        self.representative_sites = (
+            list(representative_sites) if representative_sites is not None else []
+        )
+        self.representative_clusters = (
+            list(representative_clusters) if representative_clusters is not None else []
+        )
+        self.engine = engine
+        self.index_version = int(index_version)
+
+    @property
+    def instance(self) -> NetClusInstance:
+        """The backing instance, rebuilding a deferred one on first access."""
+        if self._instance is None:
+            assert self._instance_factory is not None
+            self._instance = self._instance_factory()
+        return self._instance
+
+    @property
+    def instance_id(self) -> int:
+        """Instance id — answered from the summary without materialising."""
+        if self._instance is None and self._instance_summary is not None:
+            return int(self._instance_summary[0])
+        return self.instance.instance_id
+
+    @property
+    def instance_radius_km(self) -> float:
+        """Instance cluster radius — summary-backed like :attr:`instance_id`."""
+        if self._instance is None and self._instance_summary is not None:
+            return float(self._instance_summary[1])
+        return self.instance.radius_km
+
+    @property
+    def num_clusters(self) -> int:
+        """Instance cluster count — summary-backed like :attr:`instance_id`."""
+        if self._instance is None and self._instance_summary is not None:
+            return int(self._instance_summary[2])
+        return self.instance.num_clusters
 
     @property
     def tau_km(self) -> float:
@@ -570,7 +637,7 @@ class NetClusIndex:
         self,
         network: RoadNetwork,
         sites: Sequence[int],
-        instances: list[NetClusInstance],
+        instances: Sequence[NetClusInstance],
         tau_min_km: float,
         tau_max_km: float,
         gamma: float,
@@ -838,7 +905,7 @@ class NetClusIndex:
                 self, tau_km, preference, engine=engine, shards=shards, executor=executor
             )
             if warm is not None and (
-                instance is None or warm.instance.instance_id == instance.instance_id
+                instance is None or warm.instance_id == instance.instance_id
             ):
                 return warm
         if instance is None:
@@ -1013,7 +1080,6 @@ class NetClusIndex:
                     "prepared coverage is stale: the index was mutated after "
                     "prepare_coverage (rebuild it to answer queries)",
                 )
-            instance = prepared.instance
             coverage = prepared.coverage
             existing_columns: list[int] = []
             if existing_sites:
@@ -1042,9 +1108,11 @@ class NetClusIndex:
             elapsed_seconds=timer.elapsed,
             algorithm=algorithm,
             metadata={
-                "instance_id": instance.instance_id,
-                "instance_radius_km": instance.radius_km,
-                "num_clusters": instance.num_clusters,
+                # summary-backed accessors: a coverage-cache hit reports
+                # these without materialising the backing instance
+                "instance_id": prepared.instance_id,
+                "instance_radius_km": prepared.instance_radius_km,
+                "num_clusters": prepared.num_clusters,
                 "num_representatives": len(prepared.representative_sites),
                 "engine": engine,
                 "shards": prepared.num_shards,
@@ -1162,6 +1230,7 @@ class NetClusIndex:
                 instance, self.network.num_nodes, traj_ids, node_arrays
             )
         if self._tracks_visits:
+            self._ensure_writable_visit_counts()
             touched: set[int] = set()
             num_nodes = len(self._node_visit_counts)
             for trajectory in trajectories:
@@ -1201,6 +1270,7 @@ class NetClusIndex:
                 for traj_id in sorted(removed.intersection(cluster.trajectory_list)):
                     del cluster.trajectory_list[traj_id]
         if self._tracks_visits:
+            self._ensure_writable_visit_counts()
             touched: set[int] = set()
             for traj_id in sorted(removed):
                 unique_nodes = self._trajectory_nodes.pop(traj_id, None)
@@ -1295,6 +1365,19 @@ class NetClusIndex:
             and self._node_visit_counts is not None
             and self._trajectory_nodes is not None
         )
+
+    def _ensure_writable_visit_counts(self) -> None:
+        """Copy-on-write the visit-count array before in-place mutation.
+
+        A format-v4 load hands the index a read-only zero-copy view over the
+        mmap'd payload blob; the first mutating update materialises a private
+        writable copy, so updates never write through to the on-disk file.
+        """
+        if (
+            self._node_visit_counts is not None
+            and not self._node_visit_counts.flags.writeable
+        ):
+            self._node_visit_counts = np.array(self._node_visit_counts, dtype=np.int64)
 
     def _reelect(self, cluster: NetClusCluster) -> None:
         """Re-run the representative election of one cluster from scratch."""

@@ -113,6 +113,57 @@ class RoadNetwork:
         self.add_edge(u, v, length)
         self.add_edge(v, u, length)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        node_ids: np.ndarray,
+        node_xy: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_len: np.ndarray,
+    ) -> "RoadNetwork":
+        """Bulk-construct a network from parallel arrays.
+
+        The deserialization fast path: equivalent to ``add_node`` /
+        ``add_edge`` in array order but built with vectorised checks and
+        C-level dict construction instead of per-element calls.  Input
+        must satisfy the same invariants those methods enforce (unique
+        non-negative node ids, known endpoints, positive lengths, no
+        self-loops) — violations raise, as they would element-wise.
+        """
+        node_xy = np.asarray(node_xy, dtype=np.float64)
+        ids = [int(i) for i in np.asarray(node_ids).tolist()]
+        require(len(ids) == len(set(ids)), "node ids must be unique")
+        require(all(i >= 0 for i in ids), "node ids must be non-negative")
+        require(node_xy.shape == (len(ids), 2), "node_xy must be (num_nodes, 2)")
+        lengths = np.asarray(edge_len, dtype=np.float64)
+        require(
+            bool(np.all(lengths > 0)) if lengths.size else True,
+            "edge length must be positive",
+        )
+        require(
+            not bool(np.any(np.asarray(edge_src) == np.asarray(edge_dst))),
+            "self-loops are not allowed in a road network",
+        )
+        network = cls()
+        network._nodes = {
+            i: Node(i, x, y)
+            for i, (x, y) in zip(ids, node_xy.tolist())
+        }
+        succ: dict[int, dict[int, float]] = {i: {} for i in ids}
+        pred: dict[int, dict[int, float]] = {i: {} for i in ids}
+        for source, target, length in zip(
+            np.asarray(edge_src).tolist(),
+            np.asarray(edge_dst).tolist(),
+            lengths.tolist(),
+        ):
+            succ[source][target] = length  # KeyError = unknown source node
+            pred[target][source] = length  # KeyError = unknown target node
+        network._succ = succ
+        network._pred = pred
+        network._next_id = max(ids) + 1 if ids else 0
+        return network
+
     def remove_edge(self, source: int, target: int) -> None:
         """Remove the directed edge ``source -> target`` (KeyError if absent)."""
         del self._succ[source][target]

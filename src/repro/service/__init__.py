@@ -34,6 +34,7 @@ See ``docs/architecture.md`` for where this layer sits and
 ``docs/index-format.md`` for the on-disk format specification.
 """
 
+from repro.service.farm import IndexFarm, TenantRecord, UnknownTenantError
 from repro.service.placement import PlacementService, ServiceStats
 from repro.service.serialization import (
     FORMAT_VERSION,
@@ -56,6 +57,9 @@ from repro.service.server import (
 from repro.service.specs import QuerySpec
 
 __all__ = [
+    "IndexFarm",
+    "TenantRecord",
+    "UnknownTenantError",
     "PlacementService",
     "PlacementServer",
     "ServerHandle",

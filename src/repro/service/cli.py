@@ -1,6 +1,6 @@
-"""``python -m repro.service`` — build, query, serve, update, inspect indexes.
+"""``python -m repro.service`` — build, query, serve, farm, update, inspect.
 
-Five subcommands::
+Six subcommands::
 
     # offline phase: build a NetClus index for a dataset preset, save to disk
     python -m repro.service build --dataset beijing --scale tiny --out city.ncx
@@ -14,6 +14,11 @@ Five subcommands::
     # serving phase: the asyncio HTTP front end (POST /query, POST /update,
     # GET /metrics, GET /healthz) with coalescing + bounded admission
     python -m repro.service serve --index city.ncx --port 8321 --max-inflight 64
+
+    # multi-tenant serving: N indexes in one process under a memory budget
+    # (POST /t/<tenant>/query, /t/<tenant>/update; LRU eviction + lazy reload)
+    python -m repro.service farm --tenant nyk=nyk.ncx --tenant bjg=bjg.ncx \\
+        --memory-budget-mb 256 --port 8321
 
     # dynamic updates: absorb trajectory/site deltas as one batch, save back
     python -m repro.service update --index city.ncx \\
@@ -265,6 +270,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats.requests_total['update']} update requests "
         f"({stats.coalesced_specs} specs coalesced, "
         f"{stats.rejected_total} rejected); shut down cleanly."
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# farm
+# ---------------------------------------------------------------------- #
+def _cmd_farm(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.farm import IndexFarm
+    from repro.service.server import PlacementServer
+
+    farm = IndexFarm(
+        memory_budget_bytes=(
+            None if args.memory_budget_mb is None else int(args.memory_budget_mb * 1e6)
+        ),
+        engine=args.engine,
+        shards=args.shards,
+        query_workers=args.query_workers,  # already resolved by the argparse type
+        coverage_cache=True if args.coverage_cache else None,
+    )
+    for entry in args.tenant:
+        name, separator, directory = entry.partition("=")
+        if not separator or not name or not directory:
+            raise SystemExit(f"--tenant expects NAME=INDEX_DIR, got {entry!r}")
+        farm.add_tenant(name, directory)
+    server = PlacementServer(
+        farm=farm,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        worker_threads=args.worker_threads,
+        request_timeout=args.request_timeout,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-Unix loops
+                pass
+        host, port = server.address
+        budget = (
+            "no memory budget"
+            if farm.memory_budget_bytes is None
+            else f"budget {farm.memory_budget_bytes / 1e6:.0f} MB"
+        )
+        print(
+            f"Serving {len(farm.tenants())} tenant(s) on http://{host}:{port} "
+            f"({budget}, max-inflight {server.max_inflight}, "
+            f"{server.worker_threads} worker threads)",
+            flush=True,
+        )
+        print(
+            "Endpoints: POST /t/<tenant>/query | POST /t/<tenant>/update | "
+            "GET /metrics | GET /healthz",
+            flush=True,
+        )
+        for name in farm.tenants():
+            print(f"  tenant {name}", flush=True)
+        await stop.wait()
+        print("Signal received — draining in-flight requests...", flush=True)
+        await server.shutdown(drain_timeout=args.drain_timeout)
+
+    asyncio.run(_serve())
+    farm.close()
+    stats = server.stats
+    print(
+        f"Served {stats.requests_total['query']} query / "
+        f"{stats.requests_total['update']} update requests across "
+        f"{len(farm.tenants())} tenant(s) "
+        f"({farm.loads_total} loads, {farm.evictions_total} evictions); "
+        f"shut down cleanly."
     )
     return 0
 
@@ -629,6 +712,85 @@ def main(argv: Sequence[str] | None = None) -> int:
         "automatically)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    farm = sub.add_parser(
+        "farm", help="serve many tenant indexes from one process (memory budget)"
+    )
+    farm.add_argument(
+        "--tenant",
+        action="append",
+        required=True,
+        metavar="NAME=INDEX_DIR",
+        help="register one tenant: a name and its index directory; repeat "
+        "the flag for every tenant (indexes load lazily on first query)",
+    )
+    farm.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="cap on the summed storage bytes of resident tenant indexes; "
+        "least-recently-used tenants are evicted to fit (evicted tenants "
+        "reload transparently on their next query); default: no budget",
+    )
+    farm.add_argument("--host", default="127.0.0.1", help="bind address")
+    farm.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 picks an ephemeral port)"
+    )
+    farm.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="bound on concurrently admitted query/update requests; the "
+        "next request is answered 503 instead of queueing without bound",
+    )
+    farm.add_argument(
+        "--worker-threads",
+        type=int,
+        default=4,
+        help="thread-pool size for blocking placement work (tenant loads "
+        "and evictions also happen here, never on the event loop)",
+    )
+    farm.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request budget in seconds before a 504 is answered",
+    )
+    farm.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to let in-flight requests finish on shutdown",
+    )
+    farm.add_argument(
+        "--engine",
+        default="sparse",
+        choices=["dense", "sparse", "bitset", "auto"],
+        help="coverage engine for every tenant (bitset: binary-preference "
+        "popcount kernels; auto: bitset for binary specs, sparse otherwise)",
+    )
+    farm.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="trajectory-shard count for every tenant's query path "
+        "(default: each index's saved layout; results are identical for "
+        "any value)",
+    )
+    farm.add_argument(
+        "--query-workers",
+        type=resolve_workers,
+        default="auto",
+        help="threads of the shard-evaluation pool; a positive integer or "
+        "'auto' (the usable-CPU count)",
+    )
+    farm.add_argument(
+        "--coverage-cache",
+        action="store_true",
+        help="keep materialised coverage warm per tenant across requests "
+        "(an index saved with coverage parts enables this automatically)",
+    )
+    farm.set_defaults(func=_cmd_farm)
 
     update = sub.add_parser(
         "update", help="apply trajectory/site deltas to an index as one batch"

@@ -873,11 +873,12 @@ class PlacementService:
         )
 
     def _group_metadata(self, group: _PreparedGroup) -> dict:
-        instance = group.prepared.instance
+        # summary-backed accessors: a coverage-cache hit answers these
+        # without materialising the backing instance
         return {
-            "instance_id": instance.instance_id,
-            "instance_radius_km": instance.radius_km,
-            "num_clusters": instance.num_clusters,
+            "instance_id": group.prepared.instance_id,
+            "instance_radius_km": group.prepared.instance_radius_km,
+            "num_clusters": group.prepared.num_clusters,
             "num_representatives": len(group.prepared.representative_sites),
             # the engine the group's coverage was actually built with
             # (``self.engine`` may be the unresolved "auto" policy)

@@ -51,6 +51,36 @@ a structurally inconsistent part (missing arrays, length mismatches,
 out-of-range entries) raises :class:`IndexFormatError`.  v1/v2 directories
 load exactly as before; a v3 directory without parts is identical to a v2
 one apart from the version stamp.
+
+Format v4 replaces the compressed ``.npz`` container with one *aligned
+packed blob* (``payload.bin``): every payload array's raw little-endian
+bytes at a 64-byte-aligned offset, described by a ``payload_arrays``
+offset table in the manifest (offset, nbytes, dtype, shape per key).
+:func:`load_index` maps the blob once (``np.memmap`` read-only) and hands
+out zero-copy array views, so a cold load touches only the manifest, the
+fingerprint-bearing structural arrays, and whatever instances/parts the
+first query actually needs:
+
+* index instances rebuild *lazily* — ``index.instances`` is a sequence
+  that materialises each :class:`~repro.core.netclus.NetClusInstance` on
+  first access, so a query at one τ pays for one ladder rung, not all;
+* coverage parts attach as zero-copy views over the blob; their range
+  validation is deferred to materialisation (the coverage constructors
+  re-check), while shape/registry consistency is still verified eagerly
+  from the offset table alone;
+* every view is read-only (``writeable=False``); the index's mutation
+  paths copy-on-write, so ``apply_updates`` on a v4-loaded index never
+  writes through to the mapped file.
+
+Integrity for v4 rests on the offset table: the blob's size must equal
+the manifest's ``payload_total_bytes`` (truncation check) and every entry
+must lie in bounds with ``nbytes`` matching its dtype/shape product — any
+mismatch raises :class:`IndexFormatError` before a single page is
+touched.  The whole-file ``payload_sha256`` fingerprint is still written
+(offline verification) but no longer hashed on load — that is the point:
+a v4 load reads only what the first query needs.  :func:`save_index`
+writes v4 by default; pass ``format_version=3`` for the compressed
+``.npz`` layout (bit-identical to what PR 9 wrote).
 """
 
 from __future__ import annotations
@@ -58,8 +88,10 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Any
+from typing import Any, overload
 
 import numpy as np
 
@@ -83,13 +115,22 @@ __all__ = [
 ]
 
 #: the version written by :func:`save_index`; bump on any layout change
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 #: the versions :func:`load_index` can read (older versions load with
 #: documented fallbacks; see the module docstring)
-SUPPORTED_FORMAT_VERSIONS = (1, 2, 3)
+SUPPORTED_FORMAT_VERSIONS = (1, 2, 3, 4)
+#: the versions :func:`save_index` can write (v3 for the compressed
+#: ``.npz`` layout, v4 for the mmap-able packed blob)
+WRITABLE_FORMAT_VERSIONS = (3, 4)
 FORMAT_NAME = "netclus-index"
 MANIFEST_FILE = "manifest.json"
 PAYLOAD_FILE = "payload.npz"
+#: format-v4 payload: one packed blob of raw array bytes, described by the
+#: manifest's ``payload_arrays`` offset table
+PAYLOAD_BLOB_FILE = "payload.bin"
+#: every array in the v4 blob starts at a multiple of this (cache-line
+#: alignment; comfortably covers any numpy itemsize)
+BLOB_ALIGN = 64
 #: index of the ``build_seconds`` entry inside each ``i<id>_meta`` payload
 #: array — the one slot timing-insensitive comparisons zero out (see
 #: :func:`payload_digest` and ``tools/check_build_parity.py``)
@@ -127,7 +168,17 @@ def graph_fingerprint(network: RoadNetwork) -> str:
     with what :func:`save_index` writes because both share
     ``_network_arrays``.
     """
-    arrays = _network_arrays(network)
+    return _graph_fingerprint_from_arrays(_network_arrays(network))
+
+
+def _graph_fingerprint_from_arrays(arrays: dict[str, np.ndarray]) -> str:
+    """:func:`graph_fingerprint` over an already-canonical flattening.
+
+    ``load_index`` verifies the payload's stored ``net_*`` arrays with
+    this directly — they *are* the canonical flattening, so re-deriving
+    (and re-sorting) them from the just-rebuilt graph would only repeat
+    work without strengthening the check.
+    """
     digest = hashlib.sha256()
     for key in _NETWORK_KEYS:
         digest.update(np.ascontiguousarray(arrays[key]).tobytes())
@@ -180,6 +231,121 @@ def _file_sha256(path: Path) -> str:
 
 
 # ---------------------------------------------------------------------- #
+# format v4: packed blob + offset table
+# ---------------------------------------------------------------------- #
+def _write_blob(
+    path: Path, payload: dict[str, np.ndarray]
+) -> tuple[dict[str, dict[str, Any]], int]:
+    """Write the v4 packed blob; return (offset table, total bytes).
+
+    Arrays are laid out in sorted key order, each at a 64-byte-aligned
+    offset, as raw contiguous little-endian bytes.  The layout is fully
+    deterministic, so two indexes with equal payload arrays produce
+    byte-identical blobs (the same property ``payload_digest`` relies on).
+
+    The blob is written to a temporary sibling and atomically renamed
+    into place: a re-save over a directory whose previous blob is still
+    mmap-mapped (a loaded v4 index — e.g. the farm's write-through save
+    after updates) must not truncate the mapped inode; the old mapping
+    keeps the old inode alive while new loads see the new file.
+    """
+    table: dict[str, dict[str, Any]] = {}
+    cursor = 0
+    staging = path.with_name(path.name + ".tmp")
+    with open(staging, "wb") as handle:
+        for key in sorted(payload):
+            array = np.ascontiguousarray(payload[key])
+            if array.dtype.byteorder == ">":  # pragma: no cover - LE platforms
+                array = array.astype(array.dtype.newbyteorder("<"))
+            pad = (-cursor) % BLOB_ALIGN
+            if pad:
+                handle.write(b"\x00" * pad)
+                cursor += pad
+            table[key] = {
+                "offset": cursor,
+                "nbytes": int(array.nbytes),
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+            }
+            handle.write(array.tobytes())
+            cursor += int(array.nbytes)
+    os.replace(staging, path)
+    return table, cursor
+
+
+def _open_blob(
+    directory: Path, manifest: dict[str, Any]
+) -> tuple[np.memmap, dict[str, dict[str, Any]]]:
+    """Map a v4 blob read-only after validating its offset table.
+
+    Raises :class:`IndexFormatError` on a missing blob, a size/truncation
+    mismatch against the manifest's ``payload_total_bytes``, or any
+    offset-table entry that is out of bounds or inconsistent with its
+    declared dtype/shape — all without touching a single payload page.
+    """
+    blob_path = directory / PAYLOAD_BLOB_FILE
+    if not blob_path.is_file():
+        raise IndexFormatError(f"no {PAYLOAD_BLOB_FILE} in {directory}")
+    table = manifest.get("payload_arrays")
+    if not isinstance(table, dict) or not table:
+        raise IndexFormatError("v4 manifest has no payload_arrays offset table")
+    total = int(manifest.get("payload_total_bytes", -1))
+    actual = blob_path.stat().st_size
+    if actual != total:
+        raise IndexFormatError(
+            f"payload blob size mismatch: {PAYLOAD_BLOB_FILE} holds {actual} "
+            f"bytes, manifest declares {total} (truncated or corrupted index)"
+        )
+    for key, entry in table.items():
+        try:
+            offset = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(int(dim) for dim in entry["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexFormatError(f"payload array {key!r}: malformed offset-table entry") from exc
+        expected = dtype.itemsize
+        for dim in shape:
+            if dim < 0:
+                raise IndexFormatError(f"payload array {key!r}: negative dimension")
+            expected *= dim
+        if nbytes != expected:
+            raise IndexFormatError(
+                f"payload array {key!r}: offset-table mismatch "
+                f"(nbytes={nbytes}, dtype/shape require {expected})"
+            )
+        if offset < 0 or offset % dtype.itemsize or offset + nbytes > total:
+            raise IndexFormatError(
+                f"payload array {key!r}: offset-table entry out of bounds "
+                f"(offset={offset}, nbytes={nbytes}, blob={total})"
+            )
+    blob = np.memmap(blob_path, dtype=np.uint8, mode="r")
+    return blob, table
+
+
+def _blob_views(
+    blob: np.memmap, table: dict[str, dict[str, Any]]
+) -> dict[str, np.ndarray]:
+    """Zero-copy read-only array views over a validated v4 blob."""
+    views: dict[str, np.ndarray] = {}
+    for key, entry in table.items():
+        offset, nbytes = int(entry["offset"]), int(entry["nbytes"])
+        dtype = np.dtype(str(entry["dtype"]))
+        shape = tuple(int(dim) for dim in entry["shape"])
+        # .view(np.ndarray) drops the memmap wrapper (its per-element
+        # __getitem__ bookkeeping costs ~1µs/access, which the ragged dict
+        # rebuilds would pay hundreds of thousands of times); the plain
+        # ndarray view keeps the mapping alive through .base and stays
+        # zero-copy + read-only
+        view = (
+            blob[offset : offset + nbytes].view(dtype).reshape(shape).view(np.ndarray)
+        )
+        view.flags.writeable = False  # inherited from mode="r"; made explicit
+        views[key] = view
+    return views
+
+
+# ---------------------------------------------------------------------- #
 # save
 # ---------------------------------------------------------------------- #
 def save_index(
@@ -187,12 +353,16 @@ def save_index(
     path: str | Path,
     dataset: TrajectoryDataset | None = None,
     trajectory_content: str | None = None,
+    *,
+    format_version: int = FORMAT_VERSION,
 ) -> Path:
     """Persist *index* to directory *path* (created if missing).
 
-    Writes ``payload.npz`` (all arrays) and ``manifest.json`` (metadata +
-    fingerprints).  Returns the directory path.  The format is documented in
-    ``docs/index-format.md``; load with :func:`load_index`.
+    Writes the payload (``payload.bin`` packed blob for the default
+    format v4, ``payload.npz`` for ``format_version=3``) and
+    ``manifest.json`` (metadata + fingerprints).  Returns the directory
+    path.  The format is documented in ``docs/index-format.md``; load with
+    :func:`load_index`.
 
     When *dataset* (the trajectories the index was built on) is supplied,
     its content fingerprint is recorded too, letting :func:`load_index`
@@ -203,6 +373,11 @@ def save_index(
     re-saving after a site-only delta) may pass it via
     *trajectory_content* instead; it is ignored when *dataset* is given.
     """
+    if format_version not in WRITABLE_FORMAT_VERSIONS:
+        raise IndexFormatError(
+            f"cannot write format version {format_version!r} (writable: "
+            f"{sorted(WRITABLE_FORMAT_VERSIONS)})"
+        )
     directory = Path(path)
     if dataset is not None and not dataset_matches(index, dataset):
         raise IndexFormatError(
@@ -215,13 +390,27 @@ def save_index(
     payload = _payload_arrays(index)
     coverage_arrays, coverage_parts = _coverage_part_arrays(index)
     payload.update(coverage_arrays)
-    payload_path = directory / PAYLOAD_FILE
-    with open(payload_path, "wb") as handle:
-        np.savez_compressed(handle, **payload)
+    blob_keys: dict[str, dict[str, Any]] = {}
+    total_bytes = 0
+    if format_version >= 4:
+        payload_path = directory / PAYLOAD_BLOB_FILE
+        blob_keys, total_bytes = _write_blob(payload_path, payload)
+        # a directory re-saved in v4 must not keep a stale .npz around
+        (directory / PAYLOAD_FILE).unlink(missing_ok=True)
+    else:
+        payload_path = directory / PAYLOAD_FILE
+        with open(payload_path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        (directory / PAYLOAD_BLOB_FILE).unlink(missing_ok=True)
 
     manifest = {
         "format": FORMAT_NAME,
-        "format_version": FORMAT_VERSION,
+        "format_version": format_version,
+        **(
+            {"payload_arrays": blob_keys, "payload_total_bytes": total_bytes}
+            if format_version >= 4
+            else {}
+        ),
         "build_params": {
             "gamma": index.gamma,
             "tau_min_km": index.tau_min_km,
@@ -274,9 +463,11 @@ def save_index(
             for instance in index.instances
         ],
     }
-    with open(directory / MANIFEST_FILE, "w") as handle:
+    manifest_staging = directory / (MANIFEST_FILE + ".tmp")
+    with open(manifest_staging, "w") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(manifest_staging, directory / MANIFEST_FILE)
     return directory
 
 
@@ -311,17 +502,31 @@ def _coverage_part_arrays(
     return arrays, entries
 
 
-def _load_coverage_parts(
+def _attach_coverage_parts(
     index: NetClusIndex,
     manifest: dict[str, Any],
-    payload: Any,
+    *,
+    available: set[str],
+    fetch: Any,
+    lazy: bool,
+    known_instance_ids: set[int] | None,
 ) -> None:
-    """Attach the manifest's coverage parts to *index* (format v3).
+    """Attach the manifest's coverage parts to *index* (formats v3/v4).
 
-    *payload* is the open ``np.load`` handle — only the arrays of accepted
-    parts are decompressed.  A part recorded at a different
-    ``index_version`` than the manifest's is refused (skipped); structural
-    corruption raises :class:`IndexFormatError`.
+    *fetch* maps a payload key to its array: the open ``np.load`` handle's
+    ``__getitem__`` for v3 (only accepted parts decompress), the blob-view
+    mapping's for v4.  A part recorded at a different ``index_version``
+    than the manifest's is refused (skipped); structural corruption raises
+    :class:`IndexFormatError`.
+
+    With ``lazy=True`` (v4) the entry arrays stay zero-copy read-only
+    views and the per-entry range checks are *deferred* — the coverage
+    constructors re-validate at materialisation, so the cold load never
+    pages a part in.  Shape consistency (entry counts, representative
+    arrays, dtypes) is still verified eagerly: for v4 it comes from the
+    offset table, which costs no page faults.  ``known_instance_ids``
+    replaces the instance scan so attaching never materialises the lazy
+    instance ladder.
     """
     from repro.core.covcache import CoveragePart, coverage_cache_key
     from repro.core.preference import is_registered, make_preference
@@ -329,7 +534,6 @@ def _load_coverage_parts(
     part_entries = manifest.get("coverage_parts", [])
     if not part_entries:
         return
-    available = set(payload.files)
     cache = index.enable_coverage_cache(limit=max(len(part_entries), 1))
     for entry in part_entries:
         if int(entry.get("index_version", -1)) != index.version:
@@ -354,13 +558,27 @@ def _load_coverage_parts(
             raise IndexFormatError(f"{label}: unregistered preference {name!r}")
         tau_km = float(entry["tau_km"])
         instance_id = int(entry["instance_id"])
-        if not any(inst.instance_id == instance_id for inst in index.instances):
+        if known_instance_ids is not None:
+            if instance_id not in known_instance_ids:
+                raise IndexFormatError(f"{label}: index has no instance {instance_id}")
+        elif not any(inst.instance_id == instance_id for inst in index.instances):
             raise IndexFormatError(f"{label}: index has no instance {instance_id}")
-        rows = payload[prefix + "rows"].astype(np.int64)
-        cols = payload[prefix + "cols"].astype(np.int64)
-        estimates = payload[prefix + "est"].astype(np.float64)
-        rep_sites = payload[prefix + "rep_sites"].astype(np.int64)
-        rep_clusters = payload[prefix + "rep_clusters"].astype(np.int64)
+        if lazy:
+            rows = fetch(prefix + "rows")
+            cols = fetch(prefix + "cols")
+            estimates = fetch(prefix + "est")
+            if (
+                rows.dtype != np.int64
+                or cols.dtype != np.int64
+                or estimates.dtype != np.float64
+            ):
+                raise IndexFormatError(f"{label}: entry arrays have wrong dtypes")
+        else:
+            rows = fetch(prefix + "rows").astype(np.int64)
+            cols = fetch(prefix + "cols").astype(np.int64)
+            estimates = fetch(prefix + "est").astype(np.float64)
+        rep_sites = fetch(prefix + "rep_sites").astype(np.int64)
+        rep_clusters = fetch(prefix + "rep_clusters").astype(np.int64)
         declared = int(entry.get("num_entries", len(rows)))
         if not (len(rows) == len(cols) == len(estimates) == declared):
             raise IndexFormatError(
@@ -376,7 +594,7 @@ def _load_coverage_parts(
                 f"{label}: registry size mismatch "
                 f"({num_trajectories} != {index.num_trajectories})"
             )
-        if len(rows) and (
+        if not lazy and len(rows) and (
             int(rows.min()) < 0
             or int(rows.max()) >= num_trajectories
             or int(cols.min()) < 0
@@ -613,26 +831,40 @@ def load_index(
     """
     directory = Path(path)
     manifest = load_manifest(directory)
-    payload_path = directory / PAYLOAD_FILE
-    if not payload_path.is_file():
-        raise IndexFormatError(f"no {PAYLOAD_FILE} in {directory}")
+    format_version = int(manifest.get("format_version", 1))
     fingerprints = manifest.get("fingerprints", {})
-    actual_payload = _file_sha256(payload_path)
-    if actual_payload != fingerprints.get("payload_sha256"):
-        raise IndexFormatError(
-            "payload fingerprint mismatch: payload.npz does not match the "
-            "manifest (corrupted or partially written index)"
-        )
-    with np.load(payload_path) as payload:
-        # coverage parts stay lazy: .npz members decompress per array, so
-        # the structural load never touches cov<slot>_* payloads
-        arrays = {
-            key: payload[key] for key in payload.files if not key.startswith("cov")
-        }
+    arrays: dict[str, np.ndarray]
+    if format_version >= 4:
+        # v4: map the packed blob once; views are zero-copy and read-only,
+        # and nothing below this line decompresses or hashes the payload —
+        # integrity rests on the offset-table validation in _open_blob plus
+        # the structural fingerprint checks over the arrays actually read
+        blob, table = _open_blob(directory, manifest)
+        arrays = _blob_views(blob, table)
+    else:
+        payload_path = directory / PAYLOAD_FILE
+        if not payload_path.is_file():
+            raise IndexFormatError(f"no {PAYLOAD_FILE} in {directory}")
+        actual_payload = _file_sha256(payload_path)
+        if actual_payload != fingerprints.get("payload_sha256"):
+            raise IndexFormatError(
+                "payload fingerprint mismatch: payload.npz does not match the "
+                "manifest (corrupted or partially written index)"
+            )
+        with np.load(payload_path) as payload:
+            # coverage parts stay lazy: .npz members decompress per array, so
+            # the structural load never touches cov<slot>_* payloads
+            arrays = {
+                key: payload[key] for key in payload.files if not key.startswith("cov")
+            }
 
     if network is None:
         network = _rebuild_network(arrays)
-    actual_graph = graph_fingerprint(network)
+        # the graph was just rebuilt from the payload's canonical
+        # flattening — hash those arrays directly
+        actual_graph = _graph_fingerprint_from_arrays(arrays)
+    else:
+        actual_graph = graph_fingerprint(network)
     if actual_graph != fingerprints.get("graph"):
         raise IndexFormatError(
             "graph fingerprint mismatch: the supplied road network is not "
@@ -661,20 +893,34 @@ def load_index(
             )
 
     params = manifest["build_params"]
-    instances = [
-        _rebuild_instance(arrays, entry["instance_id"])
-        for entry in manifest["instances"]
-    ]
+    instance_ids = [int(entry["instance_id"]) for entry in manifest["instances"]]
+    instances: Sequence[NetClusInstance]
+    if format_version >= 4:
+        # lazy ladder: a query at one τ materialises one instance; update
+        # paths (which iterate every instance) materialise the rest on demand
+        instances = _LazyInstances(arrays, instance_ids)
+    else:
+        instances = [_rebuild_instance(arrays, instance_id) for instance_id in instance_ids]
     node_visit_counts = None
     trajectory_nodes = None
     if "visit_counts" in arrays:  # format v2, most_frequent indexes only
-        node_visit_counts = arrays["visit_counts"].astype(np.int64)
-        indptr = arrays["traj_nodes_indptr"]
-        flat = arrays["traj_nodes_flat"]
-        trajectory_nodes = {
-            traj_id: flat[int(indptr[row]) : int(indptr[row + 1])].astype(np.int64)
-            for row, traj_id in enumerate(trajectory_ids)
-        }
+        if format_version >= 4:
+            # zero-copy read-only views; NetClusIndex copies-on-write
+            node_visit_counts = arrays["visit_counts"]
+            indptr = arrays["traj_nodes_indptr"]
+            flat = arrays["traj_nodes_flat"]
+            trajectory_nodes = {
+                traj_id: flat[int(indptr[row]) : int(indptr[row + 1])]
+                for row, traj_id in enumerate(trajectory_ids)
+            }
+        else:
+            node_visit_counts = arrays["visit_counts"].astype(np.int64)
+            indptr = arrays["traj_nodes_indptr"]
+            flat = arrays["traj_nodes_flat"]
+            trajectory_nodes = {
+                traj_id: flat[int(indptr[row]) : int(indptr[row + 1])].astype(np.int64)
+                for row, traj_id in enumerate(trajectory_ids)
+            }
     index = NetClusIndex(
         network=network,
         sites=[int(s) for s in arrays["sites"]],
@@ -698,22 +944,37 @@ def load_index(
         shards=int(manifest.get("shards", 1)),
     )
     if with_coverage and manifest.get("coverage_parts"):
-        with np.load(payload_path) as payload:
-            _load_coverage_parts(index, manifest, payload)
+        if format_version >= 4:
+            _attach_coverage_parts(
+                index,
+                manifest,
+                available=set(arrays),
+                fetch=arrays.__getitem__,
+                lazy=True,
+                known_instance_ids=set(instance_ids),
+            )
+        else:
+            with np.load(payload_path) as payload:
+                _attach_coverage_parts(
+                    index,
+                    manifest,
+                    available=set(payload.files),
+                    fetch=payload.__getitem__,
+                    lazy=False,
+                    known_instance_ids=None,
+                )
     return index
 
 
 def _rebuild_network(arrays: dict[str, np.ndarray]) -> RoadNetwork:
-    """Reconstruct the road network from payload arrays."""
-    network = RoadNetwork()
-    xy = arrays["net_node_xy"]
-    for position, node_id in enumerate(arrays["net_node_ids"]):
-        network.add_node(float(xy[position, 0]), float(xy[position, 1]), int(node_id))
-    for src, dst, length in zip(
-        arrays["net_edge_src"], arrays["net_edge_dst"], arrays["net_edge_len"]
-    ):
-        network.add_edge(int(src), int(dst), float(length))
-    return network
+    """Reconstruct the road network from payload arrays (bulk fast path)."""
+    return RoadNetwork.from_arrays(
+        arrays["net_node_ids"],
+        arrays["net_node_xy"],
+        arrays["net_edge_src"],
+        arrays["net_edge_dst"],
+        arrays["net_edge_len"],
+    )
 
 
 def _rebuild_instance(arrays: dict[str, np.ndarray], instance_id: int) -> NetClusInstance:
@@ -758,6 +1019,81 @@ def _rebuild_instance(arrays: dict[str, np.ndarray], instance_id: int) -> NetClu
         build_seconds=float(meta[2]),
         mean_dominating_set_size=float(meta[3]),
     )
+
+
+class _LazyInstances(Sequence[NetClusInstance]):
+    """The v4 instance ladder: rebuild each instance on first access.
+
+    Positional access (the query path's τ snapping) materialises exactly
+    one rung; iteration (update paths, ``storage_bytes``) materialises
+    front-to-back and stops where the consumer stops, so e.g. the coverage
+    cache's linear ``instance_id`` scan never touches rungs past its match.
+    Materialised instances are cached — every access returns the same
+    object, preserving the identity semantics of an eager list.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray], instance_ids: list[int]) -> None:
+        self._arrays = arrays
+        self._instance_ids = list(instance_ids)
+        self._cache: list[NetClusInstance | None] = [None] * len(self._instance_ids)
+
+    def __len__(self) -> int:
+        return len(self._instance_ids)
+
+    def materialised_count(self) -> int:
+        """How many rungs have been rebuilt so far (observability/tests)."""
+        return sum(1 for instance in self._cache if instance is not None)
+
+    def position_of(self, instance_id: int) -> int | None:
+        """Ladder position of the rung with this id, or ``None``.
+
+        Answered from the manifest's id list, so e.g. the coverage cache
+        can jump straight to a part's backing rung instead of scanning
+        (and thereby rebuilding) every rung below it.
+        """
+        try:
+            return self._instance_ids.index(int(instance_id))
+        except ValueError:
+            return None
+
+    def summary_of(self, position: int) -> tuple[int, float, int]:
+        """``(instance_id, radius_km, num_clusters)`` of one rung, cheaply.
+
+        Reads two payload arrays (the 4-float meta record and the center
+        list's length) instead of rebuilding the rung — the coverage
+        cache uses this to report query metadata for a warm part without
+        materialising its backing instance.
+        """
+        cached = self._cache[position]
+        if cached is not None:
+            return (cached.instance_id, cached.radius_km, cached.num_clusters)
+        instance_id = self._instance_ids[position]
+        prefix = f"i{instance_id}_"
+        meta = self._arrays[prefix + "meta"]
+        num_clusters = int(self._arrays[prefix + "centers"].shape[0])
+        return (int(instance_id), float(meta[0]), num_clusters)
+
+    @overload
+    def __getitem__(self, position: int) -> NetClusInstance: ...
+
+    @overload
+    def __getitem__(self, position: slice) -> Sequence[NetClusInstance]: ...
+
+    def __getitem__(
+        self, position: int | slice
+    ) -> "NetClusInstance | Sequence[NetClusInstance]":
+        if isinstance(position, slice):
+            return [self[i] for i in range(*position.indices(len(self)))]
+        index = int(position)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        instance = self._cache[index]
+        if instance is None:
+            instance = _rebuild_instance(self._arrays, self._instance_ids[index])
+            self._cache[index] = instance
+        return instance
 
 
 def _ragged_slice(

@@ -67,6 +67,8 @@ from typing import Any, Awaitable, Callable
 
 from repro.core.netclus import UpdateBatch
 from repro.core.query import TOPSResult
+from repro.network.graph import RoadNetwork
+from repro.service.farm import IndexFarm
 from repro.service.placement import PlacementService
 from repro.service.specs import QuerySpec
 from repro.trajectory.model import Trajectory
@@ -258,6 +260,16 @@ class PlacementServer:
         The placement service to serve.  Its readers-writer lock is what
         makes concurrent ``/query`` + ``/update`` traffic safe; the
         server adds coalescing, admission control and the HTTP surface.
+    farm:
+        Alternative to *service*: an :class:`~repro.service.farm.IndexFarm`
+        serving N tenants from one process.  Farm mode replaces the plain
+        endpoints with tenant-scoped ones — ``POST /t/<tenant>/query`` and
+        ``POST /t/<tenant>/update`` (404 for unregistered tenants) — and
+        ``/metrics`` reports per-tenant service counters (``tenant``
+        label) plus farm-level residency/eviction gauges.  Coalescing is
+        tenant-scoped: identical specs for different tenants never share
+        a result.  Eviction and reload under the farm's memory budget are
+        invisible to clients (at worst a slower first query).
     host, port:
         Bind address; ``port=0`` picks an ephemeral port (read it back
         from :attr:`port` after :meth:`start` — the test/bench harness
@@ -279,8 +291,9 @@ class PlacementServer:
 
     def __init__(
         self,
-        service: PlacementService,
+        service: PlacementService | None = None,
         *,
+        farm: IndexFarm | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
         max_inflight: int = 64,
@@ -288,10 +301,15 @@ class PlacementServer:
         request_timeout: float = 30.0,
         max_body_bytes: int = 8 << 20,
     ) -> None:
+        require(
+            (service is None) != (farm is None),
+            "PlacementServer needs exactly one of service or farm",
+        )
         require(max_inflight >= 1, "max_inflight must be >= 1")
         require(worker_threads >= 1, "worker_threads must be >= 1")
         require(request_timeout > 0, "request_timeout must be positive")
         self.service = service
+        self.farm = farm
         self.host = host
         self.port = port
         self.max_inflight = int(max_inflight)
@@ -302,7 +320,9 @@ class PlacementServer:
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None
-        self._inflight_specs: dict[QuerySpec, asyncio.Future] = {}
+        # coalescing key: (tenant, spec) — tenant is None in single mode,
+        # so identical specs for *different* tenants never share a future
+        self._inflight_specs: dict[tuple[str | None, QuerySpec], asyncio.Future] = {}
         self._connections: set[asyncio.StreamWriter] = set()
         self._inflight_requests = 0
         self._draining = False
@@ -455,30 +475,63 @@ class PlacementServer:
         route = (request.method, request.path)
         if route == ("GET", "/healthz"):
             self.stats.requests_total["healthz"] += 1
-            return _Response.json(
-                200,
-                {
-                    "status": "ok",
-                    "draining": self._draining,
-                    "index_version": self._index_version(),
-                    "in_flight": self._inflight_requests,
-                },
-            )
+            payload = {
+                "status": "ok",
+                "draining": self._draining,
+                "in_flight": self._inflight_requests,
+            }
+            if self.farm is not None:
+                payload["tenants"] = len(self.farm.tenants())
+                payload["resident_tenants"] = self.farm.resident_tenants()
+            else:
+                payload["index_version"] = self._index_version()
+            return _Response.json(200, payload)
         if route == ("GET", "/metrics"):
             self.stats.requests_total["metrics"] += 1
             return _Response(200, self.render_metrics().encode(), "text/plain; version=0.0.4")
+        if request.path.startswith("/t/"):
+            return await self._dispatch_tenant(request)
         if route == ("POST", "/query"):
             self.stats.requests_total["query"] += 1
+            if self.farm is not None:
+                return _Response.error(404, "farm mode: use /t/<tenant>/query")
             return await self._admitted(self._handle_query, request, "query")
         if route == ("POST", "/update"):
             self.stats.requests_total["update"] += 1
+            if self.farm is not None:
+                return _Response.error(404, "farm mode: use /t/<tenant>/update")
             return await self._admitted(self._handle_update, request, "update")
         if request.path in ("/healthz", "/metrics", "/query", "/update"):
             return _Response.error(405, f"{request.method} not allowed on {request.path}")
         return _Response.error(404, f"no such endpoint: {request.path}")
 
-    def _index_version(self) -> int:
-        version = self.service.index_version
+    async def _dispatch_tenant(self, request: _Request) -> _Response:
+        """Route ``/t/<tenant>/query`` and ``/t/<tenant>/update``."""
+        if self.farm is None:
+            return _Response.error(404, "tenant endpoints need a farm-mode server")
+        parts = request.path.split("/")
+        if len(parts) != 4 or parts[3] not in ("query", "update") or not parts[2]:
+            return _Response.error(404, f"no such endpoint: {request.path}")
+        tenant, endpoint = parts[2], parts[3]
+        if request.method != "POST":
+            return _Response.error(405, f"{request.method} not allowed on {request.path}")
+        if not self.farm.has_tenant(tenant):
+            return _Response.error(404, f"no such tenant: {tenant}")
+        self.stats.requests_total[endpoint] += 1
+        if endpoint == "query":
+            return await self._admitted(
+                lambda req: self._handle_query(req, tenant), request, "query"
+            )
+        return await self._admitted(
+            lambda req: self._handle_update(req, tenant), request, "update"
+        )
+
+    def _index_version(self, tenant: str | None = None) -> int:
+        if self.farm is not None:
+            version = self.farm.index_version(tenant) if tenant is not None else None
+        else:
+            assert self.service is not None
+            version = self.service.index_version
         return -1 if version is None else version
 
     async def _admitted(
@@ -538,54 +591,69 @@ class PlacementServer:
             raise _BadRequest(f"bad query spec: {exc}") from None
         return specs, use_cache
 
-    async def _handle_query(self, request: _Request) -> _Response:
+    async def _handle_query(
+        self, request: _Request, tenant: str | None = None
+    ) -> _Response:
         specs, use_cache = self._parse_specs(request.body)
         self.stats.specs_received += len(specs)
 
         # Coalesce: every spec resolves to a future.  A spec already in
         # flight (from any connection, or earlier in this very batch)
         # shares the existing future; the rest are owned by this request
-        # and computed through ONE underlying batch_query call.
+        # and computed through ONE underlying batch_query call.  Keys are
+        # tenant-scoped, so farm tenants never share each other's results.
         futures: list[asyncio.Future] = []
         owned: list[tuple[QuerySpec, asyncio.Future]] = []
         for spec in specs:
-            existing = self._inflight_specs.get(spec)
+            existing = self._inflight_specs.get((tenant, spec))
             if existing is not None:
                 self.stats.coalesced_specs += 1
                 futures.append(existing)
             else:
                 future = self._loop.create_future()
-                self._inflight_specs[spec] = future
+                self._inflight_specs[(tenant, spec)] = future
                 owned.append((spec, future))
                 futures.append(future)
         if owned:
-            await self._compute_owned(owned, use_cache)
+            await self._compute_owned(owned, use_cache, tenant)
         results: list[TOPSResult] = list(await asyncio.gather(*futures))
         body = {
             "results": [
                 self._result_payload(spec, result)
                 for spec, result in zip(specs, results)
             ],
-            "index_version": self._index_version(),
+            "index_version": self._index_version(tenant),
         }
+        if tenant is not None:
+            body["tenant"] = tenant
         return _Response.json(200, body)
 
     async def _compute_owned(
-        self, owned: list[tuple[QuerySpec, asyncio.Future]], use_cache: bool
+        self,
+        owned: list[tuple[QuerySpec, asyncio.Future]],
+        use_cache: bool,
+        tenant: str | None = None,
     ) -> None:
         """Answer the owned specs via one pooled ``batch_query`` call.
 
         Futures are always resolved (result or exception) and always
         removed from the in-flight table, even if the service raises —
         a failed computation must not wedge later requests for the same
-        spec.
+        spec.  In farm mode the call goes through the farm, so a lazy
+        tenant load (and any budget eviction it triggers) happens on the
+        worker pool, never on the event loop.
         """
         specs = [spec for spec, _ in owned]
+        if self.farm is not None:
+            assert tenant is not None
+            farm, name = self.farm, tenant
+            call = lambda: farm.batch_query(name, specs, use_cache=use_cache)  # noqa: E731
+        else:
+            service = self.service
+            assert service is not None
+            call = lambda: service.batch_query(specs, use_cache=use_cache)  # noqa: E731
         try:
-            results = await self._loop.run_in_executor(
-                self._executor,
-                lambda: self.service.batch_query(specs, use_cache=use_cache),
-            )
+            results = await self._loop.run_in_executor(self._executor, call)
         except Exception as exc:  # noqa: BLE001 - propagate to every waiter
             for _, future in owned:
                 if not future.done():
@@ -598,7 +666,7 @@ class PlacementServer:
                     future.set_result(result)
         finally:
             for spec, _ in owned:
-                self._inflight_specs.pop(spec, None)
+                self._inflight_specs.pop((tenant, spec), None)
 
     @staticmethod
     def _result_payload(spec: QuerySpec, result: TOPSResult) -> dict:
@@ -615,7 +683,8 @@ class PlacementServer:
     # ------------------------------------------------------------------ #
     # /update
     # ------------------------------------------------------------------ #
-    def _parse_update(self, body: bytes) -> UpdateBatch:
+    @staticmethod
+    def _parse_update(body: bytes, network: RoadNetwork) -> UpdateBatch:
         try:
             payload = json.loads(body or b"null")
         except json.JSONDecodeError as exc:
@@ -628,7 +697,6 @@ class PlacementServer:
             raise _BadRequest(f"unknown update fields: {sorted(unknown)}")
         if not any(payload.get(key) for key in known):
             raise _BadRequest("empty update: no delta keys given")
-        network = self.service.index.network
         add_trajectories = []
         try:
             for entry in payload.get("add_trajectories", ()):
@@ -652,27 +720,41 @@ class PlacementServer:
         except (ValueError, TypeError, KeyError) as exc:
             raise _BadRequest(f"bad update delta: {exc}") from None
 
-    async def _handle_update(self, request: _Request) -> _Response:
-        batch = self._parse_update(request.body)
-        version_before = self.service.index.version
-        try:
-            applied = await self._loop.run_in_executor(
-                self._executor, lambda: self.service.apply_updates(batch)
+    async def _handle_update(
+        self, request: _Request, tenant: str | None = None
+    ) -> _Response:
+        if self.farm is not None:
+            assert tenant is not None
+            farm, name = self.farm, tenant
+            # resolving the tenant may page its index in — worker pool
+            service = await self._loop.run_in_executor(
+                self._executor, lambda: farm.service(name)
             )
+            batch = self._parse_update(request.body, service.index.network)
+            apply = lambda: farm.apply_updates(name, batch)  # noqa: E731
+        else:
+            service = self.service
+            assert service is not None
+            batch = self._parse_update(request.body, service.index.network)
+            local = service
+            apply = lambda: local.apply_updates(batch)  # noqa: E731
+        version_before = service.index.version
+        try:
+            applied = await self._loop.run_in_executor(self._executor, apply)
         except (ValueError, KeyError) as exc:
             # apply_updates validates the whole batch up front; a bad
             # member (unknown site, duplicate id, ...) is a client error
             message = exc.args[0] if exc.args else str(exc)
             raise _BadRequest(str(message)) from None
         self.stats.updates_applied += applied
-        return _Response.json(
-            200,
-            {
-                "applied": applied,
-                "index_version_before": version_before,
-                "index_version": self.service.index.version,
-            },
-        )
+        body = {
+            "applied": applied,
+            "index_version_before": version_before,
+            "index_version": service.index.version,
+        }
+        if tenant is not None:
+            body["tenant"] = tenant
+        return _Response.json(200, body)
 
     # ------------------------------------------------------------------ #
     # /metrics
@@ -680,43 +762,10 @@ class PlacementServer:
     def render_metrics(self) -> str:
         """The Prometheus-style text body of ``GET /metrics``."""
         lines: list[str] = []
-        for name, value in self.service.stats.as_dict().items():
-            kind = "counter" if isinstance(value, int) else "gauge"
-            _render_metric(
-                lines,
-                f"netclus_service_{name}",
-                kind,
-                f"PlacementService {name.replace('_', ' ')}",
-                value,
-            )
-        for kernel, (calls, seconds) in self.service.stats.kernel_snapshot().items():
-            _render_metric(
-                lines,
-                "netclus_kernel_calls_total",
-                "counter",
-                "coverage kernel invocations per kernel",
-                calls,
-                kernel=kernel,
-            )
-            _render_metric(
-                lines,
-                "netclus_kernel_seconds_total",
-                "counter",
-                "cumulative seconds spent per coverage kernel",
-                seconds,
-                kernel=kernel,
-            )
-        coverage_cache = getattr(self.service, "coverage_cache", None)
-        if coverage_cache is not None:
-            for name, value in coverage_cache.stats().items():
-                kind = "counter" if isinstance(value, int) else "gauge"
-                _render_metric(
-                    lines,
-                    f"netclus_covcache_{name}",
-                    kind,
-                    f"CoverageCache {name.replace('_', ' ')}",
-                    value,
-                )
+        if self.farm is not None:
+            self._render_farm_metrics(lines)
+        else:
+            self._render_service_metrics(lines)
         stats = self.stats
         for endpoint, count in sorted(stats.requests_total.items()):
             _render_metric(
@@ -798,14 +847,119 @@ class PlacementServer:
                 snapshot["count"],
                 endpoint=endpoint,
             )
+        if self.farm is None:
+            _render_metric(
+                lines,
+                "netclus_index_version",
+                "gauge",
+                "monotonic version of the served index",
+                self._index_version(),
+            )
+        return "\n".join(lines) + "\n"
+
+    def _render_service_metrics(self, lines: list[str]) -> None:
+        """Single-tenant service/kernel/covcache counters (no labels)."""
+        service = self.service
+        assert service is not None
+        for name, value in service.stats.as_dict().items():
+            kind = "counter" if isinstance(value, int) else "gauge"
+            _render_metric(
+                lines,
+                f"netclus_service_{name}",
+                kind,
+                f"PlacementService {name.replace('_', ' ')}",
+                value,
+            )
+        for kernel, (calls, seconds) in service.stats.kernel_snapshot().items():
+            _render_metric(
+                lines,
+                "netclus_kernel_calls_total",
+                "counter",
+                "coverage kernel invocations per kernel",
+                calls,
+                kernel=kernel,
+            )
+            _render_metric(
+                lines,
+                "netclus_kernel_seconds_total",
+                "counter",
+                "cumulative seconds spent per coverage kernel",
+                seconds,
+                kernel=kernel,
+            )
+        coverage_cache = getattr(service, "coverage_cache", None)
+        if coverage_cache is not None:
+            for name, value in coverage_cache.stats().items():
+                kind = "counter" if isinstance(value, int) else "gauge"
+                _render_metric(
+                    lines,
+                    f"netclus_covcache_{name}",
+                    kind,
+                    f"CoverageCache {name.replace('_', ' ')}",
+                    value,
+                )
+
+    def _render_farm_metrics(self, lines: list[str]) -> None:
+        """Farm gauges plus per-tenant service counters (``tenant`` label)."""
+        farm = self.farm
+        assert farm is not None
+        snapshot = farm.describe()
+        if snapshot["memory_budget_bytes"] is not None:
+            _render_metric(
+                lines,
+                "netclus_farm_memory_budget_bytes",
+                "gauge",
+                "memory budget over resident tenant indexes",
+                snapshot["memory_budget_bytes"],
+            )
         _render_metric(
             lines,
-            "netclus_index_version",
+            "netclus_farm_resident_bytes",
             "gauge",
-            "monotonic version of the served index",
-            self._index_version(),
+            "summed storage bytes of resident tenant indexes",
+            snapshot["resident_bytes"],
         )
-        return "\n".join(lines) + "\n"
+        _render_metric(
+            lines,
+            "netclus_farm_loads_total",
+            "counter",
+            "tenant index loads from disk",
+            snapshot["loads_total"],
+        )
+        _render_metric(
+            lines,
+            "netclus_farm_evictions_total",
+            "counter",
+            "tenant evictions under the memory budget",
+            snapshot["evictions_total"],
+        )
+        for tenant, info in snapshot["tenants"].items():
+            _render_metric(
+                lines,
+                "netclus_farm_tenant_resident",
+                "gauge",
+                "whether the tenant index is currently in memory",
+                1.0 if info["resident"] else 0.0,
+                tenant=tenant,
+            )
+            _render_metric(
+                lines,
+                "netclus_farm_tenant_storage_bytes",
+                "gauge",
+                "Table 9-style storage bytes of the tenant index",
+                info["storage_bytes"],
+                tenant=tenant,
+            )
+            for name, value in farm.tenant_stats(tenant).items():
+                kind = "counter" if isinstance(value, int) else "gauge"
+                _render_metric(
+                    lines,
+                    f"netclus_service_{name}",
+                    kind,
+                    f"PlacementService {name.replace('_', ' ')}",
+                    value,
+                    tenant=tenant,
+                )
 
 
 # ---------------------------------------------------------------------- #
@@ -874,9 +1028,12 @@ class ServerHandle:
 
 
 def serve_in_background(
-    service: PlacementService, **server_kwargs: Any
+    service: PlacementService | None = None, **server_kwargs: Any
 ) -> ServerHandle:
     """Start a :class:`PlacementServer` on a dedicated thread; return its handle.
+
+    Pass ``farm=...`` instead of a service to serve an
+    :class:`~repro.service.farm.IndexFarm` (tenant-scoped endpoints).
 
     ``port`` defaults to 0 (ephemeral) — read the real address back from
     ``handle.address``.  The handle is a context manager::

@@ -1,0 +1,383 @@
+"""Tests for the multi-tenant index farm (``repro.service.farm``).
+
+The core contract under test: a farm serving N tenants under a memory
+budget — with lazy loads, LRU evictions and write-through updates — must
+answer every query **byte-identically** to a dedicated per-tenant
+:class:`PlacementService` that never evicts.  The seeded state-machine
+test interleaves queries, updates and evictions across three tenants and
+byte-compares every probe against mirrored direct services.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.netclus import NetClusIndex, UpdateBatch
+from repro.network.generators import grid_network
+from repro.service import (
+    IndexFarm,
+    PlacementService,
+    QuerySpec,
+    load_manifest,
+    save_index,
+    serve_in_background,
+)
+from repro.service.farm import UnknownTenantError
+from repro.trajectory.generators import commuter_trajectories
+
+TENANTS = ("nyk", "bjg", "tky")
+
+
+def _build_city(seed: int) -> NetClusIndex:
+    network = grid_network(6, 6, spacing_km=0.5)
+    dataset = commuter_trajectories(network, 30, seed=seed)
+    index = NetClusIndex.build(
+        network,
+        dataset,
+        network.node_ids()[::3],
+        gamma=0.75,
+        tau_min_km=0.4,
+        tau_max_km=2.0,
+    )
+    index.enable_coverage_cache()
+    return index
+
+
+@pytest.fixture(scope="module")
+def tenant_dirs(tmp_path_factory):
+    """Three tenant index directories (distinct seeds → distinct cities)."""
+    root = tmp_path_factory.mktemp("farm")
+    return {
+        name: save_index(_build_city(seed=11 + i), root / f"{name}.ncx")
+        for i, name in enumerate(TENANTS)
+    }
+
+
+def _one_tenant_budget(tenant_dirs) -> int:
+    """A budget that fits roughly one tenant (forces eviction churn)."""
+    largest = max(
+        int(load_manifest(path)["storage_bytes"]) for path in tenant_dirs.values()
+    )
+    return int(largest * 1.5)
+
+
+def _probe(result):
+    """The byte-comparable essence of one placement result."""
+    return (
+        tuple(result.sites),
+        np.asarray(result.per_trajectory_utility).tobytes(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+def test_unknown_tenant_raises(tenant_dirs):
+    farm = IndexFarm()
+    farm.add_tenant("nyk", tenant_dirs["nyk"])
+    with pytest.raises(UnknownTenantError):
+        farm.query("nope", QuerySpec(k=3, tau_km=1.0))
+    with pytest.raises(UnknownTenantError):
+        farm.evict("nope")
+
+
+def test_duplicate_and_bad_names_refused(tenant_dirs):
+    farm = IndexFarm()
+    farm.add_tenant("nyk", tenant_dirs["nyk"])
+    with pytest.raises(ValueError):
+        farm.add_tenant("nyk", tenant_dirs["bjg"])
+    with pytest.raises(ValueError):
+        farm.add_tenant("a/b", tenant_dirs["bjg"])
+    with pytest.raises(ValueError):
+        farm.add_tenant("", tenant_dirs["bjg"])
+
+
+def test_registration_is_lazy(tenant_dirs):
+    """add_tenant reads only the manifest; no tenant is resident."""
+    farm = IndexFarm()
+    for name, path in tenant_dirs.items():
+        record = farm.add_tenant(name, path)
+        assert not record.resident
+        assert record.storage_bytes > 0  # from the manifest, not a load
+    assert farm.resident_tenants() == []
+    assert farm.loads_total == 0
+
+
+def test_remove_tenant_keeps_directory(tenant_dirs):
+    farm = IndexFarm()
+    farm.add_tenant("nyk", tenant_dirs["nyk"])
+    farm.query("nyk", QuerySpec(k=3, tau_km=1.0))
+    farm.remove_tenant("nyk")
+    assert farm.tenants() == []
+    assert (tenant_dirs["nyk"] / "manifest.json").is_file()
+
+
+# ---------------------------------------------------------------------- #
+# budget / eviction
+# ---------------------------------------------------------------------- #
+def test_budget_evicts_lru_never_the_touched_tenant(tenant_dirs):
+    farm = IndexFarm(memory_budget_bytes=_one_tenant_budget(tenant_dirs))
+    for name, path in tenant_dirs.items():
+        farm.add_tenant(name, path)
+    spec = QuerySpec(k=4, tau_km=1.0)
+    farm.query("nyk", spec)
+    assert farm.resident_tenants() == ["nyk"]
+    farm.query("bjg", spec)
+    # nyk (LRU) was evicted to fit bjg; bjg itself was never evicted
+    assert farm.resident_tenants() == ["bjg"]
+    assert farm.evictions_total == 1
+    farm.query("tky", spec)
+    assert farm.resident_tenants() == ["tky"]
+    assert farm.evictions_total == 2
+    assert farm.resident_bytes() <= farm.memory_budget_bytes
+
+
+def test_oversized_tenant_still_serves(tenant_dirs):
+    """A budget smaller than any single index still serves one tenant."""
+    farm = IndexFarm(memory_budget_bytes=1)
+    farm.add_tenant("nyk", tenant_dirs["nyk"])
+    result = farm.query("nyk", QuerySpec(k=3, tau_km=1.0))
+    assert result.sites
+    assert farm.resident_tenants() == ["nyk"]
+
+
+def test_no_budget_never_evicts(tenant_dirs):
+    farm = IndexFarm()
+    for name, path in tenant_dirs.items():
+        farm.add_tenant(name, path)
+    spec = QuerySpec(k=3, tau_km=1.0)
+    for name in TENANTS:
+        farm.query(name, spec)
+    assert farm.resident_tenants() == sorted(TENANTS)
+    assert farm.evictions_total == 0
+
+
+def test_eviction_and_reload_are_transparent(tenant_dirs):
+    farm = IndexFarm(memory_budget_bytes=_one_tenant_budget(tenant_dirs))
+    for name, path in tenant_dirs.items():
+        farm.add_tenant(name, path)
+    spec = QuerySpec(k=5, tau_km=0.8)
+    before = {name: _probe(farm.query(name, spec)) for name in TENANTS}
+    assert farm.evictions_total >= 2  # the budget forced churn
+    after = {name: _probe(farm.query(name, spec)) for name in TENANTS}
+    assert after == before
+
+
+def test_tenant_stats_survive_eviction(tenant_dirs):
+    farm = IndexFarm()
+    farm.add_tenant("nyk", tenant_dirs["nyk"])
+    spec = QuerySpec(k=3, tau_km=1.0)
+    farm.query("nyk", spec)
+    farm.evict("nyk")
+    farm.query("nyk", spec)
+    stats = farm.tenant_stats("nyk")
+    assert stats["queries_served"] == 2
+    assert stats["greedy_runs"] == 2  # fresh service: no shared result cache
+    assert farm.tenant_stats("nyk")["coverage_builds"] >= 1
+
+
+def test_explicit_evict_reports_residency(tenant_dirs):
+    farm = IndexFarm()
+    farm.add_tenant("nyk", tenant_dirs["nyk"])
+    assert farm.evict("nyk") is False  # never loaded
+    farm.query("nyk", QuerySpec(k=3, tau_km=1.0))
+    assert farm.evict("nyk") is True
+    assert farm.evict("nyk") is False  # already out
+
+
+# ---------------------------------------------------------------------- #
+# write-through updates
+# ---------------------------------------------------------------------- #
+def test_updates_write_through_and_survive_eviction(tenant_dirs, tmp_path):
+    # work on a copy: other tests share the module-scoped directories
+    import shutil
+
+    directory = tmp_path / "nyk.ncx"
+    shutil.copytree(tenant_dirs["nyk"], directory)
+    farm = IndexFarm()
+    farm.add_tenant("nyk", directory)
+    spec = QuerySpec(k=4, tau_km=1.0)
+    sites = sorted(farm.service("nyk").index.sites)
+    applied = farm.apply_updates("nyk", UpdateBatch(remove_sites=sites[:2]))
+    assert applied == 2
+    updated = _probe(farm.query("nyk", spec))
+    farm.evict("nyk")
+    # the reload reads the written-through directory, not the stale state
+    assert _probe(farm.query("nyk", spec)) == updated
+    assert farm.index_version("nyk") == 1
+
+
+def test_update_refreshes_storage_accounting(tenant_dirs, tmp_path):
+    import shutil
+
+    directory = tmp_path / "nyk.ncx"
+    shutil.copytree(tenant_dirs["nyk"], directory)
+    farm = IndexFarm()
+    record = farm.add_tenant("nyk", directory)
+    before = record.storage_bytes
+    ids = list(farm.service("nyk").index.trajectory_ids)[:10]
+    farm.apply_updates("nyk", UpdateBatch(remove_trajectories=ids))
+    assert record.storage_bytes < before
+
+
+# ---------------------------------------------------------------------- #
+# the seeded state machine: farm vs mirrored direct services
+# ---------------------------------------------------------------------- #
+def test_state_machine_matches_unevicted_direct_services(tenant_dirs, tmp_path):
+    """Interleaved queries/updates/evictions across 3 tenants, byte-compared.
+
+    The farm runs under a one-tenant budget (constant eviction churn);
+    the mirrors are plain per-tenant services that never evict.  Every
+    query probe must agree byte-for-byte, proving eviction, lazy reload
+    and write-through can never change a result.
+    """
+    import shutil
+
+    dirs = {}
+    for name, source in tenant_dirs.items():
+        dirs[name] = tmp_path / f"{name}.ncx"
+        shutil.copytree(source, dirs[name])
+    farm = IndexFarm(memory_budget_bytes=_one_tenant_budget(tenant_dirs))
+    mirrors = {}
+    for name, directory in dirs.items():
+        farm.add_tenant(name, directory)
+        mirrors[name] = PlacementService.from_path(directory)
+
+    rng = random.Random(20260808)
+    specs = [
+        QuerySpec(k=3, tau_km=0.6),
+        QuerySpec(k=5, tau_km=1.0),
+        QuerySpec(k=4, tau_km=1.5),
+    ]
+    updates_done = 0
+    for step in range(40):
+        name = rng.choice(TENANTS)
+        action = rng.random()
+        if action < 0.6:
+            spec = rng.choice(specs)
+            assert _probe(farm.query(name, spec)) == _probe(
+                mirrors[name].query(spec)
+            ), f"step {step}: {name} diverged on {spec}"
+        elif action < 0.8 and updates_done < 6:
+            live_sites = sorted(mirrors[name].index.sites)
+            if len(live_sites) > 4:
+                batch = UpdateBatch(remove_sites=live_sites[:1])
+                assert farm.apply_updates(name, batch) == mirrors[
+                    name
+                ].apply_updates(batch)
+                updates_done += 1
+        else:
+            farm.evict(name)
+    assert farm.evictions_total > 0, "the state machine never exercised eviction"
+    assert updates_done > 0, "the state machine never exercised updates"
+    # closing probe: all tenants, all specs, one last byte-compare
+    for name in TENANTS:
+        for spec in specs:
+            assert _probe(farm.query(name, spec)) == _probe(mirrors[name].query(spec))
+    farm.close()
+
+
+# ---------------------------------------------------------------------- #
+# HTTP farm mode
+# ---------------------------------------------------------------------- #
+def _http(address, method, path, payload=None):
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=20)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        raw = response.read()
+        parsed = (
+            json.loads(raw)
+            if response.getheader("Content-Type", "").startswith("application/json")
+            else raw.decode()
+        )
+        return response.status, parsed
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def served_farm(tenant_dirs):
+    farm = IndexFarm(memory_budget_bytes=_one_tenant_budget(tenant_dirs))
+    for name, path in tenant_dirs.items():
+        farm.add_tenant(name, path)
+    with serve_in_background(farm=farm) as handle:
+        yield farm, handle
+    farm.close()
+
+
+def test_http_tenant_query_matches_direct(served_farm, tenant_dirs):
+    farm, handle = served_farm
+    spec = QuerySpec(k=4, tau_km=1.0)
+    direct = PlacementService.from_path(tenant_dirs["bjg"]).query(spec)
+    status, body = _http(
+        handle.address, "POST", "/t/bjg/query", {"specs": [spec.to_dict()]}
+    )
+    assert status == 200
+    assert body["tenant"] == "bjg"
+    result = body["results"][0]
+    assert result["sites"] == list(direct.sites)
+    assert result["per_trajectory_utility"] == pytest.approx(
+        list(direct.per_trajectory_utility)
+    )
+
+
+def test_http_unknown_tenant_404(served_farm):
+    _, handle = served_farm
+    status, body = _http(
+        handle.address,
+        "POST",
+        "/t/atlantis/query",
+        {"specs": [{"k": 3, "tau_km": 1.0}]},
+    )
+    assert status == 404
+    assert "atlantis" in body["error"]
+
+
+def test_http_plain_endpoints_404_in_farm_mode(served_farm):
+    _, handle = served_farm
+    status, body = _http(
+        handle.address, "POST", "/query", {"specs": [{"k": 3, "tau_km": 1.0}]}
+    )
+    assert status == 404
+    assert "/t/<tenant>/query" in body["error"]
+
+
+def test_http_eviction_between_requests_is_invisible(served_farm):
+    farm, handle = served_farm
+    spec = {"specs": [{"k": 5, "tau_km": 0.8}]}
+    _, first = _http(handle.address, "POST", "/t/nyk/query", spec)
+    farm.evict("nyk")
+    _, second = _http(handle.address, "POST", "/t/nyk/query", spec)
+    assert first["results"][0]["sites"] == second["results"][0]["sites"]
+    assert (
+        first["results"][0]["per_trajectory_utility"]
+        == second["results"][0]["per_trajectory_utility"]
+    )
+
+
+def test_http_metrics_carry_tenant_labels(served_farm):
+    farm, handle = served_farm
+    _http(handle.address, "POST", "/t/nyk/query", {"specs": [{"k": 3, "tau_km": 1.0}]})
+    status, text = _http(handle.address, "GET", "/metrics")
+    assert status == 200
+    assert 'netclus_service_queries_served{tenant="nyk"}' in text
+    assert "netclus_farm_resident_bytes" in text
+    assert "netclus_farm_evictions_total" in text
+    assert "netclus_farm_memory_budget_bytes" in text
+    assert 'netclus_farm_tenant_resident{tenant="nyk"}' in text
+
+
+def test_http_healthz_reports_tenancy(served_farm):
+    farm, handle = served_farm
+    status, body = _http(handle.address, "GET", "/healthz")
+    assert status == 200
+    assert body["tenants"] == len(TENANTS)
+    assert set(body["resident_tenants"]) <= set(TENANTS)

@@ -28,7 +28,7 @@ def built_index(tmp_path_factory):
 
 def test_build_writes_index(built_index):
     assert (built_index / "manifest.json").is_file()
-    assert (built_index / "payload.npz").is_file()
+    assert (built_index / "payload.bin").is_file()
 
 
 def test_build_records_content_fingerprint(built_index):
@@ -53,7 +53,7 @@ def test_build_rejects_scale_for_fixed_datasets(tmp_path):
 def test_inspect_prints_manifest(built_index, capsys):
     assert main(["inspect", "--index", str(built_index)]) == 0
     out = capsys.readouterr().out
-    assert "netclus-index v3" in out
+    assert "netclus-index v4" in out
     assert "gamma=0.75" in out
     assert "graph sha256" in out
 

@@ -124,7 +124,9 @@ def test_manifest_contents(saved_index):
     index, path = saved_index
     manifest = load_manifest(path)
     assert manifest["format"] == "netclus-index"
-    assert manifest["format_version"] == 3
+    assert manifest["format_version"] == 4
+    assert manifest["payload_arrays"]  # v4 offset table
+    assert manifest["payload_total_bytes"] == (path / "payload.bin").stat().st_size
     assert manifest["index_version"] == index.version
     assert manifest["build_params"]["gamma"] == pytest.approx(0.75)
     assert manifest["num_instances"] == index.num_instances
@@ -183,11 +185,17 @@ def test_save_refuses_foreign_dataset(saved_index, tiny_problem, tmp_path):
 
 
 def test_load_refuses_corrupted_payload(saved_index, tmp_path):
+    """v3's whole-file hash catches an appended byte; v4's size check does."""
     index, _ = saved_index
-    path = save_index(index, tmp_path / "corrupt.ncx")
+    path = save_index(index, tmp_path / "corrupt3.ncx", format_version=3)
     payload = path / "payload.npz"
     payload.write_bytes(payload.read_bytes() + b"tampered")
     with pytest.raises(IndexFormatError, match="payload fingerprint"):
+        load_index(path)
+    path = save_index(index, tmp_path / "corrupt4.ncx")
+    blob = path / "payload.bin"
+    blob.write_bytes(blob.read_bytes() + b"tampered")
+    with pytest.raises(IndexFormatError, match="size mismatch"):
         load_index(path)
 
 
@@ -241,7 +249,7 @@ def test_index_version_round_trips(tiny_problem, tmp_path):
 def test_v1_directory_still_loads(saved_index, tmp_path):
     """A format-v1 manifest (no index_version) loads with version 0."""
     index, _ = saved_index
-    path = save_index(index, tmp_path / "v1.ncx")
+    path = save_index(index, tmp_path / "v1.ncx", format_version=3)
     manifest_path = path / "manifest.json"
     manifest = json.loads(manifest_path.read_text())
     manifest["format_version"] = 1
@@ -254,7 +262,9 @@ def test_v1_directory_still_loads(saved_index, tmp_path):
 
 
 # ---------------------------------------------------------------------- #
-# format v3: persisted coverage parts (PR 7) — cross-format load matrix
+# formats v3/v4: persisted coverage parts (PR 7/PR 10) — cross-format
+# load matrix: every part test below runs against both the compressed
+# .npz layout and the packed mmap blob
 # ---------------------------------------------------------------------- #
 WARM_QUERIES = [
     TOPSQuery(k=4, tau_km=1.0),
@@ -262,8 +272,8 @@ WARM_QUERIES = [
 ]
 
 
-@pytest.fixture()
-def warm_saved_index(tiny_problem, tmp_path):
+@pytest.fixture(params=[3, 4], ids=["v3", "v4"])
+def warm_saved_index(request, tiny_problem, tmp_path):
     """An index with a warm coverage cache, persisted with its parts."""
     index = tiny_problem.build_netclus_index(
         gamma=0.75, tau_min_km=0.4, tau_max_km=4.0
@@ -271,7 +281,7 @@ def warm_saved_index(tiny_problem, tmp_path):
     index.enable_coverage_cache()
     for query in WARM_QUERIES:
         index.query(query, engine="sparse")
-    path = save_index(index, tmp_path / "warm.ncx")
+    path = save_index(index, tmp_path / "warm.ncx", format_version=request.param)
     return index, path
 
 
@@ -285,7 +295,7 @@ def _set_manifest(path, mutate):
 def test_v2_directory_still_loads(saved_index, tmp_path):
     """A format-v2 manifest (no coverage_parts vocabulary) loads unchanged."""
     index, _ = saved_index
-    path = save_index(index, tmp_path / "v2.ncx")
+    path = save_index(index, tmp_path / "v2.ncx", format_version=3)
     _set_manifest(path, lambda m: m.update(format_version=2))
     loaded = load_index(path)
     assert loaded.version == index.version
@@ -294,15 +304,15 @@ def test_v2_directory_still_loads(saved_index, tmp_path):
     assert loaded.query(query).sites == index.query(query).sites
 
 
-def test_v3_without_parts_loads_cold(saved_index):
-    """v3 is a superset: an index saved without a cache has no parts and
+def test_without_parts_loads_cold(saved_index, tmp_path):
+    """v3/v4 are supersets: an index saved without a cache has no parts and
     loads exactly as before."""
-    _, path = saved_index
-    manifest = load_manifest(path)
-    assert manifest["format_version"] == 3
-    assert "coverage_parts" not in manifest
-    loaded = load_index(path)
-    assert loaded.coverage_cache is None
+    index, path = saved_index
+    assert "coverage_parts" not in load_manifest(path)
+    assert load_index(path).coverage_cache is None
+    v3_path = save_index(index, tmp_path / "cold3.ncx", format_version=3)
+    assert "coverage_parts" not in load_manifest(v3_path)
+    assert load_index(v3_path).coverage_cache is None
 
 
 def test_v3_parts_round_trip(warm_saved_index):
@@ -418,13 +428,173 @@ def test_v3_registry_size_mismatch_raises(warm_saved_index):
         load_index(path)
 
 
-def test_v3_tampered_payload_still_refused(warm_saved_index):
-    """The whole-file payload hash covers the coverage arrays too."""
+def test_tampered_payload_still_refused(warm_saved_index):
+    """Appending bytes to the payload is refused in either format."""
     _, path = warm_saved_index
     payload = path / "payload.npz"
-    payload.write_bytes(payload.read_bytes() + b"x")
-    with pytest.raises(IndexFormatError, match="payload fingerprint"):
+    if payload.is_file():
+        payload.write_bytes(payload.read_bytes() + b"x")
+        expected = "payload fingerprint"
+    else:
+        payload = path / "payload.bin"
+        payload.write_bytes(payload.read_bytes() + b"x")
+        expected = "size mismatch"
+    with pytest.raises(IndexFormatError, match=expected):
         load_index(path)
+
+
+# ---------------------------------------------------------------------- #
+# format v4: packed mmap blob + offset table + copy-on-write (PR 10)
+# ---------------------------------------------------------------------- #
+def _tamper_offset_table(path, mutate):
+    def inner(manifest):
+        mutate(manifest["payload_arrays"])
+
+    _set_manifest(path, inner)
+
+
+def test_v4_truncated_blob_raises(saved_index, tmp_path):
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "trunc.ncx")
+    blob = path / "payload.bin"
+    blob.write_bytes(blob.read_bytes()[:-16])
+    with pytest.raises(IndexFormatError, match="size mismatch"):
+        load_index(path)
+
+
+def test_v4_offset_table_mismatch_raises(saved_index, tmp_path):
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "table.ncx")
+
+    def stretch(table):
+        entry = next(iter(table.values()))
+        entry["nbytes"] = int(entry["nbytes"]) + 8
+
+    _tamper_offset_table(path, stretch)
+    with pytest.raises(IndexFormatError, match="offset-table mismatch"):
+        load_index(path)
+
+
+def test_v4_offset_out_of_bounds_raises(saved_index, tmp_path):
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "bounds.ncx")
+    total = load_manifest(path)["payload_total_bytes"]
+
+    def shift(table):
+        entry = max(table.values(), key=lambda e: int(e["offset"]))
+        entry["offset"] = int(total)  # pushes offset+nbytes past the blob
+
+    _tamper_offset_table(path, shift)
+    with pytest.raises(IndexFormatError, match="out of bounds"):
+        load_index(path)
+
+
+def test_v4_missing_offset_table_raises(saved_index, tmp_path):
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "notable.ncx")
+    _set_manifest(path, lambda m: m.pop("payload_arrays"))
+    with pytest.raises(IndexFormatError, match="offset table"):
+        load_index(path)
+
+
+def test_v4_missing_blob_raises(saved_index, tmp_path):
+    index, _ = saved_index
+    path = save_index(index, tmp_path / "noblob.ncx")
+    (path / "payload.bin").unlink()
+    with pytest.raises(IndexFormatError, match="payload.bin"):
+        load_index(path)
+
+
+def test_save_refuses_unwritable_format_version(saved_index, tmp_path):
+    index, _ = saved_index
+    with pytest.raises(IndexFormatError, match="cannot write format version"):
+        save_index(index, tmp_path / "v2w.ncx", format_version=2)
+
+
+def test_v4_loaded_views_are_read_only(warm_saved_index):
+    _, path = warm_saved_index
+    if not (path / "payload.bin").is_file():
+        pytest.skip("v3 layout")
+    loaded = load_index(path)
+    for instance in loaded.instances:
+        assert instance is not None  # materialises through the lazy ladder
+    for part in loaded.coverage_cache.parts.values():
+        assert not part.rows.flags.writeable
+        assert not part.cols.flags.writeable
+        assert not part.estimates.flags.writeable
+        with pytest.raises(ValueError):
+            part.rows[0] = 0
+
+
+def test_v4_instances_rebuild_lazily(saved_index):
+    _, path = saved_index
+    loaded = load_index(path)
+    ladder = loaded.instances
+    assert ladder.materialised_count() == 0
+    loaded.query(TOPSQuery(k=3, tau_km=0.5))
+    assert 0 < ladder.materialised_count() < len(ladder)
+    # full iteration still materialises everything, with identity stability
+    first = ladder[0]
+    assert ladder[0] is first
+    assert len(list(ladder)) == len(ladder)
+    assert ladder.materialised_count() == len(ladder)
+
+
+def test_v4_apply_updates_never_writes_through(tmp_path):
+    """The read-only contract: a mutate-and-query session on a v4-loaded
+    index succeeds (copy-on-write) and leaves the file bytes untouched."""
+    from repro.core.netclus import NetClusIndex, UpdateBatch
+
+    network = grid_network(6, 6, spacing_km=0.5)
+    dataset = commuter_trajectories(network, 40, seed=7)
+    index = NetClusIndex.build(
+        network,
+        dataset,
+        network.node_ids()[::3],
+        gamma=0.75,
+        tau_min_km=0.4,
+        tau_max_km=2.0,
+        representative_strategy="most_frequent",
+    )
+    index.enable_coverage_cache()
+    query = TOPSQuery(k=4, tau_km=1.0)
+    index.query(query, engine="sparse")
+    path = save_index(index, tmp_path / "cow.ncx")
+    blob_before = (path / "payload.bin").read_bytes()
+    manifest_before = (path / "manifest.json").read_bytes()
+
+    loaded = load_index(path)
+    batch = UpdateBatch(
+        remove_sites=sorted(loaded.sites)[:2],
+        remove_trajectories=list(loaded.trajectory_ids)[:5],
+    )
+    loaded.apply_updates(batch)
+    index.apply_updates(batch)
+    a = index.query(query, engine="sparse")
+    b = loaded.query(query, engine="sparse")
+    assert list(a.sites) == list(b.sites)
+    assert (
+        np.asarray(a.per_trajectory_utility).tobytes()
+        == np.asarray(b.per_trajectory_utility).tobytes()
+    )
+    assert (path / "payload.bin").read_bytes() == blob_before
+    assert (path / "manifest.json").read_bytes() == manifest_before
+
+
+def test_v4_loaded_index_resaves_identically(warm_saved_index, tmp_path):
+    """save(load(dir)) reproduces the payload — the farm's write-through
+    eviction path depends on a loaded index serialising like the original."""
+    from repro.service.serialization import payload_digest
+
+    index, path = warm_saved_index
+    loaded = load_index(path)
+    resaved = save_index(loaded, tmp_path / "resave.ncx")
+    assert payload_digest(loaded) == payload_digest(index)
+    reloaded = load_index(resaved)
+    for query in WARM_QUERIES:
+        assert reloaded.query(query, engine="sparse").sites == index.query(
+            query, engine="sparse"
+        ).sites
 
 
 def test_most_frequent_visit_data_round_trips(tmp_path):

@@ -8,9 +8,10 @@ multiprocessing fan-out) — and byte-compares the serialized payloads:
   (via the canonical :func:`repro.service.serialization.payload_digest`,
   with the per-instance ``build_seconds`` timing slots zeroed — the one
   entry that legitimately differs between two builds of the same data);
-* both indexes are additionally saved to disk and their ``payload.npz``
-  entries re-loaded and compared, so the check covers the actual on-disk
-  writer, not just the in-memory flattening.
+* both indexes are additionally saved to disk and their ``payload.bin``
+  blob entries re-read through the manifest offset table and compared, so
+  the check covers the actual on-disk writer, not just the in-memory
+  flattening.
 
 Exits non-zero on any divergence.  Run from the repository root::
 
@@ -33,9 +34,24 @@ from repro.core.netclus import NetClusIndex  # noqa: E402
 from repro.datasets import beijing_like  # noqa: E402
 from repro.service.serialization import (  # noqa: E402
     META_BUILD_SECONDS_SLOT,
+    PAYLOAD_BLOB_FILE,
+    load_manifest,
     payload_digest,
     save_index,
 )
+
+
+def _blob_arrays(directory: Path) -> dict[str, np.ndarray]:
+    """Writable copies of every v4 payload array, via the offset table."""
+    manifest = load_manifest(directory)
+    blob = np.fromfile(directory / PAYLOAD_BLOB_FILE, dtype=np.uint8)
+    return {
+        key: blob[entry["offset"] : entry["offset"] + entry["nbytes"]]
+        .view(np.dtype(str(entry["dtype"])))
+        .reshape(tuple(entry["shape"]))
+        .copy()
+        for key, entry in manifest["payload_arrays"].items()
+    }
 
 
 def main(argv=None) -> int:
@@ -68,26 +84,24 @@ def main(argv=None) -> int:
         return 1
     print(f"payload digest   : {digest_sequential[:16]}… (identical)")
 
-    # second opinion through the real on-disk writer
+    # second opinion through the real on-disk writer (format v4 packed blob)
     with tempfile.TemporaryDirectory() as tmp:
         sequential_dir = save_index(sequential, Path(tmp) / "sequential")
         parallel_dir = save_index(parallel, Path(tmp) / "parallel")
-        with np.load(sequential_dir / "payload.npz") as left, np.load(
-            parallel_dir / "payload.npz"
-        ) as right:
-            if sorted(left.files) != sorted(right.files):
-                print("FAIL: payload key sets differ")
+        left = _blob_arrays(sequential_dir)
+        right = _blob_arrays(parallel_dir)
+        if sorted(left) != sorted(right):
+            print("FAIL: payload key sets differ")
+            return 1
+        for key in left:
+            a, b = left[key], right[key]
+            if key.endswith("_meta"):
+                # build_seconds is timing, not state
+                a[META_BUILD_SECONDS_SLOT] = b[META_BUILD_SECONDS_SLOT] = 0.0
+            if a.tobytes() != b.tobytes():
+                print(f"FAIL: payload entry {key!r} differs")
                 return 1
-            for key in left.files:
-                a, b = left[key], right[key]
-                if key.endswith("_meta"):
-                    a, b = a.copy(), b.copy()
-                    # build_seconds is timing, not state
-                    a[META_BUILD_SECONDS_SLOT] = b[META_BUILD_SECONDS_SLOT] = 0.0
-                if a.tobytes() != b.tobytes():
-                    print(f"FAIL: payload entry {key!r} differs")
-                    return 1
-    print(f"payload.npz      : {len(sequential.instances)} instances, all entries equal")
+    print(f"payload.bin      : {len(sequential.instances)} instances, all entries equal")
     print("OK: parallel build is serialization-identical to the sequential path")
     return 0
 
